@@ -1,0 +1,277 @@
+package mely
+
+// One testing.B benchmark per table and figure of the paper, each
+// regenerating its experiment on the simulated platform and reporting
+// the headline metric via b.ReportMetric. Run specific ones with e.g.
+//
+//	go test -bench=Table3 -benchmem
+//
+// The full tables (with the paper's reference values alongside) come
+// from cmd/melybench; these benches are the `go test` entry points the
+// repository's structure requires, plus real-runtime microbenchmarks
+// (post/execute throughput and steal latency) at the end.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sfsmodel"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/swsmodel"
+	"github.com/melyruntime/mely/internal/topology"
+	"github.com/melyruntime/mely/internal/workload"
+)
+
+// simBench runs fn once per b.N iteration batch; the DES is
+// deterministic, so one run per metric suffices and b.N loops re-run it.
+func simBench(b *testing.B, fn func() map[string]float64) {
+	b.Helper()
+	var out map[string]float64
+	for i := 0; i < b.N; i++ {
+		out = fn()
+	}
+	for name, v := range out {
+		b.ReportMetric(v, name)
+	}
+	b.ReportMetric(0, "ns/op") // wall time is host-dependent; metrics above matter
+}
+
+func buildUnbalanced(b *testing.B, pol policy.Config) *sim.Engine {
+	b.Helper()
+	eng, err := workload.BuildUnbalanced(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 42,
+		workload.UnbalancedSpec{EventsPerRound: 10_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkTable1StealVsStolen regenerates Table I.
+func BenchmarkTable1StealVsStolen(b *testing.B) {
+	simBench(b, func() map[string]float64 {
+		sfsEng, err := sfsmodel.Build(topology.IntelXeonE5410(), policy.LibasyncWS(), sim.DefaultParams(), 42, sfsmodel.Spec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sfsRun := sim.Measure(sfsEng, 1, 200_000_000)
+		swsEng, err := swsmodel.Build(topology.IntelXeonE5410(), policy.LibasyncWS(), sim.DefaultParams(), 42, swsmodel.Spec{Clients: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		swsRun := sim.Measure(swsEng, 50_000_000, 100_000_000)
+		return map[string]float64{
+			"sfs-steal-cycles":  sfsRun.StealCostCycles(),
+			"sfs-stolen-cycles": sfsRun.StolenTimeCycles(),
+			"web-steal-cycles":  swsRun.StealCostCycles(),
+			"web-stolen-cycles": swsRun.StolenTimeCycles(),
+		}
+	})
+}
+
+// BenchmarkTable2MemoryLatency reports the modeled Table II parameters;
+// run cmd/memlat for the host's real numbers.
+func BenchmarkTable2MemoryLatency(b *testing.B) {
+	simBench(b, func() map[string]float64 {
+		c := sim.DefaultParams().Cache
+		return map[string]float64{
+			"L1-cycles":  float64(c.L1Cycles),
+			"L2-cycles":  float64(c.L2Cycles),
+			"mem-cycles": float64(c.MemCycles),
+		}
+	})
+}
+
+func benchUnbalanced(b *testing.B, pol policy.Config) {
+	simBench(b, func() map[string]float64 {
+		eng := buildUnbalanced(b, pol)
+		run := sim.Measure(eng, 10_000_000, 100_000_000)
+		return map[string]float64{
+			"KEvents/s":     run.KEventsPerSecond(),
+			"locking-%":     run.LockingTimePercent(),
+			"steal-cycles":  run.StealCostCycles(),
+			"stolen-cycles": run.StolenTimeCycles(),
+		}
+	})
+}
+
+// BenchmarkTable3BaseWS regenerates Table III (one sub-bench per row).
+func BenchmarkTable3BaseWS(b *testing.B) {
+	for _, pol := range []policy.Config{
+		policy.Libasync(), policy.LibasyncWS(), policy.Mely(), policy.MelyBaseWS(),
+	} {
+		b.Run(pol.String(), func(b *testing.B) { benchUnbalanced(b, pol) })
+	}
+}
+
+// BenchmarkTable4TimeLeft regenerates Table IV.
+func BenchmarkTable4TimeLeft(b *testing.B) {
+	for _, pol := range []policy.Config{policy.MelyBaseWS(), policy.MelyTimeLeftWS()} {
+		b.Run(pol.String(), func(b *testing.B) { benchUnbalanced(b, pol) })
+	}
+}
+
+// BenchmarkTable5PenaltyAware regenerates Table V.
+func BenchmarkTable5PenaltyAware(b *testing.B) {
+	for _, pol := range []policy.Config{
+		policy.Libasync(), policy.LibasyncWS(), policy.MelyBaseWS(), policy.MelyPenaltyWS(),
+	} {
+		b.Run(pol.String(), func(b *testing.B) {
+			simBench(b, func() map[string]float64 {
+				eng, err := workload.BuildPenalty(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 42,
+					workload.PenaltySpec{NumA: 128})
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := sim.Measure(eng, 20_000_000, 100_000_000)
+				return map[string]float64{
+					"KEvents/s":     run.KEventsPerSecond(),
+					"misses/event":  run.L2MissesPerEvent(),
+					"remote-steals": float64(run.Total().RemoteSteals),
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTable6LocalityAware regenerates Table VI.
+func BenchmarkTable6LocalityAware(b *testing.B) {
+	for _, pol := range []policy.Config{
+		policy.Libasync(), policy.LibasyncWS(), policy.MelyBaseWS(), policy.MelyLocalityWS(),
+	} {
+		b.Run(pol.String(), func(b *testing.B) {
+			simBench(b, func() map[string]float64 {
+				eng, err := workload.BuildCacheEfficient(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 42,
+					workload.CacheEfficientSpec{APerCore: 50})
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := sim.Measure(eng, 20_000_000, 100_000_000)
+				return map[string]float64{
+					"KEvents/s":    run.KEventsPerSecond(),
+					"misses/event": run.L2MissesPerEvent(),
+				}
+			})
+		})
+	}
+}
+
+func benchSFS(b *testing.B, pol policy.Config) {
+	simBench(b, func() map[string]float64 {
+		eng, err := sfsmodel.Build(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 42, sfsmodel.Spec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := sim.Measure(eng, 100_000_000, 300_000_000)
+		return map[string]float64{"MB/s": sfsmodel.MBPerSecond(run)}
+	})
+}
+
+// BenchmarkFig3SFSLibasync regenerates Figure 3.
+func BenchmarkFig3SFSLibasync(b *testing.B) {
+	for _, pol := range []policy.Config{policy.Libasync(), policy.LibasyncWS()} {
+		b.Run(pol.String(), func(b *testing.B) { benchSFS(b, pol) })
+	}
+}
+
+// BenchmarkFig8SFSAll regenerates Figure 8.
+func BenchmarkFig8SFSAll(b *testing.B) {
+	for _, pol := range []policy.Config{policy.Libasync(), policy.LibasyncWS(), policy.MelyWS()} {
+		b.Run(pol.String(), func(b *testing.B) { benchSFS(b, pol) })
+	}
+}
+
+func benchSWS(b *testing.B, pol policy.Config, clients int, ncopy bool) {
+	simBench(b, func() map[string]float64 {
+		eng, err := swsmodel.Build(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 42,
+			swsmodel.Spec{Clients: clients, NCopy: ncopy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := sim.Measure(eng, 50_000_000, 150_000_000)
+		return map[string]float64{"KReq/s": swsmodel.KRequestsPerSecond(run)}
+	})
+}
+
+// BenchmarkFig4SWSLibasync regenerates Figure 4 (three sweep points).
+func BenchmarkFig4SWSLibasync(b *testing.B) {
+	for _, n := range []int{400, 1200, 2000} {
+		for _, pol := range []policy.Config{policy.Libasync(), policy.LibasyncWS()} {
+			b.Run(fmt.Sprintf("%s/clients=%d", pol, n), func(b *testing.B) {
+				benchSWS(b, pol, n, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7SWSAll regenerates Figure 7 at the plateau.
+func BenchmarkFig7SWSAll(b *testing.B) {
+	const n = 2000
+	b.Run("mely-WS", func(b *testing.B) { benchSWS(b, policy.MelyWS(), n, false) })
+	b.Run("ncopy", func(b *testing.B) { benchSWS(b, policy.Mely(), n, true) })
+	b.Run("libasync", func(b *testing.B) { benchSWS(b, policy.Libasync(), n, false) })
+	b.Run("libasync-WS", func(b *testing.B) { benchSWS(b, policy.LibasyncWS(), n, false) })
+	b.Run("mely-noWS", func(b *testing.B) { benchSWS(b, policy.Mely(), n, false) })
+}
+
+// ---- Real-runtime microbenchmarks ----
+
+// BenchmarkRuntimePostExecute measures the real runtime's end-to-end
+// post+execute cost for tiny handlers (queue overhead dominates).
+func BenchmarkRuntimePostExecute(b *testing.B) {
+	for _, pol := range []Policy{PolicyMelyWS, PolicyLibasync} {
+		b.Run(pol.String(), func(b *testing.B) {
+			r, err := New(Config{Cores: 2, Policy: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer r.Stop()
+			var done atomic.Int64
+			h := r.Register("noop", func(ctx *Ctx) { done.Add(1) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Post(h, Color(i%64+1), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for done.Load() < int64(b.N) {
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeColorPingPong measures serialized same-color chains
+// (the color-queue churn path the paper prices in section V-C1).
+func BenchmarkRuntimeColorPingPong(b *testing.B) {
+	r, err := New(Config{Cores: 2, Policy: PolicyMelyWS})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer r.Stop()
+	done := make(chan struct{})
+	var h Handler
+	h = r.Register("chain", func(ctx *Ctx) {
+		n := ctx.Data().(int)
+		if n == 0 {
+			close(done)
+			return
+		}
+		_ = ctx.Post(h, ctx.Color(), n-1)
+	})
+	b.ResetTimer()
+	if err := r.Post(h, 9, b.N); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}
+
+// metricsSink prevents dead-code elimination in simBench closures.
+var metricsSink *metrics.Run

@@ -1,0 +1,74 @@
+// Command melybench regenerates every table and figure of "Efficient
+// Workstealing for Multicore Event-Driven Systems" (ICDCS 2010) on the
+// simulated platform, plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	melybench -all              # every experiment, full size
+//	melybench -exp table3       # one experiment
+//	melybench -exp fig7 -quick  # scaled-down smoke run
+//	melybench -list             # experiment inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/melyruntime/mely/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "melybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID = flag.String("exp", "", "experiment id (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments")
+		quick = flag.Bool("quick", false, "scaled-down workloads and windows")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	opt := bench.Options{Quick: *quick, Seed: *seed}
+	var exps []bench.Experiment
+	switch {
+	case *all:
+		exps = bench.All()
+	case *expID != "":
+		e, err := bench.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		exps = []bench.Experiment{e}
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -exp <id>, or -list")
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		report, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if _, err := report.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

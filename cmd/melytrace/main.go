@@ -1,0 +1,104 @@
+// Command melytrace runs one of the paper's workloads on the simulator
+// with tracing enabled and writes a Chrome trace-event file: open it in
+// chrome://tracing or https://ui.perfetto.dev to watch the cores,
+// steals and color migrations on the virtual timeline.
+//
+//	melytrace -workload unbalanced -policy melyws -cycles 20000000 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sfsmodel"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/swsmodel"
+	"github.com/melyruntime/mely/internal/topology"
+	"github.com/melyruntime/mely/internal/trace"
+	"github.com/melyruntime/mely/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "melytrace:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(name string) (policy.Config, error) {
+	switch strings.ToLower(name) {
+	case "melyws", "":
+		return policy.MelyWS(), nil
+	case "mely":
+		return policy.Mely(), nil
+	case "melybasews":
+		return policy.MelyBaseWS(), nil
+	case "melytimeleft":
+		return policy.MelyTimeLeftWS(), nil
+	case "libasync":
+		return policy.Libasync(), nil
+	case "libasyncws":
+		return policy.LibasyncWS(), nil
+	default:
+		return policy.Config{}, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func run() error {
+	var (
+		workloadName = flag.String("workload", "unbalanced", "unbalanced|penalty|ce|sws|sfs")
+		policyName   = flag.String("policy", "melyws", "scheduling policy")
+		cycles       = flag.Int64("cycles", 20_000_000, "virtual cycles to trace")
+		out          = flag.String("o", "trace.json", "output file")
+		seed         = flag.Int64("seed", 42, "simulation seed")
+		clients      = flag.Int("clients", 800, "clients (sws workload)")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	topo := topology.IntelXeonE5410()
+	params := sim.DefaultParams()
+	rec := trace.NewRecorder(params.CyclesPerSecond)
+
+	var eng *sim.Engine
+	switch *workloadName {
+	case "unbalanced":
+		eng, err = workload.BuildUnbalanced(topo, pol, params, *seed,
+			workload.UnbalancedSpec{EventsPerRound: 2000})
+	case "penalty":
+		eng, err = workload.BuildPenalty(topo, pol, params, *seed, workload.PenaltySpec{})
+	case "ce":
+		eng, err = workload.BuildCacheEfficient(topo, pol, params, *seed,
+			workload.CacheEfficientSpec{APerCore: 20})
+	case "sws":
+		eng, err = swsmodel.Build(topo, pol, params, *seed, swsmodel.Spec{Clients: *clients})
+	case "sfs":
+		eng, err = sfsmodel.Build(topo, pol, params, *seed, sfsmodel.Spec{})
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+	if err != nil {
+		return err
+	}
+	eng.SetTrace(rec.Hook())
+	eng.RunUntil(*cycles)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("melytrace: %d spans (%d exec, %d steals, %d failed steals) -> %s\n",
+		rec.Len(), rec.Count(sim.TraceExec), rec.Count(sim.TraceSteal),
+		rec.Count(sim.TraceFailedSteal), *out)
+	return nil
+}

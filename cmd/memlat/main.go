@@ -1,0 +1,114 @@
+// Command memlat measures the host's memory hierarchy the way Table II
+// of the paper reports it: the access latency of L1, L2/L3, and main
+// memory, via dependent pointer chasing through working sets of
+// increasing size. Use it to re-calibrate the simulator's cache
+// parameters (sim.Params.Cache) for a different machine.
+//
+//	memlat            # sweep standard working-set sizes
+//	memlat -ghz 2.33  # also print latencies in cycles at a clock rate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memlat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ghz   = flag.Float64("ghz", 0, "clock rate for cycle conversion (0 = ns only)")
+		hops  = flag.Int("hops", 1<<22, "pointer-chase steps per measurement")
+		reps  = flag.Int("reps", 3, "repetitions (minimum is reported)")
+		sizes = flag.String("sizes", "", "comma-separated working-set KiB (default sweep)")
+	)
+	flag.Parse()
+
+	sweep := []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536}
+	if *sizes != "" {
+		sweep = sweep[:0]
+		var v int
+		for _, s := range splitComma(*sizes) {
+			if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+				return fmt.Errorf("bad size %q", s)
+			}
+			sweep = append(sweep, v)
+		}
+	}
+
+	fmt.Printf("%-14s %12s", "working set", "ns/access")
+	if *ghz > 0 {
+		fmt.Printf(" %14s", "cycles/access")
+	}
+	fmt.Println()
+	for _, kib := range sweep {
+		best := measure(kib<<10, *hops, *reps)
+		fmt.Printf("%-14s %12.2f", fmt.Sprintf("%d KiB", kib), best)
+		if *ghz > 0 {
+			fmt.Printf(" %14.1f", best**ghz)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Reference (paper's Xeon E5410 per 64-byte line): L1 4 cycles, L2 15, memory 110.")
+	return nil
+}
+
+// measure runs a dependent pointer chase over a working set of size
+// bytes and returns the best-of-reps nanoseconds per access.
+func measure(size, hops, reps int) float64 {
+	lines := size / 64
+	if lines < 2 {
+		lines = 2
+	}
+	// One cache line per node; a random cyclic permutation defeats the
+	// hardware prefetchers.
+	type node struct {
+		next *node
+		_    [56]byte
+	}
+	nodes := make([]node, lines)
+	perm := rand.New(rand.NewSource(42)).Perm(lines)
+	for i := 0; i < lines; i++ {
+		nodes[perm[i]].next = &nodes[perm[(i+1)%lines]]
+	}
+
+	best := 0.0
+	p := &nodes[perm[0]]
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i := 0; i < hops; i++ {
+			p = p.next
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(hops)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	sink = p // defeat dead-code elimination
+	return best
+}
+
+var sink any
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Command sfsbench is the multio-like SFS client benchmark (section
+// V-C2): each client reads the 200 MB file over a persistent
+// connection and reports its throughput; a master aggregates.
+//
+//	sfsbench -addr localhost:4460 -clients 16 -file-mb 200 -psk secret
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/melyruntime/mely/internal/sfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sfsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "localhost:4460", "server address")
+		clients = flag.Int("clients", 16, "concurrent clients (the paper uses 16)")
+		fileMB  = flag.Int("file-mb", 200, "file size in MiB")
+		chunkKB = flag.Int("chunk-kb", 64, "read chunk in KiB")
+		ahead   = flag.Int("readahead", 4, "outstanding requests per client")
+		psk     = flag.String("psk", "", "pre-shared secret (required)")
+	)
+	flag.Parse()
+	if *psk == "" {
+		return fmt.Errorf("a -psk is required")
+	}
+
+	var (
+		wg    sync.WaitGroup
+		bytes atomic.Int64
+		fails atomic.Int64
+	)
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := sfs.Dial(*addr, []byte(*psk))
+			if err != nil {
+				fails.Add(1)
+				return
+			}
+			defer c.Close()
+			c.SetChunk(uint32(*chunkKB) << 10)
+			c.SetReadAhead(*ahead)
+			data, err := c.ReadFile("/data", *fileMB<<20)
+			if err != nil {
+				fails.Add(1)
+				return
+			}
+			bytes.Add(int64(len(data)))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := fails.Load(); n > 0 {
+		return fmt.Errorf("%d of %d clients failed", n, *clients)
+	}
+	mb := float64(bytes.Load()) / (1 << 20)
+	fmt.Printf("clients=%d read=%.0f MiB elapsed=%v throughput=%.1f MB/s\n",
+		*clients, mb, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command sws runs the real SWS Web server on the mely runtime: static
+// content, a subset of HTTP/1.1, prebuilt responses. Pair it with
+// cmd/swsload for a closed-loop load test.
+//
+//	sws -listen :8080 -files 150 -size 1024 -policy melyws
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+
+	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/sws"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sws:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(name string) (mely.Policy, error) {
+	switch strings.ToLower(name) {
+	case "melyws", "":
+		return mely.PolicyMelyWS, nil
+	case "mely":
+		return mely.PolicyMely, nil
+	case "melybasews":
+		return mely.PolicyMelyBaseWS, nil
+	case "libasync":
+		return mely.PolicyLibasync, nil
+	case "libasyncws":
+		return mely.PolicyLibasyncWS, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (melyws|mely|melybasews|libasync|libasyncws)", name)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":8080", "listen address")
+		nfiles     = flag.Int("files", 150, "number of distinct files to serve")
+		size       = flag.Int("size", 1024, "file size in bytes (the paper serves 1 KB files)")
+		cores      = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
+		policyName = flag.String("policy", "melyws", "scheduling policy")
+		maxClients = flag.Int("max-clients", 0, "simultaneous client limit (0 = unlimited)")
+		pin        = flag.Bool("pin", false, "pin workers to CPUs (Linux)")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	rt, err := mely.New(mely.Config{Cores: *cores, Policy: pol, Pin: *pin})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	files := make(map[string][]byte, *nfiles)
+	for i := 0; i < *nfiles; i++ {
+		body := make([]byte, *size)
+		for j := range body {
+			body[j] = byte('a' + (i+j)%26)
+		}
+		files[fmt.Sprintf("/file%d.bin", i)] = body
+	}
+	srv, err := sws.New(sws.Config{Runtime: rt, Files: files, MaxClients: *maxClients})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if err := srv.Serve(ln); err != nil {
+		return err
+	}
+	fmt.Printf("sws: serving %d files of %d bytes on %s (policy %s, %d cores)\n",
+		*nfiles, *size, srv.Addr(), pol, *cores)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Printf("sws: served %d responses\n", srv.Served())
+	st := rt.Stats().Total()
+	fmt.Printf("sws: steals=%d (remote %d) stolen-events=%d\n", st.Steals, st.RemoteSteals, st.StolenEvents)
+	return srv.Close()
+}

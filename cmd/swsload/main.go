@@ -1,0 +1,54 @@
+// Command swsload is the closed-loop HTTP load injector of section
+// V-C1: N virtual clients, each repeatedly connecting and requesting
+// 150 files, with synchronized start and aggregated results.
+//
+//	swsload -addr localhost:8080 -clients 400 -duration 30s -files 150
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/melyruntime/mely/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "server address")
+		clients  = flag.Int("clients", 200, "virtual clients")
+		perConn  = flag.Int("requests", 150, "requests per connection")
+		nfiles   = flag.Int("files", 150, "distinct files on the server")
+		duration = flag.Duration("duration", 30*time.Second, "run length")
+	)
+	flag.Parse()
+
+	paths := make([]string, *nfiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/file%d.bin", i)
+	}
+	res, err := loadgen.RunHTTP(context.Background(), loadgen.HTTPConfig{
+		Addr:            *addr,
+		Clients:         *clients,
+		RequestsPerConn: *perConn,
+		Paths:           paths,
+		Duration:        *duration,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clients=%d duration=%v requests=%d errors=%d connects=%d\n",
+		*clients, res.Elapsed.Round(time.Millisecond), res.Requests, res.Errors, res.Connects)
+	fmt.Printf("throughput: %.1f KRequests/s, %.1f MB/s read\n",
+		res.KRequestsPS, float64(res.BytesRead)/res.Elapsed.Seconds()/(1<<20))
+	return nil
+}

@@ -1,0 +1,150 @@
+package mely
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+// Color is an event-coloring annotation: events with equal colors run
+// serially, events with different colors may run concurrently. Color 0
+// (DefaultColor) serializes everything posted without a color choice.
+type Color uint16
+
+// DefaultColor is the color of unannotated events.
+const DefaultColor Color = 0
+
+// Policy selects the queue layout and workstealing algorithm, matching
+// the configurations evaluated in the paper.
+type Policy int
+
+const (
+	// PolicyMelyWS is Mely with all three heuristics (the paper's
+	// recommended configuration and the default).
+	PolicyMelyWS Policy = iota + 1
+	// PolicyMely is Mely without workstealing.
+	PolicyMely
+	// PolicyMelyBaseWS is Mely's queues with the naive Libasync-smp
+	// stealing algorithm.
+	PolicyMelyBaseWS
+	// PolicyMelyTimeLeftWS enables only the time-left heuristic.
+	PolicyMelyTimeLeftWS
+	// PolicyMelyPenaltyWS enables time-left plus penalty-aware.
+	PolicyMelyPenaltyWS
+	// PolicyMelyLocalityWS enables only locality-aware victim order.
+	PolicyMelyLocalityWS
+	// PolicyLibasync is the Libasync-smp baseline without stealing.
+	PolicyLibasync
+	// PolicyLibasyncWS is the Libasync-smp baseline with its stealing.
+	PolicyLibasyncWS
+)
+
+// String names the policy like the paper's tables.
+func (p Policy) String() string { return p.internal().String() }
+
+func (p Policy) internal() policy.Config {
+	switch p {
+	case PolicyMelyWS, 0:
+		return policy.MelyWS()
+	case PolicyMely:
+		return policy.Mely()
+	case PolicyMelyBaseWS:
+		return policy.MelyBaseWS()
+	case PolicyMelyTimeLeftWS:
+		return policy.MelyTimeLeftWS()
+	case PolicyMelyPenaltyWS:
+		return policy.MelyPenaltyWS()
+	case PolicyMelyLocalityWS:
+		return policy.MelyLocalityWS()
+	case PolicyLibasync:
+		return policy.Libasync()
+	case PolicyLibasyncWS:
+		return policy.LibasyncWS()
+	default:
+		return policy.Config{}
+	}
+}
+
+// Config configures a Runtime. The zero value is ready for production:
+// one worker per CPU, the full Mely policy, topology discovered from
+// the host.
+type Config struct {
+	// Cores is the number of worker goroutines (default GOMAXPROCS).
+	Cores int
+	// Policy selects the scheduling configuration (default PolicyMelyWS).
+	Policy Policy
+	// Pin requests best-effort CPU pinning of the workers (Linux).
+	Pin bool
+	// BatchThreshold caps consecutive same-color events on a core
+	// (default 10, the paper's setting). Only meaningful for Mely
+	// layouts.
+	BatchThreshold int
+	// StealCostSeed seeds the steal-cost estimate before the runtime
+	// has measured real steals (default 2µs).
+	StealCostSeed time.Duration
+	// IdleSpins is how many failed work-finding rounds a worker spins
+	// through before parking (default 4).
+	IdleSpins int
+	// ParkTimeout bounds a parked worker's sleep so missed wakeups
+	// self-heal (default 500µs).
+	ParkTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = runtime.GOMAXPROCS(0)
+	}
+	if c.Policy == 0 {
+		c.Policy = PolicyMelyWS
+	}
+	if c.BatchThreshold == 0 {
+		c.BatchThreshold = 10
+	}
+	if c.StealCostSeed == 0 {
+		c.StealCostSeed = 2 * time.Microsecond
+	}
+	if c.IdleSpins == 0 {
+		c.IdleSpins = 4
+	}
+	if c.ParkTimeout == 0 {
+		c.ParkTimeout = 500 * time.Microsecond
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Cores < 0 || c.Cores > 1024 {
+		return fmt.Errorf("mely: invalid core count %d", c.Cores)
+	}
+	if err := c.Policy.internal().Validate(); err != nil {
+		return fmt.Errorf("mely: invalid policy: %w", err)
+	}
+	if c.BatchThreshold < 0 {
+		return fmt.Errorf("mely: negative batch threshold")
+	}
+	return nil
+}
+
+// detectTopology discovers the host hierarchy, falling back to a flat
+// layout truncated or extended to n cores.
+func detectTopology(n int) *topology.Topology {
+	if topo, err := topology.FromSysFS("/sys/devices/system/cpu"); err == nil && topo.NumCores() >= n {
+		if topo.NumCores() == n {
+			return topo
+		}
+		// Re-group the first n cores of the discovered layout.
+		share := make([]int, n)
+		pkg := make([]int, n)
+		for i := 0; i < n; i++ {
+			share[i] = topo.ShareGroup(i)
+			pkg[i] = topo.Package(i)
+		}
+		if sub, err := topology.New(share, pkg); err == nil {
+			return sub
+		}
+	}
+	return topology.Uniform(n)
+}

@@ -1,0 +1,48 @@
+package mely
+
+import "testing"
+
+func TestDetectTopologyFallback(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		topo := detectTopology(n)
+		if topo.NumCores() != n {
+			t.Fatalf("detectTopology(%d) gave %d cores", n, topo.NumCores())
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	tests := []struct {
+		pol  Policy
+		want string
+	}{
+		{PolicyMelyWS, "mely+locality+timeleft+penalty-WS"},
+		{PolicyMely, "mely"},
+		{PolicyLibasync, "libasync"},
+		{PolicyLibasyncWS, "libasync-WS"},
+		{PolicyMelyBaseWS, "mely-baseWS"},
+	}
+	for _, tt := range tests {
+		if got := tt.pol.String(); got != tt.want {
+			t.Errorf("Policy(%d).String() = %q, want %q", tt.pol, got, tt.want)
+		}
+	}
+}
+
+func TestZeroPolicyDefaultsToMelyWS(t *testing.T) {
+	r, err := New(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.pol.String() != "mely+locality+timeleft+penalty-WS" {
+		t.Fatalf("default policy = %s", r.pol)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Cores <= 0 || cfg.BatchThreshold != 10 ||
+		cfg.StealCostSeed <= 0 || cfg.ParkTimeout <= 0 || cfg.IdleSpins <= 0 {
+		t.Fatalf("defaults incomplete: %+v", cfg)
+	}
+}

@@ -1,0 +1,50 @@
+// Package mely is a multicore event-driven runtime based on event
+// coloring, reproducing "Efficient Workstealing for Multicore
+// Event-Driven Systems" (Gaud, Genevès, Lachaize, Lepers, Mottet,
+// Muller, Quéma — ICDCS 2010).
+//
+// # Programming model
+//
+// Applications are sets of short, non-blocking event handlers. Each
+// posted event carries a color: events of the same color execute
+// serially (mutual exclusion without locks), events of different colors
+// may run on different cores concurrently. A typical server colors each
+// connection with its descriptor so independent clients are served in
+// parallel, while shared-state handlers reuse one color to serialize.
+//
+//	rt, err := mely.New(mely.Config{})
+//	echo := rt.Register("echo", func(ctx *mely.Ctx) {
+//		fmt.Println(ctx.Data())
+//	})
+//	rt.Start()
+//	rt.Post(echo, mely.Color(42), "hello")
+//	rt.Drain(context.Background())
+//	rt.Stop()
+//
+// # Scheduling
+//
+// One worker goroutine per configured core (thread-locked, and pinned
+// on Linux when Config.Pin is set) drains a per-core queue of colored
+// events. Load is balanced by workstealing: an idle core inspects
+// victims and migrates a whole color. The stealing policy is the
+// paper's contribution and is selectable via Config.Policy:
+//
+//   - PolicyMelyWS (default): Mely's per-color queues with the
+//     locality-aware, time-left and penalty-aware heuristics;
+//   - PolicyMely / PolicyMelyBaseWS / PolicyMelyTimeLeftWS /
+//     PolicyMelyPenaltyWS / PolicyMelyLocalityWS: ablations;
+//   - PolicyLibasync / PolicyLibasyncWS: the Libasync-smp baseline
+//     (single FIFO per core, naive workstealing) for comparison.
+//
+// Handler execution times are profiled online (an EWMA per handler, the
+// paper's section VII "future work" mode) or pinned with the
+// WithCostEstimate annotation; the time-left heuristic uses them to
+// steal only colors whose pending work exceeds the cost of stealing.
+// WithPenalty sets the ws_penalty annotation that makes handlers with
+// large, long-lived data sets unattractive to thieves.
+//
+// The simulated counterpart of this runtime (internal/sim) executes the
+// same queue structures and policies on a modeled 8-core machine and
+// regenerates every table and figure of the paper: see cmd/melybench
+// and EXPERIMENTS.md.
+package mely

@@ -1,0 +1,85 @@
+package mely_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/melyruntime/mely"
+)
+
+// The fundamental pattern: per-color state needs no locks because
+// events of one color never run concurrently.
+func Example() {
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counter := 0 // touched only under color 7: no lock needed
+	count := rt.Register("count", func(ctx *mely.Ctx) {
+		counter += ctx.Data().(int)
+	})
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	for i := 1; i <= 4; i++ {
+		if err := rt.Post(count, 7, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rt.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(counter)
+	// Output: 10
+}
+
+// Handlers chain by posting follow-up events; a pipeline stays on one
+// color so its stages serialize, while other colors run in parallel.
+func ExampleCtx_Post() {
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := make(chan string, 1)
+	var stage2 mely.Handler
+	stage2 = rt.Register("stage2", func(ctx *mely.Ctx) {
+		results <- ctx.Data().(string) + " world"
+	})
+	stage1 := rt.Register("stage1", func(ctx *mely.Ctx) {
+		if err := ctx.Post(stage2, ctx.Color(), ctx.Data().(string)+","); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	if err := rt.Post(stage1, 3, "hello"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(<-results)
+	// Output: hello, world
+}
+
+// Annotations steer the workstealing heuristics: WithPenalty keeps
+// data-heavy handlers near their data, WithCostEstimate seeds the
+// time-left worthiness accounting.
+func ExampleWithPenalty() {
+	rt, err := mely.New(mely.Config{Cores: 2, Policy: mely.PolicyMelyWS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = rt.Register("walk-large-array", func(ctx *mely.Ctx) {
+		// ... touches a long-lived data set ...
+	}, mely.WithPenalty(1000))
+	fmt.Println("registered")
+	// Output: registered
+}

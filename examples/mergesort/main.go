@@ -1,0 +1,122 @@
+// Mergesort: the paper's "cache efficient" microbenchmark as a real
+// program — a fork/join merge sort expressed as colored events. Each
+// job allocates an array, sorts its halves under two fresh colors (so
+// idle cores can steal them), and joins under the parent color (two
+// same-colored events serialize, giving lock-free synchronization).
+//
+//	go run ./examples/mergesort
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/melyruntime/mely"
+)
+
+type job struct {
+	id    int
+	data  []int
+	sync  int // guarded by the job's parent color
+	done  *atomic.Int64
+	color mely.Color
+}
+
+type half struct {
+	j  *job
+	lo int
+	hi int
+}
+
+func main() {
+	rt, err := mely.New(mely.Config{Policy: mely.PolicyMelyWS})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sortHalf, join mely.Handler
+	join = rt.Register("join", func(ctx *mely.Ctx) {
+		j := ctx.Data().(*job)
+		j.sync++ // safe: both join events share the parent color
+		if j.sync < 2 {
+			return
+		}
+		merge(j.data)
+		if !sort.IntsAreSorted(j.data) {
+			log.Fatalf("job %d: not sorted", j.id)
+		}
+		j.done.Add(1)
+	})
+	sortHalf = rt.Register("sort-half", func(ctx *mely.Ctx) {
+		h := ctx.Data().(*half)
+		sort.Ints(h.j.data[h.lo:h.hi])
+		if err := ctx.Post(join, h.j.color, h.j); err != nil {
+			log.Fatal(err)
+		}
+	})
+	spawn := rt.Register("spawn", func(ctx *mely.Ctx) {
+		j := ctx.Data().(*job)
+		n := len(j.data)
+		// Two halves under fresh colors: stealable by idle cores.
+		c1 := mely.Color(1000 + 2*j.id)
+		c2 := mely.Color(1001 + 2*j.id)
+		if err := ctx.Post(sortHalf, c1, &half{j: j, lo: 0, hi: n / 2}); err != nil {
+			log.Fatal(err)
+		}
+		if err := ctx.Post(sortHalf, c2, &half{j: j, lo: n / 2, hi: n}); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const jobs, size = 64, 1 << 15
+	var done atomic.Int64
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		data := make([]int, size)
+		for k := range data {
+			data[k] = rng.Int()
+		}
+		j := &job{id: i, data: data, done: &done, color: mely.Color(100 + i)}
+		if err := rt.Post(spawn, j.color, j); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rt.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sorted %d arrays of %d ints in %v (%d joined)\n",
+		jobs, size, time.Since(start).Round(time.Millisecond), done.Load())
+	st := rt.Stats().Total()
+	fmt.Printf("runtime: events=%d steals=%d (remote %d)\n",
+		st.Events, st.Steals, st.RemoteSteals)
+}
+
+// merge combines the two sorted halves of data in place.
+func merge(data []int) {
+	n := len(data)
+	out := make([]int, 0, n)
+	i, j := 0, n/2
+	for i < n/2 && j < n {
+		if data[i] <= data[j] {
+			out = append(out, data[i])
+			i++
+		} else {
+			out = append(out, data[j])
+			j++
+		}
+	}
+	out = append(out, data[i:n/2]...)
+	out = append(out, data[j:]...)
+	copy(data, out)
+}

@@ -1,0 +1,60 @@
+// Quickstart: the event-coloring model in one file.
+//
+// Events of one color run serially — the per-account balances below are
+// plain ints with no locks — while different colors run in parallel
+// across cores, balanced by Mely's workstealing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/melyruntime/mely"
+)
+
+func main() {
+	rt, err := mely.New(mely.Config{}) // defaults: all cores, Mely + all heuristics
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const accounts = 8
+	balances := make([]int, accounts) // no locks: colors serialize per account
+
+	var deposit mely.Handler
+	deposit = rt.Register("deposit", func(ctx *mely.Ctx) {
+		amount := ctx.Data().(int)
+		account := int(ctx.Color()) - 1
+		balances[account] += amount // safe: only this color touches it
+	})
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// 10 000 deposits across 8 accounts, posted from one goroutine,
+	// executed in parallel across colors.
+	for i := 0; i < 10_000; i++ {
+		account := i % accounts
+		if err := rt.Post(deposit, mely.Color(account+1), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rt.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	for i, b := range balances {
+		fmt.Printf("account %d: %d\n", i, b)
+		total += b
+	}
+	fmt.Printf("total deposits: %d (want 10000)\n", total)
+
+	st := rt.Stats().Total()
+	fmt.Printf("events=%d steals=%d stolen=%d\n", st.Events, st.Steals, st.StolenEvents)
+}

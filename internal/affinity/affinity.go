@@ -1,0 +1,12 @@
+// Package affinity pins worker threads to cores, best effort. Mely pins
+// its per-core threads with pthread_setaffinity_np (section IV-C); the
+// Go equivalent is sched_setaffinity on the locked OS thread. On
+// platforms without an implementation Pin reports ErrUnsupported and
+// the runtime proceeds unpinned (the scheduler logic is unaffected;
+// only cache locality predictions weaken).
+package affinity
+
+import "errors"
+
+// ErrUnsupported reports that pinning is not available on this platform.
+var ErrUnsupported = errors.New("affinity: not supported on this platform")

@@ -1,0 +1,26 @@
+//go:build linux
+
+package affinity
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// Pin binds the calling OS thread to the given CPU. Call it from a
+// goroutine that has locked its thread with runtime.LockOSThread.
+func Pin(cpu int) error {
+	if cpu < 0 || cpu >= 1024 {
+		return fmt.Errorf("affinity: cpu %d out of range", cpu)
+	}
+	var mask [16]uint64 // 1024 CPUs
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	// Thread id 0 means "the calling thread".
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("affinity: sched_setaffinity(%d): %w", cpu, errno)
+	}
+	return nil
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package affinity
+
+// Pin is unavailable on this platform.
+func Pin(cpu int) error { return ErrUnsupported }

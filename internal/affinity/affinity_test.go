@@ -1,0 +1,25 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPinBestEffort(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	err := Pin(0)
+	if err != nil && err != ErrUnsupported {
+		// Containers may forbid affinity changes; report, don't fail.
+		t.Logf("Pin(0) failed (acceptable in restricted environments): %v", err)
+	}
+}
+
+func TestPinRejectsBadCPU(t *testing.T) {
+	if err := Pin(-1); err == nil {
+		t.Error("negative cpu must fail")
+	}
+	if err := Pin(1 << 20); err == nil {
+		t.Error("huge cpu must fail")
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick smoke-runs every experiment in quick mode and
+// checks the reports are well-formed. Shape assertions live with the
+// models; here we guarantee the harness itself regenerates everything.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			report, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(report.Rows) == 0 {
+				t.Fatal("empty report")
+			}
+			for _, row := range report.Rows {
+				if len(row) != len(report.Columns) {
+					t.Errorf("row %v does not match columns %v", row, report.Columns)
+				}
+			}
+			var b strings.Builder
+			if _, err := report.WriteTo(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), report.ID) {
+				t.Error("rendered report must carry its ID")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("table3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{
+		ID:      "T",
+		Title:   "title",
+		Columns: []string{"a", "bbbb"},
+	}
+	r.AddRow("x", "1")
+	r.AddRow("longer", "22")
+	r.AddNote("n=%d", 7)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T — title", "longer", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

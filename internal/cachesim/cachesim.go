@@ -1,0 +1,222 @@
+// Package cachesim models the memory hierarchy of the simulated machine:
+// it charges the access latencies of Table II (L1 4 cycles, L2 15 cycles,
+// main memory 110 cycles per line on the paper's Xeon E5410) and counts
+// L2 cache misses, the metric the paper uses to demonstrate the locality-
+// and penalty-aware heuristics (Tables V and VI, +146% misses on the Web
+// server under naive workstealing).
+//
+// The model is deliberately coarse — data sets are whole objects, caches
+// are per-share-group LRU pools — because the heuristics only depend on
+// whether an event's data set is resident near the executing core, not on
+// line-level conflict behaviour. EXPERIMENTS.md reports miss *ratios*
+// between configurations, which this level of detail reproduces.
+package cachesim
+
+import (
+	"container/list"
+
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+// Params sets the hierarchy's latencies and sizes.
+type Params struct {
+	LineSize  int64 // bytes per cache line
+	L1Cycles  int64 // per-line access latency, L1 hit
+	L2Cycles  int64 // per-line access latency, L2 hit
+	MemCycles int64 // per-line latency from memory or a remote cache
+	L1Size    int64 // per-core L1 capacity in bytes
+	L2Size    int64 // per-share-group L2 capacity in bytes
+}
+
+// XeonE5410Params are the paper's measured latencies (Table II) and the
+// machine's cache sizes (section V-A: 6 MB L2 per core pair).
+func XeonE5410Params() Params {
+	return Params{
+		LineSize:  64,
+		L1Cycles:  4,
+		L2Cycles:  15,
+		MemCycles: 110,
+		L1Size:    32 << 10,
+		L2Size:    6 << 20,
+	}
+}
+
+// Model tracks which share-group cache currently holds each data object.
+type Model struct {
+	params Params
+	topo   *topology.Topology
+
+	objs map[uint64]*object
+	// Per share group: LRU list of resident objects and total bytes.
+	groups map[int]*groupCache
+
+	// Misses accumulates L2 misses per core (indexed by core id).
+	Misses []int64
+}
+
+type object struct {
+	id    uint64
+	size  int64
+	group int // share group whose L2 holds it; -1 if not resident
+	core  int // core that touched it last (for the L1 shortcut)
+	elem  *list.Element
+}
+
+type groupCache struct {
+	lru  *list.List // front = most recent; values are *object
+	used int64
+}
+
+// New returns a cache model for the given topology.
+func New(topo *topology.Topology, params Params) *Model {
+	return &Model{
+		params: params,
+		topo:   topo,
+		objs:   make(map[uint64]*object),
+		groups: make(map[int]*groupCache),
+		Misses: make([]int64, topo.NumCores()),
+	}
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Access charges core's access to `touched` bytes of object id (whose
+// full size is objSize), returning the access latency in cycles. It
+// updates residency and the per-core miss counters. A zero id or touched
+// size is free (handler touches no modeled data).
+//
+// Semantics, chosen to expose exactly the effects the paper's heuristics
+// exploit:
+//
+//   - First touch is an allocation: fresh data is written into the local
+//     cache at L1 cost with no misses (per-core memory pools keep
+//     allocations warm, as TCMalloc does for Mely).
+//   - A full touch of a remote object migrates it: the toucher pays one
+//     memory-latency fetch and the residency moves.
+//   - A partial touch of a remote object streams the chunk over (misses
+//     on the touched lines) without moving residency — a stolen handler
+//     chain walking its parent array pays for every chunk, which is the
+//     penalty-aware heuristic's raison d'être.
+func (m *Model) Access(core int, id uint64, objSize, touched int64) (cycles, missLines int64) {
+	if id == 0 || touched <= 0 {
+		return 0, 0
+	}
+	if objSize < touched {
+		objSize = touched
+	}
+	lines := (touched + m.params.LineSize - 1) / m.params.LineSize
+	group := m.topo.ShareGroup(core)
+
+	obj := m.objs[id]
+	switch {
+	case obj == nil:
+		// Allocation: write-allocate into the local cache.
+		obj = &object{id: id, size: objSize, group: -1, core: -1}
+		m.objs[id] = obj
+		cycles = lines * m.params.L1Cycles
+		m.install(obj, group, objSize)
+	case obj.group == group:
+		// Resident in this group's L2. Same core and L1-sized: L1 hit.
+		if obj.core == core && touched <= m.params.L1Size {
+			cycles = lines * m.params.L1Cycles
+		} else {
+			cycles = lines * m.params.L2Cycles
+		}
+		m.install(obj, group, objSize) // refresh recency
+	default:
+		// Remote group or evicted: fetch over the bus.
+		cycles = lines * m.params.MemCycles
+		m.Misses[core] += lines
+		missLines = lines
+		if touched >= obj.size {
+			m.install(obj, group, objSize) // full touch migrates
+		}
+	}
+
+	obj.core = core
+	return cycles, missLines
+}
+
+// Touch is a full access of the object (allocation or migration).
+func (m *Model) Touch(core int, id uint64, size int64) { m.Access(core, id, size, size) }
+
+// Known reports whether the model has seen object id (i.e. the data
+// set is long-lived: it existed before the current access).
+func (m *Model) Known(id uint64) bool {
+	_, ok := m.objs[id]
+	return ok
+}
+
+// Free drops an object from the model: short-lived data sets (allocated
+// and freed within a handler) stop occupying cache and never penalize a
+// future steal — the distinction the penalty-aware heuristic is built on.
+func (m *Model) Free(id uint64) {
+	obj := m.objs[id]
+	if obj == nil {
+		return
+	}
+	m.evict(obj)
+	delete(m.objs, id)
+}
+
+// Resident reports whether object id is resident in core's share group.
+func (m *Model) Resident(core int, id uint64) bool {
+	obj := m.objs[id]
+	return obj != nil && obj.group == m.topo.ShareGroup(core)
+}
+
+// TotalMisses sums the per-core miss counters.
+func (m *Model) TotalMisses() int64 {
+	var t int64
+	for _, v := range m.Misses {
+		t += v
+	}
+	return t
+}
+
+// install makes obj the most recently used object of group, updating
+// occupancy and evicting least recently used objects over capacity.
+func (m *Model) install(obj *object, group int, size int64) {
+	if obj.group == group {
+		// Refresh recency and size.
+		g := m.groups[group]
+		if obj.size != size {
+			g.used += size - obj.size
+			obj.size = size
+		}
+		g.lru.MoveToFront(obj.elem)
+		m.evictOver(g)
+		return
+	}
+	m.evict(obj)
+	g := m.groups[group]
+	if g == nil {
+		g = &groupCache{lru: list.New()}
+		m.groups[group] = g
+	}
+	obj.size = size
+	obj.group = group
+	obj.elem = g.lru.PushFront(obj)
+	g.used += size
+	m.evictOver(g)
+}
+
+func (m *Model) evictOver(g *groupCache) {
+	for g.used > m.params.L2Size && g.lru.Len() > 1 {
+		back := g.lru.Back()
+		m.evict(back.Value.(*object))
+	}
+}
+
+// evict removes obj from whatever group cache holds it.
+func (m *Model) evict(obj *object) {
+	if obj.group < 0 {
+		return
+	}
+	g := m.groups[obj.group]
+	g.lru.Remove(obj.elem)
+	g.used -= obj.size
+	obj.group = -1
+	obj.elem = nil
+}

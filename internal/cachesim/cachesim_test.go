@@ -1,0 +1,189 @@
+package cachesim
+
+import (
+	"testing"
+
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+func newModel() *Model {
+	return New(topology.IntelXeonE5410(), XeonE5410Params())
+}
+
+func TestAllocationIsLocalAndMissFree(t *testing.T) {
+	m := newModel()
+	cycles, misses := m.Access(0, 1, 64*10, 64*10) // 10 lines, first touch
+	if want := int64(10 * 4); cycles != want {
+		t.Errorf("allocation = %d cycles, want L1 %d", cycles, want)
+	}
+	if m.Misses[0] != 0 || misses != 0 {
+		t.Errorf("allocation misses = %d/%d, want 0 (write-allocate)", m.Misses[0], misses)
+	}
+	if !m.Resident(0, 1) {
+		t.Error("object must be resident after allocation")
+	}
+}
+
+func TestL1HitSameCoreSmallObject(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 1024)
+	cycles, _ := m.Access(0, 1, 1024, 1024) // 16 lines, L1-sized, same core
+	if want := int64(16 * 4); cycles != want {
+		t.Errorf("L1 hit = %d cycles, want %d", cycles, want)
+	}
+	if m.TotalMisses() != 0 {
+		t.Errorf("no misses expected, got %d", m.TotalMisses())
+	}
+}
+
+func TestL2HitAcrossPair(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 1024)
+	// Core 1 shares core 0's L2 on the Xeon: hit at L2 latency.
+	cycles, _ := m.Access(1, 1, 1024, 1024)
+	if want := int64(16 * 15); cycles != want {
+		t.Errorf("pair L2 hit = %d cycles, want %d", cycles, want)
+	}
+	if m.Misses[1] != 0 {
+		t.Errorf("pair access should not miss, got %d", m.Misses[1])
+	}
+}
+
+func TestRemoteFullTouchMigratesWithMisses(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 1024)
+	// Core 4 is on the other package: memory-latency fetch + misses.
+	cycles, missed := m.Access(4, 1, 1024, 1024)
+	if want := int64(16 * 110); cycles != want {
+		t.Errorf("remote access = %d cycles, want %d", cycles, want)
+	}
+	if m.Misses[4] != 16 || missed != 16 {
+		t.Errorf("remote access misses = %d/%d, want 16", m.Misses[4], missed)
+	}
+	// Full touch migrated the object.
+	if !m.Resident(4, 1) || m.Resident(0, 1) {
+		t.Error("full touch must migrate the object")
+	}
+}
+
+func TestRemotePartialTouchStreamsWithoutMigration(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 64<<10)
+	// Core 6 touches one 4 KB chunk of the 64 KB array.
+	cycles, _ := m.Access(6, 1, 64<<10, 4<<10)
+	if want := int64(64 * 110); cycles != want {
+		t.Errorf("remote chunk = %d cycles, want %d", cycles, want)
+	}
+	if m.Misses[6] != 64 {
+		t.Errorf("chunk misses = %d, want 64", m.Misses[6])
+	}
+	if m.Resident(6, 1) || !m.Resident(0, 1) {
+		t.Error("partial touch must not migrate residency")
+	}
+	// Every further chunk of a stolen chain misses again.
+	m.Access(6, 1, 64<<10, 4<<10)
+	if m.Misses[6] != 128 {
+		t.Errorf("second chunk misses = %d, want 128", m.Misses[6])
+	}
+}
+
+func TestL1ShortcutRequiresSameCore(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 1024)
+	m.Touch(1, 1, 1024) // pair mate touched last
+	cycles, _ := m.Access(0, 1, 1024, 1024)
+	if want := int64(16 * 15); cycles != want {
+		t.Errorf("after pair touched it, core 0 pays L2: got %d, want %d", cycles, want)
+	}
+}
+
+func TestLargeObjectNeverL1(t *testing.T) {
+	m := newModel()
+	size := int64(64 << 10) // 64 KB > L1
+	m.Touch(0, 1, size)
+	cycles, _ := m.Access(0, 1, size, size)
+	lines := size / 64
+	if want := lines * 15; cycles != want {
+		t.Errorf("large object repeat access = %d, want L2 %d", cycles, want)
+	}
+}
+
+func TestEvictionOverCapacity(t *testing.T) {
+	params := XeonE5410Params()
+	params.L2Size = 10 * 64 // 10 lines capacity
+	m := New(topology.IntelXeonE5410(), params)
+	m.Touch(0, 1, 6*64)
+	m.Touch(0, 2, 6*64) // evicts object 1
+	if m.Resident(0, 1) {
+		t.Error("object 1 should be evicted (LRU) when capacity exceeded")
+	}
+	if !m.Resident(0, 2) {
+		t.Error("object 2 must be resident")
+	}
+	// Re-access of 1 misses (it is a known object, now evicted).
+	before := m.Misses[0]
+	m.Touch(0, 1, 6*64)
+	if m.Misses[0] != before+6 {
+		t.Errorf("evicted object must miss on re-access: %d", m.Misses[0]-before)
+	}
+}
+
+func TestFreeDropsResidency(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 1024)
+	m.Free(1)
+	if m.Resident(0, 1) {
+		t.Error("freed object must not be resident")
+	}
+	// A new object under the same id is an allocation again (no miss).
+	before := m.Misses[0]
+	m.Touch(0, 1, 1024)
+	if m.Misses[0] != before {
+		t.Error("re-allocating a freed id must not miss")
+	}
+	m.Free(99) // unknown id is a no-op
+}
+
+func TestZeroObjectIsFree(t *testing.T) {
+	m := newModel()
+	if c, _ := m.Access(3, 0, 4096, 4096); c != 0 {
+		t.Error("id 0 must not be modeled")
+	}
+	if c, _ := m.Access(3, 7, 4096, 0); c != 0 {
+		t.Error("touched 0 must cost nothing")
+	}
+	if m.TotalMisses() != 0 {
+		t.Error("no misses expected")
+	}
+}
+
+func TestTotalMisses(t *testing.T) {
+	m := newModel()
+	m.Touch(0, 1, 640)
+	m.Touch(4, 1, 640) // remote full touch: 10 lines
+	if got := m.TotalMisses(); got != 10 {
+		t.Errorf("TotalMisses = %d, want 10", got)
+	}
+}
+
+func TestStealLocalityScenario(t *testing.T) {
+	// The locality-aware claim in one test: after core 0 fills an
+	// array, its pair mate (core 1) processes it with zero misses while
+	// a remote core (core 6) pays full misses.
+	m := newModel()
+	const arr, size = 42, 32 << 10
+	m.Touch(0, arr, size)
+
+	pairMisses := m.Misses[1]
+	m.Touch(1, arr, size)
+	if m.Misses[1] != pairMisses {
+		t.Errorf("neighbor steal caused %d misses, want 0", m.Misses[1]-pairMisses)
+	}
+
+	m2 := newModel()
+	m2.Touch(0, arr, size)
+	m2.Touch(6, arr, size)
+	if m2.Misses[6] == 0 {
+		t.Error("distant steal must miss")
+	}
+}

@@ -1,0 +1,116 @@
+// Package compare provides the non-event-driven baseline of Figure 7:
+// a worker-threaded server in the style of Apache's worker MPM. (The
+// µserver N-copy baseline reuses the SWS simulation directly — see
+// swsmodel.Spec.NCopy — since it is the same event-driven server minus
+// the sharing.)
+//
+// The threaded server is modeled analytically as a closed queueing
+// system solved by fixed-point iteration rather than on the DES: its
+// scheduling regime (kernel preemption of hundreds of blocking threads)
+// is foreign to the event-coloring runtime the simulator models, and
+// only its position relative to the event-driven servers matters in
+// Figure 7. The model charges each request the same protocol work as
+// SWS plus per-request thread overheads (context switches, kernel
+// scheduling) that grow with the number of runnable threads, which is
+// what bends Apache's curve down at high concurrency.
+package compare
+
+import "fmt"
+
+// ThreadedSpec parameterizes the Apache-like baseline.
+type ThreadedSpec struct {
+	// Cores is the machine size; CyclesPerSecond its clock.
+	Cores           int
+	CyclesPerSecond float64
+	// RequestWork is the per-request protocol work in cycles (use the
+	// same total as the SWS model for a fair comparison).
+	RequestWork int64
+	// ContextSwitch is the fixed per-request scheduling overhead: two
+	// switches (block on read, wake on response) plus cache refill.
+	ContextSwitch int64
+	// PerThreadOverhead is the additional per-request cost per hundred
+	// runnable threads (run-queue management, TLB/cache pressure).
+	PerThreadOverhead int64
+	// ClientCycle is the client-side time between response and next
+	// request (matching the SWS injector).
+	ClientCycle int64
+}
+
+// DefaultThreadedSpec matches the SWS calibration.
+func DefaultThreadedSpec() ThreadedSpec {
+	return ThreadedSpec{
+		Cores:             8,
+		CyclesPerSecond:   2.33e9,
+		RequestWork:       137_000, // SWS per-request total
+		ContextSwitch:     24_000,
+		PerThreadOverhead: 3_000,
+		ClientCycle:       18_000_000, // mean injector gap (1.5 waves)
+	}
+}
+
+// Validate reports parameter mistakes.
+func (s ThreadedSpec) Validate() error {
+	if s.Cores <= 0 || s.CyclesPerSecond <= 0 {
+		return fmt.Errorf("compare: invalid machine (%d cores, %.0f Hz)", s.Cores, s.CyclesPerSecond)
+	}
+	if s.RequestWork <= 0 || s.ClientCycle <= 0 {
+		return fmt.Errorf("compare: invalid workload")
+	}
+	return nil
+}
+
+// Throughput returns the requests/s the threaded server sustains with n
+// closed-loop clients, via fixed-point iteration on the interactive
+// response time formula: each client cycles through think time Z and a
+// service station with m servers and load-dependent service demand.
+func (s ThreadedSpec) Throughput(n int) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	var (
+		m = float64(s.Cores)
+		z = float64(s.ClientCycle) / s.CyclesPerSecond
+		x = float64(n) / (z + float64(s.RequestWork)/s.CyclesPerSecond) // optimistic start
+	)
+	for i := 0; i < 200; i++ {
+		// Runnable threads r: clients not in think state.
+		r := float64(n) * (1 - x*z/float64(n))
+		if r < 0 {
+			r = 0
+		}
+		demand := float64(s.RequestWork+s.ContextSwitch) +
+			float64(s.PerThreadOverhead)*r/100
+		service := demand / s.CyclesPerSecond
+		capacity := m / service
+		// Response time: service inflated by queueing when the
+		// station nears saturation (interactive approximation).
+		rho := x / capacity
+		if rho > 0.999 {
+			rho = 0.999
+		}
+		resp := service * (1 + rho*rho*float64(n)/m)
+		next := float64(n) / (z + resp)
+		if next > capacity {
+			next = capacity
+		}
+		// Damped update for stable convergence.
+		x = 0.5*x + 0.5*next
+	}
+	return x, nil
+}
+
+// Curve evaluates Throughput over a client sweep, in KReq/s.
+func (s ThreadedSpec) Curve(clients []int) ([]float64, error) {
+	out := make([]float64, len(clients))
+	for i, n := range clients {
+		x, err := s.Throughput(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x / 1000
+	}
+	return out, nil
+}

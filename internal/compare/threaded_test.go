@@ -1,0 +1,77 @@
+package compare
+
+import "testing"
+
+func TestThreadedMonotoneRiseThenSaturate(t *testing.T) {
+	spec := DefaultThreadedSpec()
+	clients := []int{200, 400, 600, 800, 1000, 1400, 2000}
+	curve, err := spec.Curve(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising region.
+	if curve[1] <= curve[0] {
+		t.Errorf("curve must rise at low load: %v", curve)
+	}
+	// Saturation: the last points should be close to each other and
+	// below the no-overhead capacity.
+	ideal := float64(spec.Cores) * spec.CyclesPerSecond / float64(spec.RequestWork) / 1000
+	last := curve[len(curve)-1]
+	if last >= ideal {
+		t.Errorf("threaded plateau %.1f must stay below ideal %.1f (thread overheads)", last, ideal)
+	}
+	if last <= 0 {
+		t.Error("plateau must be positive")
+	}
+}
+
+func TestThreadedOverheadGrowsWithConcurrency(t *testing.T) {
+	spec := DefaultThreadedSpec()
+	lean := spec
+	lean.PerThreadOverhead = 0
+	lean.ContextSwitch = 0
+	for _, n := range []int{1000, 2000} {
+		heavy, err := spec.Throughput(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ideal, err := lean.Throughput(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heavy >= ideal {
+			t.Errorf("n=%d: overheads must cost throughput (%.0f vs %.0f)", n, heavy, ideal)
+		}
+	}
+}
+
+func TestThreadedEdgeCases(t *testing.T) {
+	spec := DefaultThreadedSpec()
+	if x, err := spec.Throughput(0); err != nil || x != 0 {
+		t.Errorf("zero clients: %v %v", x, err)
+	}
+	bad := spec
+	bad.Cores = 0
+	if _, err := bad.Throughput(100); err == nil {
+		t.Error("invalid spec must fail")
+	}
+	bad2 := spec
+	bad2.RequestWork = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero work must fail validation")
+	}
+}
+
+func TestThreadedLowLoadTracksOffered(t *testing.T) {
+	spec := DefaultThreadedSpec()
+	x, err := spec.Throughput(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 100 clients the system is far from saturation: throughput
+	// approximates N/Z.
+	offered := 100.0 / (float64(spec.ClientCycle) / spec.CyclesPerSecond)
+	if x < 0.8*offered || x > 1.05*offered {
+		t.Errorf("low-load throughput %.0f should track offered %.0f", x, offered)
+	}
+}

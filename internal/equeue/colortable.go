@@ -1,0 +1,64 @@
+package equeue
+
+import "sync/atomic"
+
+// ColorTable is the statically allocated table mapping each color to the
+// core that currently owns it (and, for the Mely layout, to its live
+// ColorQueue). It mirrors the paper's 64K-entry array (section IV-A).
+//
+// Ownership protocol: a color's owner defaults to Hash(color) and changes
+// only when a steal migrates the color. Producers read the owner without a
+// lock, then acquire that core's lock and re-check; if a concurrent steal
+// moved the color they retry. Owner entries are atomic so the unlocked
+// first read is well-defined in the real runtime; queue pointers are only
+// touched under the owning core's lock.
+type ColorTable struct {
+	ncores int32
+	owner  []atomic.Int32
+	queues []*ColorQueue
+}
+
+// NewColorTable returns a table for ncores cores with every color owned
+// by its hash core.
+func NewColorTable(ncores int) *ColorTable {
+	t := &ColorTable{
+		ncores: int32(ncores),
+		owner:  make([]atomic.Int32, NumColors),
+		queues: make([]*ColorQueue, NumColors),
+	}
+	for i := range t.owner {
+		t.owner[i].Store(-1)
+	}
+	return t
+}
+
+// Hash is the Libasync-smp initial color placement: a simple hash of the
+// color onto the cores.
+func (t *ColorTable) Hash(c Color) int {
+	return int(int32(c) % t.ncores)
+}
+
+// Owner returns the core currently owning color c.
+func (t *ColorTable) Owner(c Color) int {
+	if o := t.owner[c].Load(); o >= 0 {
+		return int(o)
+	}
+	return t.Hash(c)
+}
+
+// SetOwner records that core now owns color c. Called under the lock of
+// the core the color is moving to or from (steal or explicit placement).
+func (t *ColorTable) SetOwner(c Color, core int) {
+	t.owner[c].Store(int32(core))
+}
+
+// Queue returns the live ColorQueue of c, or nil. Callers must hold the
+// owning core's lock.
+func (t *ColorTable) Queue(c Color) *ColorQueue { return t.queues[c] }
+
+// SetQueue records the live ColorQueue of c (nil when the color drains).
+// Callers must hold the owning core's lock.
+func (t *ColorTable) SetQueue(c Color, cq *ColorQueue) { t.queues[c] = cq }
+
+// NumCores reports the core count the table was built for.
+func (t *ColorTable) NumCores() int { return int(t.ncores) }

@@ -1,0 +1,343 @@
+package equeue
+
+// ColorQueue groups the pending events of one color, in FIFO order. It is
+// the unit Mely steals: migrating a color means unlinking its ColorQueue
+// from the victim's CoreQueue (and StealingQueue) and linking it into the
+// thief's — O(1) instead of Libasync-smp's O(queue length) scan.
+type ColorQueue struct {
+	head, tail *Event
+	count      int
+
+	// cumCost is the cumulative penalty-weighted processing time of the
+	// queued events (section IV-B: incremented by event_time/ws_penalty
+	// on insertion, decremented on removal).
+	cumCost int64
+
+	color Color
+
+	// CoreQueue links.
+	cqNext, cqPrev *ColorQueue
+	inCore         bool
+
+	// StealingQueue links. interval is -1 when not enqueued.
+	sqNext, sqPrev *ColorQueue
+	interval       int
+}
+
+// Color returns the color whose events this queue holds.
+func (cq *ColorQueue) Color() Color { return cq.color }
+
+// MarkStolen flags every queued event as stolen so the executing
+// platform attributes its processing time to stolen time (Table I).
+func (cq *ColorQueue) MarkStolen() {
+	for e := cq.head; e != nil; e = e.next {
+		e.Stolen = true
+	}
+}
+
+// Len reports the number of pending events.
+func (cq *ColorQueue) Len() int { return cq.count }
+
+// CumCost reports the cumulative penalty-weighted pending cost.
+func (cq *ColorQueue) CumCost() int64 { return cq.cumCost }
+
+// Drain removes and returns the head event, or nil.
+func (cq *ColorQueue) Drain() *Event { return cq.popFront() }
+
+func (cq *ColorQueue) pushBack(e *Event) {
+	e.next = nil
+	e.prev = cq.tail
+	if cq.tail != nil {
+		cq.tail.next = e
+	} else {
+		cq.head = e
+	}
+	cq.tail = e
+	cq.count++
+	cq.cumCost += e.WeightedCost()
+}
+
+func (cq *ColorQueue) popFront() *Event {
+	e := cq.head
+	if e == nil {
+		return nil
+	}
+	cq.head = e.next
+	if cq.head != nil {
+		cq.head.prev = nil
+	} else {
+		cq.tail = nil
+	}
+	e.next = nil
+	cq.count--
+	cq.cumCost -= e.WeightedCost()
+	if cq.count == 0 {
+		cq.cumCost = 0
+	}
+	return e
+}
+
+// CoreQueue is the per-core Mely structure: a doubly-linked list of
+// ColorQueues plus the StealingQueue indexing the worthy ones. The core's
+// thread processes the first event of the first ColorQueue, batching at
+// most BatchThreshold events of one color before moving on (threshold 10
+// in all the paper's experiments).
+type CoreQueue struct {
+	head, tail *ColorQueue
+	ncolors    int
+	nevents    int
+
+	steal StealingQueue
+
+	// BatchThreshold caps consecutive events of one color. Zero means
+	// DefaultBatchThreshold.
+	BatchThreshold int
+	batchCount     int
+
+	pool colorQueuePool
+}
+
+// DefaultBatchThreshold is the paper's batching limit (section IV-A).
+const DefaultBatchThreshold = 10
+
+// NewCoreQueue returns an empty Mely per-core queue whose StealingQueue
+// classifies colors as worthy when their cumulative cost exceeds
+// stealCost (updated later via SetStealCost).
+func NewCoreQueue(stealCost int64) *CoreQueue {
+	q := &CoreQueue{BatchThreshold: DefaultBatchThreshold}
+	q.steal.stealCost = stealCost
+	return q
+}
+
+// Len reports the total number of pending events on the core.
+func (q *CoreQueue) Len() int { return q.nevents }
+
+// Colors reports the number of ColorQueues currently linked.
+func (q *CoreQueue) Colors() int { return q.ncolors }
+
+// Stealing exposes the core's StealingQueue.
+func (q *CoreQueue) Stealing() *StealingQueue { return &q.steal }
+
+// SetStealCost updates the worthiness threshold used to classify colors.
+// Existing classifications are corrected lazily as queues are touched;
+// the paper's runtime refreshes the estimate from built-in monitoring.
+func (q *CoreQueue) SetStealCost(c int64) { q.steal.stealCost = c }
+
+// Push appends an event to its ColorQueue, creating and linking the queue
+// if the color had none. It returns the ColorQueue and whether it had to
+// be linked into the CoreQueue (a cost the paper calls out: short-lived
+// colors make Mely without workstealing slower than Libasync-smp).
+func (q *CoreQueue) Push(cq *ColorQueue, e *Event) (linked bool) {
+	if cq.color != e.Color {
+		panic("equeue: event pushed to ColorQueue of different color")
+	}
+	cq.pushBack(e)
+	q.nevents++
+	if !cq.inCore {
+		q.linkColor(cq)
+		linked = true
+	}
+	q.steal.reclassify(cq)
+	return linked
+}
+
+// NewColorQueue returns a (pooled) empty ColorQueue for color c. The
+// caller links it by pushing the first event.
+func (q *CoreQueue) NewColorQueue(c Color) *ColorQueue {
+	cq := q.pool.get()
+	cq.color = c
+	return cq
+}
+
+// ReleaseColorQueue returns an empty, unlinked ColorQueue to the pool.
+func (q *CoreQueue) ReleaseColorQueue(cq *ColorQueue) {
+	if cq.count != 0 || cq.inCore || cq.interval >= 0 {
+		panic("equeue: releasing a live ColorQueue")
+	}
+	q.pool.put(cq)
+}
+
+// PopNext removes and returns the next event to process: the first event
+// of the first ColorQueue, rotating to the next color once BatchThreshold
+// events of the current color have been processed consecutively. When a
+// ColorQueue empties it is unlinked; emptied reports that (so platforms
+// can charge the removal cost and release ownership).
+func (q *CoreQueue) PopNext() (e *Event, emptied *ColorQueue) {
+	cq := q.head
+	if cq == nil {
+		return nil, nil
+	}
+	threshold := q.BatchThreshold
+	if threshold <= 0 {
+		threshold = DefaultBatchThreshold
+	}
+	if q.batchCount >= threshold && cq.cqNext != nil {
+		q.rotate()
+		cq = q.head
+	}
+	e = cq.popFront()
+	q.nevents--
+	q.batchCount++
+	if cq.count == 0 {
+		q.unlinkColor(cq)
+		q.steal.remove(cq)
+		q.batchCount = 0
+		return e, cq
+	}
+	q.steal.reclassify(cq)
+	return e, nil
+}
+
+// StealBase mimics the Libasync-smp color choice on the Mely layout (used
+// for the "Mely - base WS" configurations): walk the CoreQueue and pick
+// the first color that is not running and holds fewer than half of the
+// core's pending events. It returns the unlinked ColorQueue (the stolen
+// set), plus the number of ColorQueues inspected for cost accounting.
+func (q *CoreQueue) StealBase(running Color, hasRunning bool) (cq *ColorQueue, inspected int) {
+	half := q.nevents / 2
+	for c := q.head; c != nil; c = c.cqNext {
+		inspected++
+		if hasRunning && c.color == running {
+			continue
+		}
+		if c.count <= half || q.ncolors == 1 {
+			q.detach(c)
+			return c, inspected
+		}
+	}
+	return nil, inspected
+}
+
+// StealWorthy implements the time-left steal: take the most valuable
+// worthy color from the StealingQueue that is not the running color.
+// It returns the unlinked ColorQueue or nil.
+func (q *CoreQueue) StealWorthy(running Color, hasRunning bool) *ColorQueue {
+	cq := q.steal.top(running, hasRunning)
+	if cq == nil {
+		return nil
+	}
+	q.detach(cq)
+	return cq
+}
+
+// Adopt links a stolen ColorQueue into this core's structures (migrate).
+func (q *CoreQueue) Adopt(cq *ColorQueue) {
+	if cq.inCore || cq.interval >= 0 {
+		panic("equeue: adopting a linked ColorQueue")
+	}
+	q.nevents += cq.count
+	q.linkColor(cq)
+	q.steal.reclassify(cq)
+}
+
+// detach removes a ColorQueue (and its events) from the core entirely.
+func (q *CoreQueue) detach(cq *ColorQueue) {
+	q.nevents -= cq.count
+	q.unlinkColor(cq)
+	q.steal.remove(cq)
+}
+
+func (q *CoreQueue) linkColor(cq *ColorQueue) {
+	cq.cqPrev = q.tail
+	cq.cqNext = nil
+	if q.tail != nil {
+		q.tail.cqNext = cq
+	} else {
+		q.head = cq
+	}
+	q.tail = cq
+	cq.inCore = true
+	q.ncolors++
+}
+
+func (q *CoreQueue) unlinkColor(cq *ColorQueue) {
+	if !cq.inCore {
+		return
+	}
+	if cq.cqPrev != nil {
+		cq.cqPrev.cqNext = cq.cqNext
+	} else {
+		q.head = cq.cqNext
+	}
+	if cq.cqNext != nil {
+		cq.cqNext.cqPrev = cq.cqPrev
+	} else {
+		q.tail = cq.cqPrev
+	}
+	cq.cqNext, cq.cqPrev = nil, nil
+	cq.inCore = false
+	q.ncolors--
+}
+
+// rotate moves the head ColorQueue to the tail (batch threshold reached).
+func (q *CoreQueue) rotate() {
+	cq := q.head
+	if cq == nil || cq.cqNext == nil {
+		q.batchCount = 0
+		return
+	}
+	q.unlinkColor(cq)
+	q.linkColor(cq)
+	q.batchCount = 0
+}
+
+// FirstColor returns the color at the head of the CoreQueue, if any.
+func (q *CoreQueue) FirstColor() (Color, bool) {
+	if q.head == nil {
+		return 0, false
+	}
+	return q.head.color, true
+}
+
+type colorQueuePool struct {
+	free []*ColorQueue
+}
+
+func (p *colorQueuePool) get() *ColorQueue {
+	if n := len(p.free); n > 0 {
+		cq := p.free[n-1]
+		p.free = p.free[:n-1]
+		*cq = ColorQueue{interval: -1}
+		return cq
+	}
+	return &ColorQueue{interval: -1}
+}
+
+func (p *colorQueuePool) put(cq *ColorQueue) {
+	if len(p.free) < 4096 {
+		p.free = append(p.free, cq)
+	}
+}
+
+// MergeFront splices the events of src (a detached, stolen ColorQueue)
+// in front of dst's events, preserving the stolen events' seniority.
+// The real runtime needs this when a poster re-creates a ColorQueue for
+// a color while its stolen queue is still in transit to the thief: the
+// two queues merge on the thief's core. dst must be linked in q; src
+// must be detached and of the same color.
+func (q *CoreQueue) MergeFront(dst, src *ColorQueue) {
+	if src.color != dst.color {
+		panic("equeue: merging ColorQueues of different colors")
+	}
+	if src.inCore || src.interval >= 0 {
+		panic("equeue: merging a linked source ColorQueue")
+	}
+	if !dst.inCore {
+		panic("equeue: merging into an unlinked ColorQueue")
+	}
+	if src.count == 0 {
+		return
+	}
+	if dst.head != nil {
+		src.tail.next = dst.head
+		dst.head.prev = src.tail
+	} else {
+		dst.tail = src.tail
+	}
+	dst.head = src.head
+	dst.count += src.count
+	dst.cumCost += src.cumCost
+	q.nevents += src.count
+	q.steal.reclassify(dst)
+	src.head, src.tail, src.count, src.cumCost = nil, nil, 0, 0
+}

@@ -1,0 +1,175 @@
+// Package loadgen is the closed-loop load injector of section V-C1: a
+// set of virtual HTTP clients, each repeatedly connecting to the server
+// and requesting a fixed number of files per connection, with a master
+// that starts the clients together and collects their results. The
+// simulator has its own client models (swsmodel/sfsmodel); this one
+// drives the real servers (cmd/swsload).
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPConfig parameterizes an injection run.
+type HTTPConfig struct {
+	// Addr is the server's host:port.
+	Addr string
+	// Clients is the number of concurrent virtual clients.
+	Clients int
+	// RequestsPerConn is how many files each client requests before
+	// reconnecting (the paper uses 150).
+	RequestsPerConn int
+	// Paths are requested round-robin (default "/").
+	Paths []string
+	// Duration bounds the run.
+	Duration time.Duration
+	// DialTimeout bounds one connection attempt.
+	DialTimeout time.Duration
+}
+
+func (c *HTTPConfig) defaults() error {
+	if c.Addr == "" {
+		return errors.New("loadgen: no server address")
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.RequestsPerConn <= 0 {
+		c.RequestsPerConn = 150
+	}
+	if len(c.Paths) == 0 {
+		c.Paths = []string{"/"}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// Result aggregates an injection run.
+type Result struct {
+	Requests    int64
+	Errors      int64
+	Connects    int64
+	BytesRead   int64
+	Elapsed     time.Duration
+	KRequestsPS float64
+}
+
+// RunHTTP runs the closed-loop injection and aggregates the results.
+func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var (
+		requests, errCount, connects, bytesRead atomic.Int64
+		wg                                      sync.WaitGroup
+		start                                   = make(chan struct{})
+	)
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start // master-synchronized start
+			for runCtx.Err() == nil {
+				n, b, err := runConnection(runCtx, cfg, id)
+				requests.Add(n)
+				bytesRead.Add(b)
+				connects.Add(1)
+				if err != nil && runCtx.Err() == nil {
+					errCount.Add(1)
+				}
+			}
+		}(i)
+	}
+	began := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	res := Result{
+		Requests:  requests.Load(),
+		Errors:    errCount.Load(),
+		Connects:  connects.Load(),
+		BytesRead: bytesRead.Load(),
+		Elapsed:   elapsed,
+	}
+	if elapsed > 0 {
+		res.KRequestsPS = float64(res.Requests) / elapsed.Seconds() / 1000
+	}
+	return res, nil
+}
+
+// runConnection performs up to RequestsPerConn requests on one
+// connection, returning the number completed and bytes read.
+func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, error) {
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	br := bufio.NewReader(conn)
+	var done, read int64
+	for i := 0; i < cfg.RequestsPerConn; i++ {
+		if ctx.Err() != nil {
+			return done, read, nil
+		}
+		path := cfg.Paths[(id+i)%len(cfg.Paths)]
+		if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", path); err != nil {
+			return done, read, err
+		}
+		n, err := readResponse(br)
+		read += n
+		if err != nil {
+			return done, read, err
+		}
+		done++
+	}
+	return done, read, nil
+}
+
+// readResponse consumes one HTTP response, returning its size.
+func readResponse(br *bufio.Reader) (int64, error) {
+	var total int64
+	length := -1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return total, err
+		}
+		total += int64(len(line))
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(strings.ToLower(trimmed), "content-length:"); ok {
+			if _, err := fmt.Sscanf(strings.TrimSpace(v), "%d", &length); err != nil {
+				return total, fmt.Errorf("loadgen: bad content length %q", v)
+			}
+		}
+	}
+	if length < 0 {
+		return total, errors.New("loadgen: response without content length")
+	}
+	n, err := io.CopyN(io.Discard, br, int64(length))
+	return total + n, err
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeHTTP answers every request with a fixed body, counting requests.
+func fakeHTTP(t *testing.T, body string) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					// Consume one request head.
+					sawAny := false
+					for {
+						line, err := br.ReadString('\n')
+						if err != nil {
+							return
+						}
+						if strings.TrimSpace(line) == "" {
+							break
+						}
+						sawAny = true
+					}
+					if !sawAny {
+						return
+					}
+					fmt.Fprintf(conn, "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { _ = ln.Close() }
+}
+
+func TestClosedLoopInjection(t *testing.T) {
+	addr, stop := fakeHTTP(t, "hello")
+	defer stop()
+	res, err := RunHTTP(context.Background(), HTTPConfig{
+		Addr:            addr,
+		Clients:         4,
+		RequestsPerConn: 10,
+		Duration:        300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Connects < 4 {
+		t.Fatalf("connects = %d, want >= clients", res.Connects)
+	}
+	if res.KRequestsPS <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	// Closed-loop: reconnects happen every RequestsPerConn requests.
+	if res.Requests > 20 && res.Connects < res.Requests/10 {
+		t.Fatalf("connects = %d for %d requests: reconnect cycle broken", res.Connects, res.Requests)
+	}
+}
+
+func TestInjectionValidation(t *testing.T) {
+	if _, err := RunHTTP(context.Background(), HTTPConfig{}); err == nil {
+		t.Fatal("missing address must fail")
+	}
+}
+
+func TestInjectionAgainstDeadServer(t *testing.T) {
+	// A dead target: every connect fails; the run must still terminate
+	// and report errors rather than hang.
+	res, err := RunHTTP(context.Background(), HTTPConfig{
+		Addr:        "127.0.0.1:1", // reserved port, nothing listens
+		Clients:     2,
+		Duration:    200 * time.Millisecond,
+		DialTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 0 {
+		t.Fatalf("requests = %d against a dead server", res.Requests)
+	}
+	if res.Errors == 0 {
+		t.Fatal("errors must be reported")
+	}
+}
+
+func TestReadResponseRejectsMissingLength(t *testing.T) {
+	br := bufio.NewReader(strings.NewReader("HTTP/1.1 200 OK\r\n\r\n"))
+	if _, err := readResponse(br); err == nil {
+		t.Fatal("missing content length must fail")
+	}
+}

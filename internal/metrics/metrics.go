@@ -1,0 +1,237 @@
+// Package metrics defines the counters the paper reports: events
+// processed, steal costs, stolen processing time, lock time, and cache
+// misses — per core and aggregated — plus the derived rows that appear in
+// Tables I and III-VI (KEvents/s, locking time %, WS cost, misses/event).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Core accumulates the per-core counters. All times are in cycles
+// (virtual cycles in the simulator, calibrated estimates in the real
+// runtime). Core is not synchronized: each core owns its instance and
+// aggregation happens after the run (or via snapshots).
+type Core struct {
+	// Events is the number of events executed on this core.
+	Events int64
+	// ExecCycles is the total handler execution time, including the
+	// cache-model access penalty.
+	ExecCycles int64
+	// QueueCycles is time spent on queue bookkeeping (enqueue, dequeue,
+	// color-queue linking/unlinking).
+	QueueCycles int64
+
+	// Steals counts successful steals; StealAttempts counts every entry
+	// into the stealing routine, FailedSteals those that found nothing.
+	Steals        int64
+	StealAttempts int64
+	FailedSteals  int64
+	// StealCycles is the time spent performing successful steals
+	// (locking, choosing, extracting, migrating); FailedStealCycles is
+	// the time burned by attempts that found nothing.
+	StealCycles       int64
+	FailedStealCycles int64
+	// RemoteSteals counts steals whose victim does not share a cache
+	// with the thief (the migrations the locality heuristic avoids).
+	RemoteSteals int64
+	// StolenEvents / StolenExecCycles describe migrated work executed on
+	// this core (the "stolen time" of Table I).
+	StolenEvents     int64
+	StolenExecCycles int64
+	// VictimLockedCycles is the time this core's queue lock was held by
+	// thieves (contention pressure on the victim).
+	VictimLockedCycles int64
+
+	// LockWaitCycles is time spent spinning on queue locks (own or
+	// remote); the paper's "Locking time" column.
+	LockWaitCycles int64
+	// IdleCycles is time with nothing to run and nothing stealable.
+	IdleCycles int64
+	// BusyCycles is the total of everything but idle, for utilization.
+	BusyCycles int64
+
+	// L2Misses is the simulated (or sampled) L2 cache miss count.
+	L2Misses int64
+	// CacheAccessCycles is time charged by the cache model.
+	CacheAccessCycles int64
+	// BusWaitCycles is time spent queueing on the shared memory bus.
+	BusWaitCycles int64
+}
+
+// Add accumulates o into c.
+func (c *Core) Add(o *Core) {
+	c.Events += o.Events
+	c.ExecCycles += o.ExecCycles
+	c.QueueCycles += o.QueueCycles
+	c.Steals += o.Steals
+	c.StealAttempts += o.StealAttempts
+	c.FailedSteals += o.FailedSteals
+	c.StealCycles += o.StealCycles
+	c.FailedStealCycles += o.FailedStealCycles
+	c.RemoteSteals += o.RemoteSteals
+	c.StolenEvents += o.StolenEvents
+	c.StolenExecCycles += o.StolenExecCycles
+	c.VictimLockedCycles += o.VictimLockedCycles
+	c.LockWaitCycles += o.LockWaitCycles
+	c.IdleCycles += o.IdleCycles
+	c.BusyCycles += o.BusyCycles
+	c.L2Misses += o.L2Misses
+	c.CacheAccessCycles += o.CacheAccessCycles
+	c.BusWaitCycles += o.BusWaitCycles
+}
+
+// Run is the result of one experiment run: per-core counters plus the
+// wall-clock extent in cycles and the clock rate for unit conversion.
+type Run struct {
+	Cores           []Core
+	Cycles          int64   // duration of the run in cycles
+	CyclesPerSecond float64 // clock rate (2.33e9 for the paper's machine)
+
+	// Payload lets workloads report domain numbers (requests served,
+	// bytes transferred) keyed by name.
+	Payload map[string]float64
+}
+
+// NewRun allocates a run for n cores.
+func NewRun(n int, cyclesPerSecond float64) *Run {
+	return &Run{
+		Cores:           make([]Core, n),
+		CyclesPerSecond: cyclesPerSecond,
+		Payload:         make(map[string]float64),
+	}
+}
+
+// Total returns the sum of all per-core counters.
+func (r *Run) Total() Core {
+	var t Core
+	for i := range r.Cores {
+		t.Add(&r.Cores[i])
+	}
+	return t
+}
+
+// Seconds converts the run extent to seconds.
+func (r *Run) Seconds() float64 {
+	if r.CyclesPerSecond == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / r.CyclesPerSecond
+}
+
+// KEventsPerSecond is the Tables III-VI throughput row.
+func (r *Run) KEventsPerSecond() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Total().Events) / s / 1000
+}
+
+// LockingTimePercent is the share of total core time spent waiting on
+// queue locks (Table III "Locking time").
+func (r *Run) LockingTimePercent() float64 {
+	t := r.Total()
+	denom := float64(r.Cycles) * float64(len(r.Cores))
+	if denom == 0 {
+		return 0
+	}
+	return 100 * float64(t.LockWaitCycles) / denom
+}
+
+// StealCostCycles is the average time spent to perform one successful
+// steal (Table III "WS cost", Table I "Stealing time").
+func (r *Run) StealCostCycles() float64 {
+	t := r.Total()
+	if t.Steals == 0 {
+		return 0
+	}
+	return float64(t.StealCycles) / float64(t.Steals)
+}
+
+// StolenTimeCycles is the average processing time of one stolen set
+// (Table I "Stolen time", Table IV "Stolen time"): executed cycles of
+// stolen events divided by the number of steals.
+func (r *Run) StolenTimeCycles() float64 {
+	t := r.Total()
+	if t.Steals == 0 {
+		return 0
+	}
+	return float64(t.StolenExecCycles) / float64(t.Steals)
+}
+
+// L2MissesPerEvent is the Tables V/VI cache column.
+func (r *Run) L2MissesPerEvent() float64 {
+	t := r.Total()
+	if t.Events == 0 {
+		return 0
+	}
+	return float64(t.L2Misses) / float64(t.Events)
+}
+
+// Utilization is the fraction of core-cycles not spent idle.
+func (r *Run) Utilization() float64 {
+	denom := float64(r.Cycles) * float64(len(r.Cores))
+	if denom == 0 {
+		return 0
+	}
+	t := r.Total()
+	return float64(t.BusyCycles) / denom
+}
+
+// Series summarizes repeated runs of the same configuration, giving the
+// mean and standard deviation the paper reports ("standard deviations
+// are very low, less than 1%").
+type Series struct {
+	n              int
+	mean, m2       float64 // Welford accumulator
+	minVal, maxVal float64
+}
+
+// Observe folds one sample into the series.
+func (s *Series) Observe(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.minVal, s.maxVal = v, v
+	} else {
+		s.minVal = math.Min(s.minVal, v)
+		s.maxVal = math.Max(s.maxVal, v)
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N reports the sample count.
+func (s *Series) N() int { return s.n }
+
+// Mean reports the sample mean.
+func (s *Series) Mean() float64 { return s.mean }
+
+// Min reports the smallest sample.
+func (s *Series) Min() float64 { return s.minVal }
+
+// Max reports the largest sample.
+func (s *Series) Max() float64 { return s.maxVal }
+
+// StdDev reports the sample standard deviation.
+func (s *Series) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// RelStdDevPercent reports the coefficient of variation in percent.
+func (s *Series) RelStdDevPercent() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return 100 * s.StdDev() / math.Abs(s.mean)
+}
+
+// String formats the series as "mean ± stddev (n=N)".
+func (s *Series) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.StdDev(), s.n)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunDerivedRows(t *testing.T) {
+	r := NewRun(2, 1e9)
+	r.Cycles = 2e9 // 2 seconds
+	r.Cores[0].Events = 3000
+	r.Cores[1].Events = 1000
+	r.Cores[0].Steals = 4
+	r.Cores[0].StealCycles = 8000
+	r.Cores[0].StolenExecCycles = 40000
+	r.Cores[1].LockWaitCycles = 4e8
+	r.Cores[0].L2Misses = 100
+	r.Cores[1].L2Misses = 300
+
+	if got := r.Seconds(); got != 2 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := r.KEventsPerSecond(); got != 2 {
+		t.Errorf("KEventsPerSecond = %v, want 2", got)
+	}
+	if got := r.StealCostCycles(); got != 2000 {
+		t.Errorf("StealCostCycles = %v, want 2000", got)
+	}
+	if got := r.StolenTimeCycles(); got != 10000 {
+		t.Errorf("StolenTimeCycles = %v, want 10000", got)
+	}
+	// 4e8 wait cycles over 2 cores * 2e9 cycles = 10%.
+	if got := r.LockingTimePercent(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("LockingTimePercent = %v, want 10", got)
+	}
+	if got := r.L2MissesPerEvent(); got != 0.1 {
+		t.Errorf("L2MissesPerEvent = %v, want 0.1", got)
+	}
+}
+
+func TestRunZeroSafety(t *testing.T) {
+	r := NewRun(1, 0)
+	if r.Seconds() != 0 || r.KEventsPerSecond() != 0 ||
+		r.StealCostCycles() != 0 || r.StolenTimeCycles() != 0 ||
+		r.LockingTimePercent() != 0 || r.L2MissesPerEvent() != 0 ||
+		r.Utilization() != 0 {
+		t.Error("zero-valued run must not divide by zero")
+	}
+}
+
+func TestCoreAdd(t *testing.T) {
+	a := Core{Events: 1, ExecCycles: 2, Steals: 3, L2Misses: 4, IdleCycles: 5}
+	b := Core{Events: 10, ExecCycles: 20, Steals: 30, L2Misses: 40, IdleCycles: 50}
+	a.Add(&b)
+	if a.Events != 11 || a.ExecCycles != 22 || a.Steals != 33 ||
+		a.L2Misses != 44 || a.IdleCycles != 55 {
+		t.Errorf("Add got %+v", a)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := NewRun(2, 1e9)
+	r.Cycles = 1000
+	r.Cores[0].BusyCycles = 1000
+	r.Cores[1].BusyCycles = 500
+	if got := r.Utilization(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.75", got)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev of the classic data set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.RelStdDevPercent() <= 0 {
+		t.Error("RelStdDevPercent should be positive")
+	}
+}
+
+func TestSeriesSingleSample(t *testing.T) {
+	var s Series
+	s.Observe(3)
+	if s.StdDev() != 0 {
+		t.Error("stddev of one sample is 0")
+	}
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-sample stats wrong")
+	}
+}
+
+// Property: Series mean always lies within [min, max] for values in a
+// realistic measurement range (throughputs, cycle counts).
+func TestSeriesMeanBounds(t *testing.T) {
+	f := func(raw []int32) bool {
+		var s Series
+		for _, v := range raw {
+			s.Observe(float64(v))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

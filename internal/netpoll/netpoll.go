@@ -1,0 +1,227 @@
+// Package netpoll turns socket activity into colored events for the
+// mely runtime.
+//
+// The paper's runtime owns an epoll loop (an Epoll handler under color 0
+// dispatches readiness to Accept/ReadRequest handlers). A Go program
+// cannot take that role — the Go runtime owns the netpoller and exposes
+// readiness as blocking Read/Accept — so this package substitutes pump
+// goroutines: one accept pump per listener and one read pump per
+// connection, each translating readiness into posted events. The
+// scheduling-relevant property is preserved exactly: network activity
+// enters the system as events with controllable colors, and everything
+// downstream is handler code scheduled by the event-coloring runtime.
+// DESIGN.md documents this substitution.
+package netpoll
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/melyruntime/mely"
+)
+
+// Conn is an accepted connection. The embedded net.Conn's Write may be
+// used directly from handlers (it blocks only on TCP backpressure).
+type Conn struct {
+	net.Conn
+
+	// ID is a dense connection identifier, usable as a color source
+	// (the paper colors request handlers with the descriptor number).
+	ID uint64
+
+	// UserData is per-connection application state. It must only be
+	// touched from handlers running under this connection's color —
+	// colors serialize, so no further synchronization is needed.
+	UserData any
+
+	server    *Server
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// Color derives the connection's event color from its ID, skipping the
+// reserved control colors 0 and 1.
+func (c *Conn) Color() mely.Color {
+	return mely.Color(2 + c.ID%65534)
+}
+
+// Shutdown closes the connection once; the server's OnClose handler is
+// posted when the read pump exits.
+func (c *Conn) Shutdown() {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		_ = c.Conn.Close()
+	})
+}
+
+// Message is the payload of an OnData event: bytes read from a
+// connection. Data is owned by the handler (freshly allocated per read).
+type Message struct {
+	Conn *Conn
+	Data []byte
+}
+
+// Config wires a listener to runtime handlers.
+type Config struct {
+	Runtime *mely.Runtime
+
+	// OnAccept is posted for each new connection with Data *Conn,
+	// under AcceptColor (the paper's Accept handler, color 1).
+	OnAccept    mely.Handler
+	AcceptColor mely.Color
+
+	// OnData is posted for each read with Data *Message, under the
+	// connection's color (the paper's ReadRequest handler) unless
+	// DataColor overrides the choice.
+	OnData mely.Handler
+
+	// DataColor, when non-nil, picks the color OnData is posted under
+	// (e.g. SFS decodes all protocol input under the default color,
+	// coloring only the CPU-intensive crypto per connection).
+	DataColor func(*Conn) mely.Color
+
+	// OnClose is posted once per connection (Data *Conn) when its read
+	// pump exits, under AcceptColor (like DecClientAccepted).
+	OnClose mely.Handler
+
+	// ReadBufBytes caps one read (default 16 KiB).
+	ReadBufBytes int
+
+	// MaxConns bounds concurrent connections; excess connections are
+	// closed immediately (the paper's "maximum number of simultaneous
+	// clients"). Zero means unlimited.
+	MaxConns int
+}
+
+// Server accepts connections and pumps their reads into the runtime.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	nextID atomic.Uint64
+	live   atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts accepting on ln. It returns immediately; Close stops
+// accepting, closes live connections, and waits for the pumps.
+func Serve(ln net.Listener, cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, errors.New("netpoll: nil runtime")
+	}
+	if cfg.ReadBufBytes <= 0 {
+		cfg.ReadBufBytes = 16 << 10
+	}
+	s := &Server{cfg: cfg, ln: ln, conns: make(map[*Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptPump()
+	return s, nil
+}
+
+// Addr reports the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Live reports the number of open connections.
+func (s *Server) Live() int { return int(s.live.Load()) }
+
+// Close stops the server and waits for all pumps to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Shutdown()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptPump() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if s.cfg.MaxConns > 0 && int(s.live.Load()) >= s.cfg.MaxConns {
+			_ = nc.Close()
+			continue
+		}
+		conn := &Conn{Conn: nc, ID: s.nextID.Add(1) - 1, server: s}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.live.Add(1)
+
+		if err := s.cfg.Runtime.Post(s.cfg.OnAccept, s.cfg.AcceptColor, conn); err != nil {
+			s.dropConn(conn)
+			continue
+		}
+		s.wg.Add(1)
+		go s.readPump(conn)
+	}
+}
+
+func (s *Server) readPump(conn *Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	for {
+		buf := make([]byte, s.cfg.ReadBufBytes)
+		n, err := conn.Read(buf)
+		if n > 0 {
+			color := conn.Color()
+			if s.cfg.DataColor != nil {
+				color = s.cfg.DataColor(conn)
+			}
+			msg := &Message{Conn: conn, Data: buf[:n]}
+			if perr := s.cfg.Runtime.Post(s.cfg.OnData, color, msg); perr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if !conn.closed.Load() && err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Abnormal close: nothing more to do than drop.
+				_ = err
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) dropConn(conn *Conn) {
+	conn.Shutdown()
+	s.mu.Lock()
+	_, present := s.conns[conn]
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	if !present {
+		return
+	}
+	s.live.Add(-1)
+	if s.cfg.OnClose != (mely.Handler{}) {
+		_ = s.cfg.Runtime.Post(s.cfg.OnClose, s.cfg.AcceptColor, conn)
+	}
+}

@@ -1,0 +1,233 @@
+package netpoll
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/melyruntime/mely"
+)
+
+type harness struct {
+	rt     *mely.Runtime
+	srv    *Server
+	accept atomic.Int64
+	data   atomic.Int64
+	closed atomic.Int64
+	bytes  atomic.Int64
+}
+
+func startHarness(t *testing.T, maxConns int, dataColor func(*Conn) mely.Color) *harness {
+	t.Helper()
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+
+	h := &harness{rt: rt}
+	onAccept := rt.Register("accept", func(ctx *mely.Ctx) { h.accept.Add(1) })
+	onData := rt.Register("data", func(ctx *mely.Ctx) {
+		msg := ctx.Data().(*Message)
+		h.data.Add(1)
+		h.bytes.Add(int64(len(msg.Data)))
+		// Echo back.
+		if _, err := msg.Conn.Write(msg.Data); err != nil {
+			msg.Conn.Shutdown()
+		}
+	})
+	onClose := rt.Register("close", func(ctx *mely.Ctx) { h.closed.Add(1) })
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, Config{
+		Runtime:     rt,
+		OnAccept:    onAccept,
+		AcceptColor: 1,
+		OnData:      onData,
+		OnClose:     onClose,
+		DataColor:   dataColor,
+		MaxConns:    maxConns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.srv = srv
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Drain(ctx)
+	})
+	return h
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	h := startHarness(t, 0, nil)
+	conn, err := net.Dial("tcp", h.srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := net.Conn(conn).Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+	if h.accept.Load() != 1 {
+		t.Fatalf("accepts = %d", h.accept.Load())
+	}
+}
+
+func TestOnClosePostedOncePerConn(t *testing.T) {
+	h := startHarness(t, 0, nil)
+	for i := 0; i < 5; i++ {
+		conn, err := net.Dial("tcp", h.srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.Close()
+	}
+	waitFor(t, func() bool { return h.closed.Load() == 5 })
+	if h.srv.Live() != 0 {
+		t.Fatalf("live = %d after closes", h.srv.Live())
+	}
+}
+
+func TestMaxConnsRejectsExcess(t *testing.T) {
+	h := startHarness(t, 2, nil)
+	keep := make([]net.Conn, 0, 2)
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", h.srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Confirm admission before opening the next one.
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, c)
+	}
+	over, err := net.Dial("tcp", h.srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	_ = over.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := over.Read(buf); err == nil {
+		t.Fatal("connection over the limit must be closed")
+	}
+	_ = keep
+}
+
+func TestDataColorOverride(t *testing.T) {
+	var sawColor atomic.Int32
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	onData := rt.Register("data", func(ctx *mely.Ctx) {
+		sawColor.Store(int32(ctx.Color()))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, Config{
+		Runtime:     rt,
+		OnAccept:    rt.Register("a", func(ctx *mely.Ctx) {}),
+		AcceptColor: 1,
+		OnData:      onData,
+		DataColor:   func(*Conn) mely.Color { return 7 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sawColor.Load() == 7 })
+}
+
+func TestServeRequiresRuntime(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Serve(ln, Config{}); err == nil {
+		t.Fatal("nil runtime must fail")
+	}
+}
+
+func TestCloseIsIdempotentAndWaits(t *testing.T) {
+	h := startHarness(t, 0, nil)
+	conn, err := net.Dial("tcp", h.srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitFor(t, func() bool { return h.srv.Live() == 1 })
+	if err := h.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if h.srv.Live() != 0 {
+		t.Fatal("connections must be closed")
+	}
+}
+
+func TestConnColorSkipsControlColors(t *testing.T) {
+	c := &Conn{ID: 0}
+	if c.Color() < 2 {
+		t.Fatalf("color %d collides with control colors", c.Color())
+	}
+	c2 := &Conn{ID: 65533}
+	if c2.Color() < 2 {
+		t.Fatalf("wrapped color %d collides with control colors", c2.Color())
+	}
+}

@@ -1,0 +1,242 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	presets := map[string]Config{
+		"libasync":      Libasync(),
+		"libasync-WS":   LibasyncWS(),
+		"mely":          Mely(),
+		"mely-baseWS":   MelyBaseWS(),
+		"mely-timeleft": MelyTimeLeftWS(),
+		"mely-penalty":  MelyPenaltyWS(),
+		"mely-locality": MelyLocalityWS(),
+		"mely-WS":       MelyWS(),
+	}
+	for name, cfg := range presets {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero", Config{}},
+		{"bad layout", Config{Layout: 9, Steal: StealNone}},
+		{"bad steal", Config{Layout: MelyLayout, Steal: 9}},
+		{"heuristics without heuristic steal", Config{Layout: MelyLayout, Steal: StealBase, Locality: true}},
+		{"timeleft on list layout", Config{Layout: ListLayout, Steal: StealHeuristic, TimeLeft: true}},
+		{"penalty without timeleft", Config{Layout: MelyLayout, Steal: StealHeuristic, PenaltyAware: true}},
+	}
+	for _, tt := range tests {
+		if err := tt.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tt.name, tt.cfg)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want string
+	}{
+		{Libasync(), "libasync"},
+		{LibasyncWS(), "libasync-WS"},
+		{Mely(), "mely"},
+		{MelyBaseWS(), "mely-baseWS"},
+		{MelyTimeLeftWS(), "mely+timeleft-WS"},
+		{MelyWS(), "mely+locality+timeleft+penalty-WS"},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestEffectivePenalty(t *testing.T) {
+	if got := MelyWS().EffectivePenalty(1000); got != 1000 {
+		t.Errorf("penalty-aware config must keep the annotation, got %d", got)
+	}
+	if got := MelyTimeLeftWS().EffectivePenalty(1000); got != 1 {
+		t.Errorf("non-penalty config must neutralize the annotation, got %d", got)
+	}
+	if got := MelyWS().EffectivePenalty(0); got != 1 {
+		t.Errorf("unannotated events have penalty 1, got %d", got)
+	}
+}
+
+func TestVictimOrderBase(t *testing.T) {
+	topo := topology.IntelXeonE5410()
+	// Paper's example: core 6 is the most loaded on an 8-core machine,
+	// so the set is {6, 7, 0, 1, 2, 3, 4, 5} (self excluded).
+	lens := []int{0, 1, 2, 3, 4, 5, 100, 7}
+	got := LibasyncWS().VictimOrder(3, lens, topo, nil)
+	want := []int{6, 7, 0, 1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("VictimOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VictimOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVictimOrderExcludesSelfEvenWhenLoaded(t *testing.T) {
+	topo := topology.Uniform(4)
+	lens := []int{100, 1, 1, 1}
+	got := LibasyncWS().VictimOrder(0, lens, topo, nil)
+	for _, v := range got {
+		if v == 0 {
+			t.Fatalf("self in victim order: %v", got)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("VictimOrder = %v", got)
+	}
+}
+
+func TestVictimOrderLocality(t *testing.T) {
+	topo := topology.IntelXeonE5410()
+	lens := make([]int, 8)
+	lens[7] = 1000 // most loaded, but distance wins for locality
+	got := MelyWS().VictimOrder(0, lens, topo, nil)
+	if got[0] != 1 {
+		t.Fatalf("locality order must start with the L2 pair mate: %v", got)
+	}
+	// All same-package cores before the other package.
+	seenRemote := false
+	for _, v := range got {
+		remote := topo.Package(v) != topo.Package(0)
+		if seenRemote && !remote {
+			t.Fatalf("locality order interleaves packages: %v", got)
+		}
+		seenRemote = seenRemote || remote
+	}
+}
+
+func TestVictimOrderSingleCore(t *testing.T) {
+	topo := topology.Uniform(1)
+	if got := LibasyncWS().VictimOrder(0, []int{5}, topo, nil); len(got) != 0 {
+		t.Fatalf("single core has no victims, got %v", got)
+	}
+}
+
+func TestVictimOrderReusesBuffer(t *testing.T) {
+	topo := topology.Uniform(4)
+	buf := make([]int, 0, 8)
+	got := LibasyncWS().VictimOrder(0, []int{0, 1, 2, 3}, topo, buf)
+	if cap(got) != cap(buf) {
+		t.Error("VictimOrder should reuse the provided buffer")
+	}
+}
+
+// fakeVictim implements VictimView for decision tests.
+type fakeVictim struct {
+	queued     int
+	colors     int
+	running    equeue.Color
+	hasRunning bool
+	other      bool
+	sq         *equeue.StealingQueue
+}
+
+func (f *fakeVictim) QueuedEvents() int                     { return f.queued }
+func (f *fakeVictim) DistinctColors() int                   { return f.colors }
+func (f *fakeVictim) RunningColor() (equeue.Color, bool)    { return f.running, f.hasRunning }
+func (f *fakeVictim) HasColorOtherThan(c equeue.Color) bool { return f.other }
+func (f *fakeVictim) Stealing() *equeue.StealingQueue       { return f.sq }
+
+func TestCanBeStolenBase(t *testing.T) {
+	cfg := LibasyncWS()
+	tests := []struct {
+		name string
+		v    fakeVictim
+		want bool
+	}{
+		{"empty", fakeVictim{}, false},
+		{"two colors idle victim", fakeVictim{queued: 5, colors: 2, other: true}, true},
+		{"one color idle victim", fakeVictim{queued: 5, colors: 1, hasRunning: false}, false},
+		{"one color is running", fakeVictim{queued: 5, colors: 1, running: 3, hasRunning: true, other: false}, false},
+		{"one color differs from running", fakeVictim{queued: 5, colors: 1, running: 3, hasRunning: true, other: true}, true},
+	}
+	for _, tt := range tests {
+		if got := cfg.CanBeStolen(&tt.v); got != tt.want {
+			t.Errorf("%s: CanBeStolen = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestCanBeStolenTimeLeft(t *testing.T) {
+	cfg := MelyTimeLeftWS()
+	// No stealing queue -> cannot steal.
+	if cfg.CanBeStolen(&fakeVictim{queued: 100, colors: 10}) {
+		t.Error("time-left without a StealingQueue must refuse")
+	}
+	// Empty stealing queue -> nothing worthy.
+	q := equeue.NewCoreQueue(1000)
+	cq := q.NewColorQueue(1)
+	q.Push(cq, &equeue.Event{Color: 1, Cost: 10, Penalty: 1})
+	v := &fakeVictim{queued: 1, colors: 1, sq: q.Stealing()}
+	if cfg.CanBeStolen(v) {
+		t.Error("unworthy colors must not be stealable under time-left")
+	}
+	// Worthy color present (two colors pending now).
+	cq2 := q.NewColorQueue(2)
+	q.Push(cq2, &equeue.Event{Color: 2, Cost: 50000, Penalty: 1})
+	v.queued, v.colors, v.other = 2, 2, true
+	if !cfg.CanBeStolen(v) {
+		t.Error("a worthy color must be stealable")
+	}
+	// ... unless it is the running color: with color 2 running, the
+	// only other pending color (1) is unworthy, so nothing to steal.
+	v.running, v.hasRunning = 2, true
+	if cfg.CanBeStolen(v) {
+		t.Error("the running color must not make the victim stealable")
+	}
+}
+
+// Property: VictimOrder is always a permutation of every core but self.
+func TestVictimOrderPermutationProperty(t *testing.T) {
+	f := func(rawCores uint8, rawSelf uint8, useLocality bool, rawLens []uint8) bool {
+		n := int(rawCores%15) + 2
+		self := int(rawSelf) % n
+		topo := topology.Pairs(n)
+		lens := make([]int, n)
+		for i := range lens {
+			if i < len(rawLens) {
+				lens[i] = int(rawLens[i])
+			}
+		}
+		cfg := LibasyncWS()
+		if useLocality {
+			cfg = MelyLocalityWS()
+		}
+		order := cfg.VictimOrder(self, lens, topo, nil)
+		if len(order) != n-1 {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range order {
+			if v == self || v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

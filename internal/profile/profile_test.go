@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAnnotatePins(t *testing.T) {
+	var p HandlerProfile
+	p.Annotate(5000)
+	if !p.Annotated() || p.Estimate() != 5000 {
+		t.Fatalf("Annotate: annotated=%v est=%d", p.Annotated(), p.Estimate())
+	}
+	p.Observe(100)
+	p.Observe(100)
+	if p.Estimate() != 5000 {
+		t.Error("annotated estimate must not move")
+	}
+	if p.Samples() != 2 {
+		t.Errorf("Samples = %d, want 2", p.Samples())
+	}
+}
+
+func TestObserveConverges(t *testing.T) {
+	var p HandlerProfile
+	p.Observe(1000)
+	if p.Estimate() != 1000 {
+		t.Fatalf("first sample should seed the estimate, got %d", p.Estimate())
+	}
+	for i := 0; i < 200; i++ {
+		p.Observe(2000)
+	}
+	if est := p.Estimate(); est < 1900 || est > 2100 {
+		t.Errorf("EWMA did not converge: %d", est)
+	}
+}
+
+func TestObserveSmallDeltaProgress(t *testing.T) {
+	var p HandlerProfile
+	p.Observe(10)
+	for i := 0; i < 50; i++ {
+		p.Observe(12) // delta 2 >> shift 3 == 0: must still creep up
+	}
+	if p.Estimate() != 12 {
+		t.Errorf("estimate stuck at %d, want 12", p.Estimate())
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	var p HandlerProfile
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Observe(500)
+			}
+		}()
+	}
+	wg.Wait()
+	if est := p.Estimate(); est != 500 {
+		t.Errorf("estimate = %d, want 500", est)
+	}
+	if p.Samples() != 8000 {
+		t.Errorf("Samples = %d, want 8000", p.Samples())
+	}
+}
+
+func TestStealCostMonitorSeed(t *testing.T) {
+	m := NewStealCostMonitor(3000)
+	if m.Estimate() != 3000 {
+		t.Fatalf("seed = %d", m.Estimate())
+	}
+	m.Observe(1000)
+	if m.Estimate() != 1000 {
+		t.Errorf("first observation must replace the seed, got %d", m.Estimate())
+	}
+	for i := 0; i < 200; i++ {
+		m.Observe(2000)
+	}
+	if est := m.Estimate(); est < 1900 || est > 2100 {
+		t.Errorf("monitor did not converge: %d", est)
+	}
+	if m.Samples() != 201 {
+		t.Errorf("Samples = %d", m.Samples())
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable(2)
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tab.Handler(0).Annotate(100)
+	tab.Handler(1).Annotate(200)
+	if tab.Handler(0).Estimate() != 100 || tab.Handler(1).Estimate() != 200 {
+		t.Error("per-handler estimates mixed up")
+	}
+	tab.Grow(5)
+	if tab.Len() != 5 {
+		t.Fatalf("after Grow, Len = %d", tab.Len())
+	}
+	if tab.Handler(4).Estimate() != 0 {
+		t.Error("grown handlers start unprofiled")
+	}
+	tab.Grow(3) // never shrinks
+	if tab.Len() != 5 {
+		t.Error("Grow must not shrink")
+	}
+}

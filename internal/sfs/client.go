@@ -1,0 +1,157 @@
+package sfs
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client reads files from an SFS server over one persistent connection,
+// with a read-ahead window like the multio benchmark. Client is not
+// safe for concurrent use; run one per goroutine (as multio runs one
+// per load machine).
+type Client struct {
+	conn  net.Conn
+	keys  Keys
+	buf   []byte
+	next  uint32
+	chunk uint32
+	ahead int
+}
+
+// Dial connects to an SFS server.
+func Dial(addr string, psk []byte) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn:  conn,
+		keys:  DeriveKeys(psk),
+		chunk: 64 << 10,
+		ahead: 4,
+	}, nil
+}
+
+// SetChunk adjusts the per-request read size.
+func (c *Client) SetChunk(bytes uint32) { c.chunk = bytes }
+
+// SetReadAhead adjusts the outstanding-request window.
+func (c *Client) SetReadAhead(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.ahead = n
+}
+
+// ReadFile fetches a whole file, issuing chunked READs with the
+// read-ahead window and verifying/decrypting every response.
+func (c *Client) ReadFile(path string, size int) ([]byte, error) {
+	out := make([]byte, 0, size)
+	type pending struct{ offset uint64 }
+	inflight := make(map[uint32]pending, c.ahead)
+
+	var (
+		sendOff uint64
+		done    bool
+		chunks  = make(map[uint64][]byte)
+		recvOff uint64
+	)
+	send := func() error {
+		if done || len(inflight) >= c.ahead {
+			return nil
+		}
+		if sendOff >= uint64(size) {
+			done = true
+			return nil
+		}
+		id := c.next
+		c.next++
+		req := EncodeRead(ReadRequest{ReqID: id, Path: path, Offset: sendOff, Length: c.chunk})
+		if _, err := c.conn.Write(req); err != nil {
+			return err
+		}
+		inflight[id] = pending{offset: sendOff}
+		sendOff += uint64(c.chunk)
+		return nil
+	}
+	for i := 0; i < c.ahead; i++ {
+		if err := send(); err != nil {
+			return nil, err
+		}
+	}
+
+	for len(inflight) > 0 {
+		resp, err := c.readResponse()
+		if err != nil {
+			return nil, err
+		}
+		p, ok := inflight[resp.ReqID]
+		if !ok {
+			return nil, fmt.Errorf("sfs: unexpected response id %d", resp.ReqID)
+		}
+		delete(inflight, resp.ReqID)
+		if resp.Status != statusOK {
+			return nil, fmt.Errorf("sfs: server status %d for offset %d", resp.Status, p.offset)
+		}
+		chunks[p.offset] = resp.Data
+		// Reassemble in order.
+		for {
+			data, ok := chunks[recvOff]
+			if !ok {
+				break
+			}
+			delete(chunks, recvOff)
+			out = append(out, data...)
+			recvOff += uint64(c.chunk)
+		}
+		if err := send(); err != nil {
+			return nil, err
+		}
+	}
+	if len(out) > size {
+		out = out[:size]
+	}
+	return out, nil
+}
+
+// readResponse reads and opens one framed response.
+func (c *Client) readResponse() (Response, error) {
+	var r Response
+	for {
+		frames, rest, err := SplitFrames(c.buf)
+		if err != nil {
+			return r, err
+		}
+		if len(frames) > 0 {
+			// Open the first frame before compacting: the frame
+			// aliases c.buf and compaction overwrites its bytes.
+			frame := frames[0]
+			resp, err := Open(&c.keys, frame)
+			consumed := 4 + len(frame)
+			c.buf = append(c.buf[:0], c.buf[consumed:]...)
+			return resp, err
+		}
+		_ = rest
+		tmp := make([]byte, 64<<10)
+		n, err := c.conn.Read(tmp)
+		if n > 0 {
+			c.buf = append(c.buf, tmp[:n]...)
+			continue
+		}
+		if err != nil {
+			if err == io.EOF {
+				return r, io.ErrUnexpectedEOF
+			}
+			return r, err
+		}
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// FrameSize reports the wire size of a sealed chunk of dataLen bytes.
+func FrameSize(dataLen int) int {
+	return 4 + 1 + 4 + 1 + nonceBytes + 4 + dataLen + macBytes
+}

@@ -1,0 +1,75 @@
+package sfsmodel
+
+import (
+	"testing"
+
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+func measure(t *testing.T, pol policy.Config, spec Spec) *metrics.Run {
+	t.Helper()
+	eng, err := Build(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Measure(eng, 100_000_000, 400_000_000)
+}
+
+func TestDeliversBytes(t *testing.T) {
+	run := measure(t, policy.Mely(), Spec{})
+	if run.Payload["bytes"] == 0 {
+		t.Fatal("no bytes served")
+	}
+	if MBPerSecond(run) <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestCryptoDominates(t *testing.T) {
+	// The paper: SFS spends >60% of its time in crypto. Check the
+	// model's execution profile matches under workstealing.
+	run := measure(t, policy.MelyWS(), Spec{})
+	tot := run.Total()
+	chunks := run.Payload["bytes"] / float64(8<<10)
+	cryptoCycles := chunks * 1_150_000
+	if frac := cryptoCycles / float64(tot.ExecCycles); frac < 0.6 {
+		t.Errorf("crypto fraction %.2f, want > 0.6", frac)
+	}
+}
+
+// TestFig3Fig8Shape reproduces the SFS results: workstealing helps by a
+// large margin (paper: +35%), and Mely's workstealing performs at least
+// as well as Libasync-smp's (Figure 8: "performs similarly").
+func TestFig3Fig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	la := MBPerSecond(measure(t, policy.Libasync(), Spec{}))
+	laWS := MBPerSecond(measure(t, policy.LibasyncWS(), Spec{}))
+	melyWS := MBPerSecond(measure(t, policy.MelyWS(), Spec{}))
+
+	if laWS < 1.2*la {
+		t.Errorf("libasync-WS (%.1f MB/s) should clearly beat libasync (%.1f)", laWS, la)
+	}
+	if melyWS < 0.95*laWS {
+		t.Errorf("Mely-WS (%.1f MB/s) must not degrade vs libasync-WS (%.1f)", melyWS, laWS)
+	}
+}
+
+func TestRandomColorsOption(t *testing.T) {
+	run := measure(t, policy.Mely(), Spec{RandomColors: true})
+	if run.Payload["bytes"] == 0 {
+		t.Fatal("random-color mode must still serve")
+	}
+}
+
+func TestTooManyClientsRejected(t *testing.T) {
+	_, err := Build(topology.IntelXeonE5410(), policy.Mely(), sim.DefaultParams(), 7,
+		Spec{Clients: 100_000})
+	if err == nil {
+		t.Fatal("client counts beyond the color space must be rejected")
+	}
+}

@@ -1,0 +1,912 @@
+// Package sim is a deterministic discrete-event simulator of an
+// event-coloring runtime on a multicore machine. It executes the same
+// queue structures (internal/equeue) and workstealing decisions
+// (internal/policy) as the real runtime, but charges costs to per-core
+// virtual cycle clocks and models spinlock contention and the cache
+// hierarchy in virtual time. Every table and figure of the paper is
+// regenerated on this platform (see internal/bench).
+//
+// # Scheduling model
+//
+// The engine always advances the core with the smallest virtual clock,
+// one atomic action at a time (process one event, or one steal attempt,
+// or one idle wait). Because steps are applied in global time order,
+// locks can be modeled exactly with a single "free at" timestamp per
+// lock: an acquirer at time t waits max(0, freeAt-t). Two bounded
+// anachronisms remain — an action spans its whole duration atomically,
+// so another core can observe its effects up to one action early — and
+// they are bounded by a single handler execution, which is far below the
+// horizons measured here.
+//
+// # Determinism
+//
+// Runs are reproducible: same configuration and seed, same metrics. The
+// engine owns a single rand.Rand; handlers and workloads must draw
+// randomness from it and avoid iterating Go maps where order leaks into
+// decisions.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/melyruntime/mely/internal/cachesim"
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/profile"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+// HandlerFunc is a simulated event handler. It runs at the virtual time
+// the event finishes executing; it may post follow-up events and touch
+// the cache model through ctx. Its Go-level execution time is irrelevant:
+// the virtual cost is Ev.Cost plus modeled cache latency.
+type HandlerFunc func(ctx *Ctx, ev *equeue.Event)
+
+// HandlerOpts configures a registered handler.
+type HandlerOpts struct {
+	// DefaultCost is used when a posted event leaves Cost zero.
+	DefaultCost int64
+	// Penalty is the handler's ws_penalty annotation (section III-C).
+	Penalty int32
+	// DynamicEstimate makes the time-left accounting use the handler's
+	// learned average execution time instead of the event's exact cost
+	// (the future-work mode of section VII: no programmer annotations).
+	DynamicEstimate bool
+	// AutoPenalty derives the handler's ws_penalty from monitored
+	// memory usage instead of an annotation (the second future-work
+	// mode of section VII): handlers that repeatedly touch large,
+	// long-lived data sets look increasingly unattractive to thieves.
+	AutoPenalty bool
+}
+
+// TraceKind classifies a trace span.
+type TraceKind int
+
+const (
+	// TraceExec is a handler execution span.
+	TraceExec TraceKind = iota + 1
+	// TraceSteal is a successful steal transaction.
+	TraceSteal
+	// TraceFailedSteal is a steal attempt that found nothing.
+	TraceFailedSteal
+)
+
+// TraceEvent describes one span of a core's virtual timeline.
+type TraceEvent struct {
+	Kind       TraceKind
+	Core       int
+	Start, End int64 // virtual cycles
+	Color      equeue.Color
+	Handler    string // handler name (exec) or victim description (steal)
+	Stolen     bool   // exec: the event had been migrated
+}
+
+// Config configures an Engine.
+type Config struct {
+	Topology *topology.Topology
+	Policy   policy.Config
+	Params   Params
+	Seed     int64
+
+	// Trace, when non-nil, receives a span for every handler execution
+	// and steal attempt. Keep it fast; it runs inline.
+	Trace func(TraceEvent)
+
+	// OnQuiescent runs when no events remain anywhere (after clocks
+	// sync). Returning false ends the run. Nil means quiescence ends
+	// the run. The context is bound to QuiesceCore.
+	OnQuiescent func(ctx *Ctx) bool
+	QuiesceCore int
+}
+
+// Ev describes an event to post.
+type Ev struct {
+	Handler equeue.HandlerID
+	Color   equeue.Color
+	// Cost in cycles; zero uses the handler's DefaultCost.
+	Cost int64
+	// Footprint/DataID describe the data set touched (cache model);
+	// DataSize is the full object size when only part of it is touched.
+	Footprint int64
+	DataSize  int64
+	DataID    uint64
+	// Data is the continuation payload.
+	Data any
+}
+
+type handlerEntry struct {
+	name string
+	fn   HandlerFunc
+	opts HandlerOpts
+
+	// Memory-usage monitoring for AutoPenalty: EWMAs of the lines a
+	// handler touches and of how often the data set is long-lived
+	// (seen before this execution).
+	footLines float64
+	reuseFrac float64
+	observed  bool
+}
+
+// autoPenaltyDivisor scales monitored memory usage into a ws_penalty:
+// one penalty point per this many long-lived lines touched.
+const autoPenaltyDivisor = 16
+
+// autoPenalty converts the monitored usage into a penalty annotation.
+func (h *handlerEntry) autoPenalty() int32 {
+	if !h.observed {
+		return 1
+	}
+	p := 1 + int32(h.reuseFrac*h.footLines/autoPenaltyDivisor)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// observeMemory folds one execution's memory behaviour into the EWMAs.
+func (h *handlerEntry) observeMemory(lines float64, reused bool) {
+	r := 0.0
+	if reused {
+		r = 1.0
+	}
+	if !h.observed {
+		h.footLines, h.reuseFrac, h.observed = lines, r, true
+		return
+	}
+	const alpha = 0.125
+	h.footLines += alpha * (lines - h.footLines)
+	h.reuseFrac += alpha * (r - h.reuseFrac)
+}
+
+type simLock struct {
+	freeAt int64
+}
+
+type core struct {
+	id    int
+	clock int64
+	lock  simLock
+
+	list *equeue.ListQueue
+	mely *equeue.CoreQueue
+
+	running    equeue.Color
+	hasRunning bool
+	idle       bool
+
+	// executing holds an event whose cost has been charged but whose
+	// handler has not yet run. The handler runs at the core's next
+	// step, i.e. once the global time front reaches the execution's
+	// finish time — so the continuation's posts and lock operations
+	// happen in global time order (a long event must not reserve a
+	// remote lock far in the future).
+	executing *equeue.Event
+
+	stats     *metrics.Core
+	victimBuf []int
+}
+
+// Engine simulates one runtime configuration on one machine.
+type Engine struct {
+	cfg      Config
+	topo     *topology.Topology
+	pol      policy.Config
+	params   Params
+	cache    *cachesim.Model
+	table    *equeue.ColorTable
+	cores    []*core
+	handlers []handlerEntry
+	profiles *profile.Table
+	stealMon *profile.StealCostMonitor
+	run      *metrics.Run
+	rng      *rand.Rand
+	pool     equeue.Pool
+
+	pending   int
+	stopped   bool
+	queueLen  []int
+	nextData  uint64
+	busFreeAt int64
+
+	timers   timerHeap
+	timerSeq uint64
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.CyclesPerSecond == 0 {
+		cfg.Params = DefaultParams()
+	}
+	if cfg.QuiesceCore < 0 || cfg.QuiesceCore >= cfg.Topology.NumCores() {
+		return nil, fmt.Errorf("sim: quiesce core %d out of range", cfg.QuiesceCore)
+	}
+	n := cfg.Topology.NumCores()
+	e := &Engine{
+		cfg:      cfg,
+		topo:     cfg.Topology,
+		pol:      cfg.Policy,
+		params:   cfg.Params,
+		cache:    cachesim.New(cfg.Topology, cfg.Params.Cache),
+		table:    equeue.NewColorTable(n),
+		profiles: profile.NewTable(0),
+		stealMon: profile.NewStealCostMonitor(cfg.Params.StealCostSeed),
+		run:      metrics.NewRun(n, cfg.Params.CyclesPerSecond),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		queueLen: make([]int, n),
+		nextData: 1,
+	}
+	e.cores = make([]*core, n)
+	for i := 0; i < n; i++ {
+		c := &core{id: i, stats: &e.run.Cores[i], victimBuf: make([]int, 0, n)}
+		if cfg.Policy.Layout == policy.ListLayout {
+			c.list = equeue.NewListQueue()
+		} else {
+			c.mely = equeue.NewCoreQueue(cfg.Params.StealCostSeed)
+			c.mely.BatchThreshold = cfg.Params.BatchThreshold
+			if cfg.Params.StealIntervals > 0 {
+				c.mely.Stealing().SetIntervals(cfg.Params.StealIntervals)
+			}
+		}
+		e.cores[i] = c
+	}
+	return e, nil
+}
+
+// Register adds a handler and returns its id.
+func (e *Engine) Register(name string, fn HandlerFunc, opts HandlerOpts) equeue.HandlerID {
+	e.handlers = append(e.handlers, handlerEntry{name: name, fn: fn, opts: opts})
+	e.profiles.Grow(len(e.handlers))
+	return equeue.HandlerID(len(e.handlers) - 1)
+}
+
+// HandlerProfile exposes the learned execution-time profile of h.
+func (e *Engine) HandlerProfile(h equeue.HandlerID) *profile.HandlerProfile {
+	return e.profiles.Handler(int(h))
+}
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTrace installs (or replaces) the trace hook; see Config.Trace.
+func (e *Engine) SetTrace(fn func(TraceEvent)) { e.cfg.Trace = fn }
+
+// NewDataID allocates a fresh data-set identity for the cache model.
+func (e *Engine) NewDataID() uint64 {
+	id := e.nextData
+	e.nextData++
+	return id
+}
+
+// Topology returns the simulated machine's topology.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// Policy returns the engine's scheduling configuration.
+func (e *Engine) Policy() policy.Config { return e.pol }
+
+// Pending reports the number of queued (not yet executed) events.
+func (e *Engine) Pending() int { return e.pending }
+
+// Stopped reports whether the run ended at quiescence.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// StealCostEstimate exposes the monitored steal cost (Table IV context).
+func (e *Engine) StealCostEstimate() int64 { return e.stealMon.Estimate() }
+
+// Seed posts an event before the run starts, bound to QuiesceCore's
+// context at time zero.
+func (e *Engine) Seed(fn func(ctx *Ctx)) {
+	ctx := &Ctx{eng: e, core: e.cores[e.cfg.QuiesceCore]}
+	fn(ctx)
+}
+
+// RunUntil advances the simulation until every core's clock reaches t or
+// the run stops at quiescence. It may be called repeatedly with
+// increasing horizons.
+func (e *Engine) RunUntil(t int64) {
+	for !e.stopped {
+		e.deliverDue()
+		c := e.minClockCore(t)
+		if c == nil {
+			return
+		}
+		e.step(c)
+		if e.pending == 0 && !e.anyQueued() && !e.anyExecuting() {
+			if e.timers.Len() > 0 {
+				// The machine is idle waiting for outside input.
+				e.fastForward(t)
+				continue
+			}
+			e.quiesce(t)
+		}
+	}
+}
+
+// ResetMetrics zeroes the accumulated counters (warmup boundary) —
+// including the cache model's miss counts, but not residency.
+func (e *Engine) ResetMetrics() {
+	for i := range e.run.Cores {
+		e.run.Cores[i] = metrics.Core{}
+	}
+	for i := range e.cache.Misses {
+		e.cache.Misses[i] = 0
+	}
+	e.run.Payload = make(map[string]float64)
+}
+
+// Metrics finalizes and returns the run's counters. measured is the
+// cycle extent the counters cover (horizon minus warmup).
+func (e *Engine) Metrics(measured int64) *metrics.Run {
+	for i := range e.run.Cores {
+		e.run.Cores[i].L2Misses = e.cache.Misses[i]
+	}
+	e.run.Cycles = measured
+	return e.run
+}
+
+// Payload exposes the run's workload-defined counters.
+func (e *Engine) Payload() map[string]float64 { return e.run.Payload }
+
+func (e *Engine) minClockCore(horizon int64) *core {
+	var best *core
+	for _, c := range e.cores {
+		if c.clock >= horizon {
+			continue
+		}
+		if best == nil || c.clock < best.clock {
+			best = c
+		}
+	}
+	return best
+}
+
+func (e *Engine) anyExecuting() bool {
+	for _, c := range e.cores {
+		if c.executing != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) anyQueued() bool {
+	for _, c := range e.cores {
+		if e.coreLen(c) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) coreLen(c *core) int {
+	if c.list != nil {
+		return c.list.Len()
+	}
+	return c.mely.Len()
+}
+
+// step performs one atomic action for core c.
+//
+// The running color set by processOne deliberately survives the step:
+// the execution conceptually spans [pop, c.clock), and a thief stepping
+// inside that span must see the color as running (it can never be
+// stolen). The flag is cleared as soon as the core does anything that
+// proves it is not executing — stealing, idling, or quiescing.
+func (e *Engine) step(c *core) {
+	if c.executing != nil {
+		e.finishOne(c)
+		return
+	}
+	if e.coreLen(c) > 0 {
+		e.startOne(c)
+		return
+	}
+	c.hasRunning = false
+	if e.pol.Steal != policy.StealNone && e.stealAttempt(c) {
+		return
+	}
+	c.idle = true
+	c.clock += e.params.IdleRecheck
+	c.stats.IdleCycles += e.params.IdleRecheck
+}
+
+// startOne dequeues one event and charges its execution; the handler
+// body runs at the core's next step (see core.executing).
+func (e *Engine) startOne(c *core) {
+	c.idle = false
+	start := c.clock
+
+	// Dequeue under the core's own lock.
+	e.lockAcquire(c, c)
+	var ev *equeue.Event
+	if c.list != nil {
+		ev = c.list.PopFront()
+		c.clock += e.params.DequeueList
+	} else {
+		if e.pol.TimeLeft {
+			c.mely.SetStealCost(e.stealMon.Estimate())
+		}
+		var emptied *equeue.ColorQueue
+		ev, emptied = c.mely.PopNext()
+		c.clock += e.params.DequeueMely
+		if emptied != nil {
+			c.clock += e.params.ColorQueueUnlink
+			e.table.SetQueue(emptied.Color(), nil)
+			c.mely.ReleaseColorQueue(emptied)
+		}
+	}
+	e.lockRelease(c, c, c.clock)
+	if ev == nil {
+		// Raced with a thief that emptied the queue; account the probe.
+		c.stats.QueueCycles += c.clock - start
+		c.stats.BusyCycles += c.clock - start
+		return
+	}
+	e.pending--
+	e.queueLen[c.id] = e.coreLen(c)
+	c.stats.QueueCycles += c.clock - start
+
+	// Execute.
+	c.running, c.hasRunning = ev.Color, true
+	objSize := ev.DataSize
+	if objSize == 0 {
+		objSize = ev.Footprint
+	}
+	handler := &e.handlers[ev.Handler]
+	if handler.opts.AutoPenalty {
+		lines := float64(ev.Footprint) / float64(e.params.Cache.LineSize)
+		handler.observeMemory(lines, ev.DataID != 0 && e.cache.Known(ev.DataID))
+	}
+	cacheCycles := e.chargeAccess(c, ev.DataID, objSize, ev.Footprint)
+	c.clock += ev.Cost + cacheCycles
+	c.stats.Events++
+	c.stats.ExecCycles += ev.Cost + cacheCycles
+	c.stats.CacheAccessCycles += cacheCycles
+	e.profiles.Handler(int(ev.Handler)).Observe(ev.Cost + cacheCycles)
+	if ev.Stolen {
+		c.stats.StolenEvents++
+		c.stats.StolenExecCycles += ev.Cost + cacheCycles
+	}
+
+	c.executing = ev
+	c.stats.BusyCycles += c.clock - start
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{
+			Kind:    TraceExec,
+			Core:    c.id,
+			Start:   start,
+			End:     c.clock,
+			Color:   ev.Color,
+			Handler: e.handlers[ev.Handler].name,
+			Stolen:  ev.Stolen,
+		})
+	}
+}
+
+// finishOne runs the handler continuation of the event whose execution
+// completed at the core's current clock.
+func (e *Engine) finishOne(c *core) {
+	ev := c.executing
+	c.executing = nil
+	start := c.clock
+	h := &e.handlers[ev.Handler]
+	if h.fn != nil {
+		ctx := Ctx{eng: e, core: c, ev: ev}
+		h.fn(&ctx, ev)
+	}
+	c.stats.BusyCycles += c.clock - start
+	e.pool.Put(ev)
+}
+
+// stealAttempt runs the workstealing routine of Figure 2 (with the
+// configured heuristics) and reports whether events were migrated.
+func (e *Engine) stealAttempt(c *core) bool {
+	c.idle = false
+	c.stats.StealAttempts++
+	t0 := c.clock
+	var waited int64
+	c.clock += e.params.StealSetup
+
+	order := e.pol.VictimOrder(c.id, e.queueLen, e.topo, c.victimBuf)
+	for _, vid := range order {
+		v := e.cores[vid]
+		// The heuristic policies pre-screen victims with cheap unlocked
+		// reads; the base algorithm locks blindly — one of the two
+		// naivetes the paper calls out.
+		if e.pol.Steal == policy.StealHeuristic {
+			if e.coreLen(v) == 0 {
+				continue
+			}
+			if e.pol.TimeLeft && v.mely.Stealing().Len() == 0 {
+				continue
+			}
+		}
+		waited += e.lockAcquire(c, v)
+		heldFrom := c.clock
+		c.clock += e.params.InspectVictim
+
+		var (
+			set    equeue.EventSet
+			cq     *equeue.ColorQueue
+			stolen bool
+			color  equeue.Color
+		)
+		if e.pol.CanBeStolen(victimView{v}) {
+			if v.list != nil {
+				var ok bool
+				var scanned int
+				color, ok, scanned = v.list.ChooseColorToSteal(v.running, v.hasRunning)
+				c.clock += int64(scanned) * e.params.ScanPerEvent
+				if ok {
+					var scanned2 int
+					set, scanned2 = v.list.ExtractColor(color)
+					c.clock += int64(scanned2) * e.params.ScanPerEvent
+					stolen = !set.Empty()
+				}
+			} else {
+				if e.pol.TimeLeft {
+					v.mely.SetStealCost(e.stealMon.Estimate())
+					cq = v.mely.StealWorthy(v.running, v.hasRunning)
+					c.clock += e.params.CQInspect
+				} else {
+					var inspected int
+					cq, inspected = v.mely.StealBase(v.running, v.hasRunning)
+					c.clock += int64(inspected) * e.params.CQInspect
+				}
+				if cq != nil {
+					c.clock += e.params.ColorQueueUnlink
+					color = cq.Color()
+					stolen = true
+				}
+			}
+		}
+		e.lockRelease(c, v, heldFrom)
+		if !stolen {
+			continue
+		}
+
+		// Migrate into our own queue and take ownership of the color.
+		e.queueLen[vid] = e.coreLen(v)
+		waited += e.lockAcquire(c, c)
+		mHeld := c.clock
+		c.clock += e.params.MigrateBase
+		e.table.SetOwner(color, c.id)
+		if c.list != nil {
+			set.MarkStolen()
+			c.list.AppendSet(set)
+		} else {
+			cq.MarkStolen()
+			c.mely.Adopt(cq)
+			c.clock += e.params.ColorQueueLink
+			e.table.SetQueue(color, cq)
+		}
+		e.lockRelease(c, c, mHeld)
+		e.queueLen[c.id] = e.coreLen(c)
+
+		dt := c.clock - t0
+		c.stats.Steals++
+		if !e.topo.SharesCache(c.id, vid) {
+			c.stats.RemoteSteals++
+		}
+		c.stats.StealCycles += dt
+		c.stats.BusyCycles += dt
+		// The built-in monitoring estimates the intrinsic cost of a
+		// steal (its critical path); queueing delays behind other
+		// cores are contention, not cost, and would make the
+		// worthiness threshold balloon under load.
+		e.stealMon.Observe(dt - waited)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{
+				Kind:    TraceSteal,
+				Core:    c.id,
+				Start:   t0,
+				End:     c.clock,
+				Color:   color,
+				Handler: fmt.Sprintf("steal from core %d", vid),
+			})
+		}
+		return true
+	}
+
+	c.stats.FailedSteals++
+	dt := c.clock - t0
+	c.stats.FailedStealCycles += dt
+	c.stats.BusyCycles += dt
+	if e.cfg.Trace != nil && dt > 0 {
+		e.cfg.Trace(TraceEvent{
+			Kind:  TraceFailedSteal,
+			Core:  c.id,
+			Start: t0,
+			End:   c.clock,
+		})
+	}
+	return false
+}
+
+// lockAcquire blocks c on target's queue lock, charging wait and
+// transfer costs, and returns the wait. Waits are folded into the
+// enclosing step's busy span.
+func (e *Engine) lockAcquire(c, target *core) int64 {
+	var wait int64
+	if target.lock.freeAt > c.clock {
+		wait = target.lock.freeAt - c.clock
+		c.stats.LockWaitCycles += wait
+		c.clock = target.lock.freeAt
+	}
+	cost := e.params.LockAcquire +
+		int64(e.topo.Dist(c.id, target.id))*e.params.LockDistPenalty
+	c.clock += cost
+	return wait
+}
+
+// lockRelease frees target's lock at c's current time. heldFrom is when
+// the critical section began (for victim-pressure accounting).
+func (e *Engine) lockRelease(c, target *core, heldFrom int64) {
+	target.lock.freeAt = c.clock
+	if target != c {
+		target.stats.VictimLockedCycles += c.clock - heldFrom
+	}
+}
+
+// post enqueues ev on the owner of its color (or an explicit target).
+func (e *Engine) post(from *core, explicit int, ev Ev) {
+	h := &e.handlers[ev.Handler]
+	if ev.Cost == 0 {
+		ev.Cost = h.opts.DefaultCost
+	}
+	event := e.pool.Get()
+	event.Handler = ev.Handler
+	event.Color = ev.Color
+	event.Cost = ev.Cost
+	if h.opts.DynamicEstimate {
+		event.Est = e.profiles.Handler(int(ev.Handler)).Estimate()
+		if event.Est == 0 {
+			event.Est = 1 // unprofiled: look cheap until learned
+		}
+	}
+	penalty := h.opts.Penalty
+	if h.opts.AutoPenalty {
+		penalty = h.autoPenalty()
+	}
+	event.Penalty = e.pol.EffectivePenalty(penalty)
+	event.Footprint = ev.Footprint
+	event.DataSize = ev.DataSize
+	event.DataID = ev.DataID
+	event.Data = ev.Data
+
+	owner := e.resolveOwner(ev.Color, explicit)
+	target := e.cores[owner]
+
+	e.lockAcquire(from, target)
+	heldFrom := from.clock
+	if target.list != nil {
+		target.list.PushBack(event)
+		from.clock += e.params.EnqueueList
+	} else {
+		if e.pol.TimeLeft {
+			target.mely.SetStealCost(e.stealMon.Estimate())
+		}
+		cq := e.table.Queue(ev.Color)
+		if cq == nil {
+			cq = target.mely.NewColorQueue(ev.Color)
+			e.table.SetQueue(ev.Color, cq)
+		}
+		linked := target.mely.Push(cq, event)
+		from.clock += e.params.EnqueueMely
+		if linked {
+			from.clock += e.params.ColorQueueLink
+		}
+	}
+	e.lockRelease(from, target, heldFrom)
+	e.pending++
+	e.queueLen[owner] = e.coreLen(target)
+
+	// Wake an idle target: it would have observed the event at post
+	// time had it kept spinning.
+	if target != from && target.idle && target.clock < from.clock {
+		target.stats.IdleCycles += from.clock - target.clock
+		target.clock = from.clock
+	}
+	target.idle = false
+}
+
+// resolveOwner returns the core a new event of the color must go to.
+//
+// Ownership is a lease, not a permanent assignment: the color table
+// tracks where a color's events currently live, and once a color fully
+// drains (no pending events and not executing) it re-homes to its hash
+// core — the behavior of a pending-events color map, and the reason the
+// paper's Web server keeps stealing forever: every load wave re-creates
+// the hash imbalance and the thieves pay the steal price again.
+func (e *Engine) resolveOwner(col equeue.Color, explicit int) int {
+	owner := e.table.Owner(col)
+	if explicit >= 0 {
+		if explicit != owner && e.colorLive(col, owner) {
+			panic(fmt.Sprintf(
+				"sim: PostTo(%d) would split live color %d owned by core %d",
+				explicit, col, owner))
+		}
+		e.table.SetOwner(col, explicit)
+		return explicit
+	}
+	if home := e.table.Hash(col); owner != home && !e.colorLive(col, owner) {
+		e.table.SetOwner(col, home)
+		return home
+	}
+	return owner
+}
+
+// colorLive reports whether color c has pending events or is executing
+// on the given owner core.
+func (e *Engine) colorLive(col equeue.Color, owner int) bool {
+	c := e.cores[owner]
+	if c.hasRunning && c.running == col {
+		return true
+	}
+	if c.list != nil {
+		return c.list.Pending(col) > 0
+	}
+	cq := e.table.Queue(col)
+	return cq != nil && cq.Len() > 0
+}
+
+// quiesce synchronizes clocks and invokes the OnQuiescent hook.
+func (e *Engine) quiesce(horizon int64) {
+	var maxClock int64
+	for _, c := range e.cores {
+		if c.clock > maxClock {
+			maxClock = c.clock
+		}
+	}
+	for _, c := range e.cores {
+		if c.clock < maxClock {
+			c.stats.IdleCycles += maxClock - c.clock
+			c.clock = maxClock
+		}
+		c.idle = true
+		c.hasRunning = false
+	}
+	if maxClock >= horizon {
+		return // horizon reached; caller decides whether to continue
+	}
+	if e.cfg.OnQuiescent == nil {
+		e.stopped = true
+		return
+	}
+	qc := e.cores[e.cfg.QuiesceCore]
+	ctx := Ctx{eng: e, core: qc}
+	if !e.cfg.OnQuiescent(&ctx) {
+		e.stopped = true
+	}
+}
+
+// chargeAccess runs a cache-model access, adding memory-bus queueing:
+// every missed line occupies the shared bus, and concurrent misses from
+// other cores must wait — the mechanism that makes steal-induced misses
+// a machine-wide cost, not just the thief's (the paper's +146% L2 miss
+// observation comes with a throughput collapse for exactly this reason).
+func (e *Engine) chargeAccess(c *core, id uint64, objSize, touched int64) int64 {
+	cycles, missLines := e.cache.Access(c.id, id, objSize, touched)
+	if missLines > 0 && e.params.BusCyclesPerLine > 0 {
+		if e.busFreeAt > c.clock {
+			wait := e.busFreeAt - c.clock
+			cycles += wait
+			c.stats.BusWaitCycles += wait
+		}
+		occupied := missLines * e.params.BusCyclesPerLine
+		start := c.clock
+		if e.busFreeAt > start {
+			start = e.busFreeAt
+		}
+		e.busFreeAt = start + occupied
+	}
+	return cycles
+}
+
+// victimView adapts a core to policy.VictimView.
+type victimView struct{ c *core }
+
+func (v victimView) QueuedEvents() int {
+	if v.c.list != nil {
+		return v.c.list.Len()
+	}
+	return v.c.mely.Len()
+}
+
+func (v victimView) DistinctColors() int {
+	if v.c.list != nil {
+		return v.c.list.DistinctColors()
+	}
+	return v.c.mely.Colors()
+}
+
+func (v victimView) RunningColor() (equeue.Color, bool) {
+	return v.c.running, v.c.hasRunning
+}
+
+func (v victimView) HasColorOtherThan(col equeue.Color) bool {
+	if v.DistinctColors() >= 2 {
+		return true
+	}
+	if v.c.list != nil {
+		first, ok := v.c.list.FirstColor()
+		return ok && first != col
+	}
+	first, ok := v.c.mely.FirstColor()
+	return ok && first != col
+}
+
+func (v victimView) Stealing() *equeue.StealingQueue {
+	if v.c.mely == nil {
+		return nil
+	}
+	return v.c.mely.Stealing()
+}
+
+// Ctx is the execution context passed to simulated handlers.
+type Ctx struct {
+	eng  *Engine
+	core *core
+	ev   *equeue.Event
+}
+
+// Post registers an event on the current owner of its color.
+func (ctx *Ctx) Post(ev Ev) { ctx.eng.post(ctx.core, -1, ev) }
+
+// PostTo registers an event on an explicit core, claiming the color for
+// that core. It panics if the color is live elsewhere (that would break
+// the mutual-exclusion guarantee); use it only for fresh colors, e.g.
+// a microbenchmark "registering 50000 events on the first core".
+func (ctx *Ctx) PostTo(core int, ev Ev) { ctx.eng.post(ctx.core, core, ev) }
+
+// Now is the executing core's virtual clock.
+func (ctx *Ctx) Now() int64 { return ctx.core.clock }
+
+// Core is the executing core's id.
+func (ctx *Ctx) Core() int { return ctx.core.id }
+
+// Rand returns the engine's deterministic random source.
+func (ctx *Ctx) Rand() *rand.Rand { return ctx.eng.rng }
+
+// NewDataID allocates a data-set identity (see cachesim).
+func (ctx *Ctx) NewDataID() uint64 { return ctx.eng.NewDataID() }
+
+// Touch charges a full access to a data set from the current core and
+// returns its latency (also added to the core's clock). The first Touch
+// of an id is its allocation.
+func (ctx *Ctx) Touch(id uint64, size int64) int64 {
+	return ctx.TouchPart(id, size, size)
+}
+
+// TouchPart charges an access to `touched` bytes of a data set of
+// objSize bytes (see cachesim.Access for the exact semantics).
+func (ctx *Ctx) TouchPart(id uint64, objSize, touched int64) int64 {
+	cycles := ctx.eng.chargeAccess(ctx.core, id, objSize, touched)
+	ctx.core.clock += cycles
+	ctx.core.stats.CacheAccessCycles += cycles
+	ctx.core.stats.ExecCycles += cycles
+	return cycles
+}
+
+// FreeData drops a data set from the cache model (short-lived data).
+func (ctx *Ctx) FreeData(id uint64) { ctx.eng.cache.Free(id) }
+
+// AddPayload accumulates a workload-defined metric (requests served,
+// bytes transferred, ...).
+func (ctx *Ctx) AddPayload(key string, v float64) {
+	ctx.eng.run.Payload[key] += v
+}
+
+// Charge adds extra cycles to the current core (explicit modeling of
+// work outside Ev.Cost).
+func (ctx *Ctx) Charge(cycles int64) {
+	ctx.core.clock += cycles
+	ctx.core.stats.ExecCycles += cycles
+}

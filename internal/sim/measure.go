@@ -1,0 +1,14 @@
+package sim
+
+import "github.com/melyruntime/mely/internal/metrics"
+
+// Measure runs the engine for a warmup period, resets the counters, runs
+// the measurement window, and returns its metrics — the steady-state
+// protocol used by every experiment in internal/bench. Durations are in
+// virtual cycles.
+func Measure(eng *Engine, warmup, window int64) *metrics.Run {
+	eng.RunUntil(warmup)
+	eng.ResetMetrics()
+	eng.RunUntil(warmup + window)
+	return eng.Metrics(window)
+}

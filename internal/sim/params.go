@@ -1,0 +1,103 @@
+package sim
+
+import "github.com/melyruntime/mely/internal/cachesim"
+
+// Params are the cost model of the simulated machine, in CPU cycles.
+// Defaults are calibrated to the paper's measurements on the 8-core
+// Intel Xeon E5410 testbed (sections II-C, III-A, V-A):
+//
+//   - scanning one event of a Libasync-smp queue (follow a link, check
+//     the color) costs about 190 cycles;
+//   - L1/L2/memory access latencies are 4/15/110 cycles (Table II);
+//   - queue bookkeeping and lock transfer costs are set so the derived
+//     quantities land in the paper's regimes: a Mely steal costs a few
+//     Kcycles while a contended Libasync-smp steal costs tens of Kcycles
+//     (Tables I and III).
+//
+// Absolute throughputs are model outputs, not targets; EXPERIMENTS.md
+// compares shapes (ratios, orderings, crossovers) against the paper.
+type Params struct {
+	// CyclesPerSecond converts virtual cycles to seconds (2.33 GHz).
+	CyclesPerSecond float64
+
+	// ScanPerEvent is the cost of visiting one event during the list
+	// layout's choose/extract scans.
+	ScanPerEvent int64
+
+	// Enqueue/Dequeue are the per-event queue costs of each layout.
+	EnqueueList, DequeueList int64
+	EnqueueMely, DequeueMely int64
+
+	// ColorQueueLink/Unlink are charged when a Mely ColorQueue enters or
+	// leaves a CoreQueue (the short-lived color overhead of section V-C1).
+	ColorQueueLink, ColorQueueUnlink int64
+
+	// LockAcquire is the uncontended cost of taking a core's queue
+	// spinlock; LockDistPenalty is added per unit of topology distance
+	// (the lock's cache line must travel).
+	LockAcquire, LockDistPenalty int64
+
+	// StealSetup is construct_core_set: reading queue lengths and
+	// building the victim order.
+	StealSetup int64
+	// InspectVictim is can_be_stolen once the victim is locked.
+	InspectVictim int64
+	// CQInspect is the cost of examining one ColorQueue during Mely
+	// steal choice.
+	CQInspect int64
+	// MigrateBase is the fixed cost of migrate (splicing the stolen set
+	// into the thief's queue, beyond per-event or link costs).
+	MigrateBase int64
+
+	// IdleRecheck is how long an idle core waits before re-probing for
+	// work, in cycles.
+	IdleRecheck int64
+
+	// BatchThreshold caps consecutive same-color events on Mely cores
+	// (10 in all the paper's experiments).
+	BatchThreshold int
+
+	// StealCostSeed seeds the steal-cost monitor before the first
+	// measured steal (time-left worthiness threshold).
+	StealCostSeed int64
+
+	// StealIntervals overrides the StealingQueue's partial-ordering
+	// granularity (0 keeps the paper's 3 intervals) — ablation knob.
+	StealIntervals int
+
+	// BusCyclesPerLine models the shared memory bus (the Harpertown
+	// front-side bus): every L2 miss occupies the bus for this many
+	// cycles per cache line, and concurrent misses queue. The
+	// paper's 2.33 GHz Harpertown machine moves ~6 GB/s of effective
+	// coherent traffic over its front-side buses, i.e. ~25 cycles per
+	// 64-byte line machine-wide. Zero disables the model.
+	BusCyclesPerLine int64
+
+	// Cache configures the simulated hierarchy.
+	Cache cachesim.Params
+}
+
+// DefaultParams returns the Xeon E5410 calibration.
+func DefaultParams() Params {
+	return Params{
+		CyclesPerSecond:  2.33e9,
+		ScanPerEvent:     190,
+		EnqueueList:      40,
+		DequeueList:      40,
+		EnqueueMely:      60,
+		DequeueMely:      40,
+		ColorQueueLink:   150,
+		ColorQueueUnlink: 100,
+		LockAcquire:      60,
+		LockDistPenalty:  120,
+		StealSetup:       150,
+		InspectVictim:    80,
+		CQInspect:        60,
+		MigrateBase:      150,
+		IdleRecheck:      1000,
+		BatchThreshold:   10,
+		StealCostSeed:    2500,
+		BusCyclesPerLine: 25,
+		Cache:            cachesim.XeonE5410Params(),
+	}
+}

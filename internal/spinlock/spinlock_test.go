@@ -1,0 +1,64 @@
+package spinlock
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	var (
+		l       Lock
+		counter int
+		wg      sync.WaitGroup
+	)
+	const goroutines, iters = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var l Lock
+	if !l.TryLock() {
+		t.Fatal("TryLock on a free lock must succeed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on a held lock must fail")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock must succeed")
+	}
+	l.Unlock()
+}
+
+// TestSingleProcLiveness guards the GOMAXPROCS=1 case: a contended
+// spinlock must still make progress because waiters yield.
+func TestSingleProcLiveness(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var l Lock
+	done := make(chan struct{})
+	l.Lock()
+	go func() {
+		l.Lock() // must block, then acquire after the main goroutine unlocks
+		l.Unlock()
+		close(done)
+	}()
+	runtime.Gosched()
+	l.Unlock()
+	<-done
+}

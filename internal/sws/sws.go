@@ -1,0 +1,262 @@
+// Package sws is the real counterpart of the paper's SWS Web server
+// (section V-C1): a static-content server supporting a subset of
+// HTTP/1.1, with responses prebuilt at startup (an optimization the
+// paper borrows from Flash) and error handling.
+//
+// The handler graph mirrors Figure 6 on the mely runtime:
+//
+//	accept pump  -> Accept        (color 1: admission bookkeeping)
+//	read pump    -> ParseRequest  (connection color)
+//	             -> CheckInCache  (connection color)
+//	             -> WriteResponse (connection color)
+//	close        -> DecAccepted   (color 1)
+//
+// The Epoll and RegisterFdInEpoll handlers of Figure 6 are subsumed by
+// the netpoll pumps (see that package's documentation for the
+// substitution rationale). Requests from distinct clients are colored
+// by connection, so they are served concurrently; the Accept-side
+// bookkeeping serializes under one color, exactly as in the paper.
+package sws
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/netpoll"
+)
+
+// Config configures the server.
+type Config struct {
+	Runtime *mely.Runtime
+	// Files maps URL paths ("/index.html") to contents. Responses are
+	// prebuilt for every entry at startup.
+	Files map[string][]byte
+	// MaxClients bounds simultaneous connections (0 = unlimited).
+	MaxClients int
+}
+
+// Server is a running SWS instance.
+type Server struct {
+	rt         *mely.Runtime
+	built      map[string][]byte
+	notFound   []byte
+	badRequest []byte
+	maxClients int
+
+	hAccept, hRead, hParse, hCache, hWrite, hDec mely.Handler
+
+	srv *netpoll.Server
+
+	accepted atomic.Int64 // bookkeeping under color 1; atomic for reads
+	served   atomic.Int64
+}
+
+// connState accumulates request bytes per connection (partial reads).
+type connState struct {
+	conn *netpoll.Conn
+	buf  bytes.Buffer
+}
+
+// parseJob carries a message through the request pipeline.
+type parseJob struct {
+	state *connState
+	data  []byte
+}
+
+type respondJob struct {
+	state *connState
+	path  string
+	close bool
+}
+
+// New builds the server and registers its handlers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("sws: nil runtime")
+	}
+	s := &Server{rt: cfg.Runtime, built: make(map[string][]byte, len(cfg.Files))}
+	// Prebuild responses (sorted for deterministic startup).
+	paths := make([]string, 0, len(cfg.Files))
+	for p := range cfg.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		s.built[p] = buildResponse(200, "OK", cfg.Files[p])
+	}
+	s.notFound = buildResponse(404, "Not Found", []byte("not found\n"))
+	s.badRequest = buildResponse(400, "Bad Request", []byte("bad request\n"))
+
+	// Figure 6's handler graph.
+	s.hWrite = s.rt.Register("WriteResponse", s.writeResponse)
+	s.hCache = s.rt.Register("CheckInCache", s.checkInCache)
+	s.hParse = s.rt.Register("ParseRequest", s.parseRequest)
+	s.hRead = s.rt.Register("ReadRequest", s.readRequest)
+	s.hAccept = s.rt.Register("Accept", func(ctx *mely.Ctx) {
+		s.accepted.Add(1)
+	})
+	s.hDec = s.rt.Register("DecClientAccepted", func(ctx *mely.Ctx) {
+		s.accepted.Add(-1)
+	})
+	s.maxClients = cfg.MaxClients
+	return s, nil
+}
+
+// Serve starts accepting on ln (non-blocking). Close shuts down.
+func (s *Server) Serve(ln net.Listener) error {
+	srv, err := netpoll.Serve(ln, netpoll.Config{
+		Runtime:     s.rt,
+		OnAccept:    s.hAccept,
+		AcceptColor: 1,
+		OnData:      s.hRead,
+		OnClose:     s.hDec,
+		MaxConns:    s.maxClients,
+	})
+	if err != nil {
+		return err
+	}
+	s.srv = srv
+	return nil
+}
+
+// readRequest receives raw bytes from the read pump and forwards them
+// to the parser with the connection's state attached.
+func (s *Server) readRequest(ctx *mely.Ctx) {
+	msg := ctx.Data().(*netpoll.Message)
+	st := connStateOf(msg.Conn)
+	if err := ctx.Post(s.hParse, msg.Conn.Color(), &parseJob{state: st, data: msg.Data}); err != nil {
+		msg.Conn.Shutdown()
+	}
+}
+
+// connStateOf returns the per-connection parser state. It is stored on
+// the connection itself so only handlers of that connection's color
+// touch it (colors serialize, so no lock is needed).
+func connStateOf(c *netpoll.Conn) *connState {
+	if st, ok := c.UserData.(*connState); ok {
+		return st
+	}
+	st := &connState{conn: c}
+	c.UserData = st
+	return st
+}
+
+// parseRequest accumulates bytes and extracts complete HTTP requests.
+func (s *Server) parseRequest(ctx *mely.Ctx) {
+	job := ctx.Data().(*parseJob)
+	st := job.state
+	st.buf.Write(job.data)
+	for {
+		raw := st.buf.Bytes()
+		end := bytes.Index(raw, []byte("\r\n\r\n"))
+		if end < 0 {
+			if st.buf.Len() > 64<<10 {
+				st.conn.Shutdown() // oversized request head
+			}
+			return
+		}
+		head := raw[:end]
+		st.buf.Next(end + 4)
+
+		path, keepAlive, ok := parseHead(head)
+		if !ok {
+			_ = ctx.Post(s.hWrite, ctx.Color(), &respondJob{state: st, path: "", close: true})
+			return
+		}
+		if err := ctx.Post(s.hCache, ctx.Color(), &respondJob{state: st, path: path, close: !keepAlive}); err != nil {
+			st.conn.Shutdown()
+			return
+		}
+	}
+}
+
+// checkInCache resolves the prebuilt response.
+func (s *Server) checkInCache(ctx *mely.Ctx) {
+	job := ctx.Data().(*respondJob)
+	if err := ctx.Post(s.hWrite, ctx.Color(), job); err != nil {
+		job.state.conn.Shutdown()
+	}
+}
+
+// writeResponse sends the prebuilt bytes.
+func (s *Server) writeResponse(ctx *mely.Ctx) {
+	job := ctx.Data().(*respondJob)
+	var resp []byte
+	switch {
+	case job.path == "":
+		resp = s.badRequest
+	default:
+		if built, ok := s.built[job.path]; ok {
+			resp = built
+		} else {
+			resp = s.notFound
+		}
+	}
+	if _, err := job.state.conn.Write(resp); err != nil {
+		job.state.conn.Shutdown()
+		return
+	}
+	s.served.Add(1)
+	if job.close {
+		job.state.conn.Shutdown()
+	}
+}
+
+// Served reports the number of responses written.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Accepted reports the number of currently admitted clients.
+func (s *Server) Accepted() int64 { return s.accepted.Load() }
+
+// Addr reports the listen address (valid after Serve).
+func (s *Server) Addr() net.Addr { return s.srv.Addr() }
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// parseHead parses an HTTP/1.x request head (request line + headers).
+func parseHead(head []byte) (path string, keepAlive, ok bool) {
+	lines := bytes.Split(head, []byte("\r\n"))
+	if len(lines) == 0 {
+		return "", false, false
+	}
+	parts := bytes.SplitN(lines[0], []byte(" "), 3)
+	if len(parts) != 3 || string(parts[0]) != "GET" {
+		return "", false, false
+	}
+	path = string(parts[1])
+	version := string(parts[2])
+	keepAlive = version == "HTTP/1.1" // 1.1 default: persistent
+	for _, ln := range lines[1:] {
+		k, v, found := bytes.Cut(ln, []byte(":"))
+		if !found {
+			continue
+		}
+		if bytes.EqualFold(bytes.TrimSpace(k), []byte("Connection")) {
+			switch string(bytes.ToLower(bytes.TrimSpace(v))) {
+			case "close":
+				keepAlive = false
+			case "keep-alive":
+				keepAlive = true
+			}
+		}
+	}
+	return path, keepAlive, true
+}
+
+// buildResponse prebuilds a full HTTP response.
+func buildResponse(code int, status string, body []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", code, status)
+	b.WriteString("Server: sws/mely\r\n")
+	b.WriteString("Content-Type: application/octet-stream\r\n")
+	b.WriteString("Content-Length: " + strconv.Itoa(len(body)) + "\r\n")
+	b.WriteString("\r\n")
+	b.Write(body)
+	return b.Bytes()
+}

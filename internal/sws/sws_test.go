@@ -1,0 +1,338 @@
+package sws
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/melyruntime/mely"
+)
+
+func startServer(t *testing.T, files map[string][]byte, maxClients int) *Server {
+	t.Helper()
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	srv, err := New(Config{Runtime: rt, Files: files, MaxClients: maxClients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Drain(ctx)
+	})
+	return srv
+}
+
+// get performs one HTTP/1.1 request on an existing connection.
+func get(t *testing.T, conn net.Conn, br *bufio.Reader, path string) (status string, body []byte) {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", path); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	status = strings.TrimSpace(line)
+	length := -1
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if n, ok := strings.CutPrefix(strings.ToLower(h), "content-length:"); ok {
+			fmt.Sscanf(strings.TrimSpace(n), "%d", &length)
+		}
+	}
+	if length < 0 {
+		t.Fatal("no content length")
+	}
+	body = make([]byte, length)
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatal(err)
+	}
+	return status, body
+}
+
+func TestServesStaticFile(t *testing.T) {
+	content := bytes.Repeat([]byte("x"), 1024)
+	srv := startServer(t, map[string][]byte{"/file.bin": content}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	status, body := get(t, conn, br, "/file.bin")
+	if !strings.Contains(status, "200") {
+		t.Fatalf("status = %q", status)
+	}
+	if !bytes.Equal(body, content) {
+		t.Fatal("body mismatch")
+	}
+}
+
+func TestKeepAliveServesRepeatedRequests(t *testing.T) {
+	srv := startServer(t, map[string][]byte{"/a": []byte("A"), "/b": []byte("B")}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	// The paper's clients request 150 files per connection.
+	for i := 0; i < 150; i++ {
+		path, want := "/a", "A"
+		if i%2 == 1 {
+			path, want = "/b", "B"
+		}
+		status, body := get(t, conn, br, path)
+		if !strings.Contains(status, "200") || string(body) != want {
+			t.Fatalf("request %d: %q %q", i, status, body)
+		}
+	}
+	if srv.Served() < 150 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	srv := startServer(t, map[string][]byte{}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	status, _ := get(t, conn, br, "/nope")
+	if !strings.Contains(status, "404") {
+		t.Fatalf("status = %q", status)
+	}
+}
+
+func TestBadRequestCloses(t *testing.T) {
+	srv := startServer(t, map[string][]byte{}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "BREW /coffee HTCPCP/1.0\r\n\r\n")
+	reply, _ := io.ReadAll(conn) // server responds 400 then closes
+	if !strings.Contains(string(reply), "400") {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestPipelinedRequestsInOneSegment(t *testing.T) {
+	srv := startServer(t, map[string][]byte{"/x": []byte("X")}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Two complete requests in a single write: the parser loop must
+	// produce two responses.
+	req := "GET /x HTTP/1.1\r\nHost: t\r\n\r\n"
+	if _, err := conn.Write([]byte(req + req)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if !strings.Contains(line, "200") {
+			t.Fatalf("response %d: %q", i, line)
+		}
+		for {
+			h, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.TrimSpace(h) == "" {
+				break
+			}
+		}
+		body := make([]byte, 1)
+		if _, err := io.ReadFull(br, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	content := bytes.Repeat([]byte("y"), 512)
+	srv := startServer(t, map[string][]byte{"/f": content}, 0)
+	const clients, reqs = 8, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			for i := 0; i < reqs; i++ {
+				if _, err := fmt.Fprintf(conn, "GET /f HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+					errs <- err
+					return
+				}
+				if err := skipResponse(br, len(content)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Served(); got != clients*reqs {
+		t.Fatalf("served = %d, want %d", got, clients*reqs)
+	}
+}
+
+func skipResponse(br *bufio.Reader, bodyLen int) error {
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(h) == "" {
+			break
+		}
+	}
+	_, err := io.CopyN(io.Discard, br, int64(bodyLen))
+	return err
+}
+
+func TestParseHead(t *testing.T) {
+	tests := []struct {
+		give          string
+		wantPath      string
+		wantKeepAlive bool
+		wantOK        bool
+	}{
+		{"GET /x HTTP/1.1\r\nHost: a", "/x", true, true},
+		{"GET /x HTTP/1.0\r\nHost: a", "/x", false, true},
+		{"GET /x HTTP/1.1\r\nConnection: close", "/x", false, true},
+		{"GET /x HTTP/1.0\r\nConnection: keep-alive", "/x", true, true},
+		{"POST /x HTTP/1.1", "", false, false},
+		{"GARBAGE", "", false, false},
+	}
+	for _, tt := range tests {
+		path, ka, ok := parseHead([]byte(tt.give))
+		if ok != tt.wantOK || (ok && (path != tt.wantPath || ka != tt.wantKeepAlive)) {
+			t.Errorf("parseHead(%q) = (%q,%v,%v), want (%q,%v,%v)",
+				tt.give, path, ka, ok, tt.wantPath, tt.wantKeepAlive, tt.wantOK)
+		}
+	}
+}
+
+func TestMaxClients(t *testing.T) {
+	srv := startServer(t, map[string][]byte{"/f": []byte("z")}, 1)
+	c1, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	br1 := bufio.NewReader(c1)
+	status, _ := get(t, c1, br1, "/f")
+	if !strings.Contains(status, "200") {
+		t.Fatalf("first client rejected: %q", status)
+	}
+	// The second concurrent connection is over the limit: the server
+	// closes it immediately.
+	c2, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	_ = c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c2.Read(buf); err == nil {
+		t.Fatal("second client should have been closed")
+	}
+}
+
+func TestOversizedRequestHeadCloses(t *testing.T) {
+	srv := startServer(t, map[string][]byte{}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Stream >64 KiB of header bytes with no terminator: the parser
+	// must give up and close the connection.
+	junk := bytes.Repeat([]byte("X-Junk: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n"), 2048)
+	if _, err := conn.Write(append([]byte("GET / HTTP/1.1\r\n"), junk...)); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server should close oversized request heads")
+	}
+}
+
+func TestClientDisconnectMidRequest(t *testing.T) {
+	// A client vanishing after half a request must not wedge the
+	// server or leak its connection slot.
+	srv := startServer(t, map[string][]byte{"/f": []byte("z")}, 0)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET /f HTT")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	// The server must still serve others.
+	conn2, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	br := bufio.NewReader(conn2)
+	status, _ := get(t, conn2, br, "/f")
+	if !strings.Contains(status, "200") {
+		t.Fatalf("status after another client's abort: %q", status)
+	}
+}

@@ -1,0 +1,364 @@
+// Package swsmodel simulates SWS, the paper's static-content Web server
+// (section V-C1, architecture in Figure 6), on the DES platform. It
+// reproduces the coloring scheme exactly:
+//
+//   - Epoll and RegisterFdInEpoll run under color 0 (initially core 0);
+//   - Accept and DecClientAccepted under color 1 (initially core 1);
+//   - ReadRequest, ParseRequest, CheckInCache, WriteResponse and Close
+//     are colored with the connection's file descriptor, so distinct
+//     clients are served concurrently.
+//
+// Clients are closed-loop (section V-C1: each virtual client repeatedly
+// connects and requests 150 files of 1 KB): the next request leaves only
+// after the previous response arrived. Client-side time between response
+// and next request (network + injector processing) is ClientCycle.
+//
+// The same builder provides the µserver N-copy baseline of Figure 7: N
+// independent single-core copies, each with its own event loop and a
+// static partition of the clients, nothing shared and nothing stolen.
+package swsmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+// Costs are the per-handler processing times in cycles, calibrated so
+// one request costs ~85 Kcycles of server work (mostly kernel socket
+// I/O), which puts the 8-core machine's capacity in the paper's range.
+type Costs struct {
+	EpollDispatch int64 // Epoll: pick up one readiness, route it
+	Accept        int64 // accept() + connection setup
+	RegisterFd    int64 // epoll_ctl on the new descriptor
+	ReadRequest   int64 // read() + buffer management
+	ParseRequest  int64 // HTTP parsing
+	CheckInCache  int64 // prebuilt-response lookup
+	WriteResponse int64 // write() of headers + 1 KB body
+	Close         int64 // shutdown + close
+	DecAccepted   int64 // bookkeeping under the Accept color
+}
+
+// DefaultCosts returns the calibrated handler costs.
+func DefaultCosts() Costs {
+	return Costs{
+		EpollDispatch: 4_000,
+		Accept:        27_000,
+		RegisterFd:    4_000,
+		ReadRequest:   40_000,
+		ParseRequest:  14_000,
+		CheckInCache:  11_000,
+		WriteResponse: 48_000,
+		Close:         20_000,
+		DecAccepted:   1_400,
+	}
+}
+
+// Spec parameterizes the SWS experiment.
+type Spec struct {
+	// Clients is the number of closed-loop virtual clients (the x-axis
+	// of Figures 4 and 7: 200..2000).
+	Clients int
+	// RequestsPerConn is how many files a client requests per
+	// connection (150 in the paper).
+	RequestsPerConn int
+	// ClientCycle is the client-side time between receiving a response
+	// and the next request reaching the server, in cycles.
+	ClientCycle int64
+	// Unsynchronized turns off the injector-side synchronization. The
+	// paper's injector is master/slave-coordinated, so by default the
+	// clients' requests leave in waves aligned to ClientCycle
+	// boundaries — each wave hits the server as a burst, which is what
+	// builds the 1000+-event queues of Table I.
+	Unsynchronized bool
+	// WaveJitter spreads a wave's arrivals (network + injector skew).
+	WaveJitter int64
+	// ConnectLatency is the time for a connect or reconnect to reach
+	// the server.
+	ConnectLatency int64
+	// ConnStateBytes is the per-connection state (socket buffers,
+	// parser state) touched by the fd-colored handlers; stealing a
+	// connection migrates it.
+	ConnStateBytes int64
+	// SkewWeights sets the relative share of connections whose color
+	// hashes onto each core. Real descriptor numbers do not spread
+	// connection load uniformly — the paper measures more than 1000
+	// pending events on the most loaded cores while others are idle
+	// enough to steal — so the default is a representative skew. The
+	// slice must have one weight per core; nil uses the default,
+	// and a uniform slice (all equal) disables the skew.
+	SkewWeights []int
+	// NCopy builds the µserver baseline: one independent single-core
+	// event-driven copy per core, clients randomly partitioned (the
+	// accept race of a multi-process server is close to fair).
+	NCopy bool
+	Costs Costs
+}
+
+func (s *Spec) defaults() {
+	if s.Clients == 0 {
+		s.Clients = 1000
+	}
+	if s.RequestsPerConn == 0 {
+		s.RequestsPerConn = 150
+	}
+	if s.ClientCycle == 0 {
+		s.ClientCycle = 12_000_000 // ~5 ms at 2.33 GHz
+	}
+	if s.ConnectLatency == 0 {
+		s.ConnectLatency = 466_000 // ~200 us
+	}
+	if s.ConnStateBytes == 0 {
+		s.ConnStateBytes = 4 << 10
+	}
+	if s.WaveJitter == 0 {
+		s.WaveJitter = 2_000_000
+	}
+	if s.Costs == (Costs{}) {
+		s.Costs = DefaultCosts()
+	}
+}
+
+// defaultSkew is the representative per-core connection-load skew for an
+// 8-core machine (the heaviest share deliberately not on the Epoll
+// core). Other core counts scale it cyclically.
+var defaultSkew = []int{0, 18, 26, 6, 14, 8, 6, 6}
+
+const (
+	epollColor  = equeue.DefaultColor // color 0, per the paper
+	acceptColor = equeue.Color(1)
+	// fdBase is the first connection color; client i uses fdBase+i.
+	fdBase = 10
+)
+
+type arrivalKind int
+
+const (
+	arriveConnect arrivalKind = iota + 1
+	arriveRequest
+)
+
+type arrival struct {
+	kind   arrivalKind
+	client int
+}
+
+type clientState struct {
+	reqsLeft int
+	connID   uint64 // connection-state data set
+}
+
+// Build constructs an SWS engine. For NCopy the policy must disable
+// stealing (each copy is an independent single-threaded loop).
+func Build(topo *topology.Topology, pol policy.Config, params sim.Params, seed int64, spec Spec) (*sim.Engine, error) {
+	spec.defaults()
+	if spec.NCopy && pol.Steal != policy.StealNone {
+		return nil, fmt.Errorf("swsmodel: the N-copy baseline cannot steal")
+	}
+	if spec.Clients > 60_000 {
+		return nil, fmt.Errorf("swsmodel: %d clients exceed the color space", spec.Clients)
+	}
+
+	eng, err := sim.New(sim.Config{
+		Topology: topo,
+		Policy:   pol,
+		Params:   params,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		hEpoll, hAccept, hRegister    equeue.HandlerID
+		hRead, hParse, hCache, hWrite equeue.HandlerID
+		hClose, hDec                  equeue.HandlerID
+		clients                       = make([]clientState, spec.Clients)
+		costs                         = spec.Costs
+		copyOf                        []int // NCopy: client -> copy
+	)
+	ncores := topo.NumCores()
+	if spec.NCopy {
+		// Random static partition, as a multi-process accept race
+		// would produce. Deterministic via the engine seed.
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		copyOf = make([]int, spec.Clients)
+		for i := range copyOf {
+			copyOf[i] = rng.Intn(ncores)
+		}
+	}
+
+	// Connection colors: each client gets a unique color whose hash
+	// core follows the skew pattern.
+	weights := spec.SkewWeights
+	if weights == nil {
+		weights = make([]int, ncores)
+		for i := range weights {
+			weights[i] = defaultSkew[i%len(defaultSkew)]
+		}
+	}
+	if len(weights) != ncores {
+		return nil, fmt.Errorf("swsmodel: %d skew weights for %d cores", len(weights), ncores)
+	}
+	var pattern []int
+	for core, w := range weights {
+		for k := 0; k < w; k++ {
+			pattern = append(pattern, core)
+		}
+	}
+	// Interleave deterministically so consecutive clients do not pile
+	// onto one core.
+	rngSkew := rand.New(rand.NewSource(seed ^ 0x77aa))
+	rngSkew.Shuffle(len(pattern), func(i, j int) { pattern[i], pattern[j] = pattern[j], pattern[i] })
+
+	connColor := func(client int) equeue.Color {
+		if spec.NCopy {
+			// Copy k lives on core k: color k hashes to core k, and
+			// every handler of the copy shares it (a copy is a
+			// single-threaded event loop).
+			return equeue.Color(copyOf[client])
+		}
+		target := pattern[client%len(pattern)]
+		// Unique color hashing onto the target core, clear of the
+		// control colors.
+		return equeue.Color(fdBase + ncores*(client+2) + target)
+	}
+	dispatchColor := func(client int) equeue.Color {
+		if spec.NCopy {
+			return equeue.Color(copyOf[client])
+		}
+		return epollColor
+	}
+	controlColor := func(client int) equeue.Color {
+		if spec.NCopy {
+			return equeue.Color(copyOf[client])
+		}
+		return acceptColor
+	}
+
+	// The request path, fd-colored.
+	// nextRequestDelay is the client-side gap before the next request.
+	// Synchronized mode aligns it to the injector's wave boundary.
+	nextRequestDelay := func(ctx *sim.Ctx) int64 {
+		jitter := ctx.Rand().Int63n(spec.WaveJitter)
+		if spec.Unsynchronized {
+			return spec.ClientCycle + jitter
+		}
+		now := ctx.Now()
+		wave := (now+spec.ClientCycle)/spec.ClientCycle + 1
+		return wave*spec.ClientCycle - now + jitter
+	}
+
+	hWrite = eng.Register("WriteResponse", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		st := &clients[client]
+		ctx.AddPayload("requests", 1)
+		st.reqsLeft--
+		if st.reqsLeft > 0 {
+			ctx.PostAfter(nextRequestDelay(ctx), sim.Ev{
+				Handler: hEpoll,
+				Color:   dispatchColor(client),
+				Data:    arrival{kind: arriveRequest, client: client},
+			})
+			return
+		}
+		ctx.Post(sim.Ev{Handler: hClose, Color: ev.Color, Cost: costs.Close, Data: client})
+	}, sim.HandlerOpts{})
+
+	hCache = eng.Register("CheckInCache", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		ctx.Post(sim.Ev{
+			Handler: hWrite, Color: ev.Color, Cost: costs.WriteResponse,
+			DataID: clients[client].connID, Footprint: spec.ConnStateBytes,
+			Data: client,
+		})
+	}, sim.HandlerOpts{})
+
+	hParse = eng.Register("ParseRequest", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		ctx.Post(sim.Ev{Handler: hCache, Color: ev.Color, Cost: costs.CheckInCache, Data: client})
+	}, sim.HandlerOpts{})
+
+	hRead = eng.Register("ReadRequest", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		ctx.Post(sim.Ev{Handler: hParse, Color: ev.Color, Cost: costs.ParseRequest, Data: client})
+	}, sim.HandlerOpts{})
+
+	hClose = eng.Register("Close", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		ctx.FreeData(clients[client].connID)
+		clients[client].connID = 0
+		ctx.Post(sim.Ev{Handler: hDec, Color: controlColor(client), Cost: costs.DecAccepted, Data: client})
+		ctx.AddPayload("connections", 1)
+	}, sim.HandlerOpts{})
+
+	hDec = eng.Register("DecClientAccepted", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		// The client reconnects and starts a new run of requests.
+		ctx.PostAfter(spec.ConnectLatency, sim.Ev{
+			Handler: hEpoll,
+			Color:   dispatchColor(client),
+			Data:    arrival{kind: arriveConnect, client: client},
+		})
+	}, sim.HandlerOpts{})
+
+	hRegister = eng.Register("RegisterFdInEpoll", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		// Monitored; the client's first request follows.
+		ctx.PostAfter(nextRequestDelay(ctx), sim.Ev{
+			Handler: hEpoll,
+			Color:   dispatchColor(client),
+			Data:    arrival{kind: arriveRequest, client: client},
+		})
+	}, sim.HandlerOpts{})
+
+	hAccept = eng.Register("Accept", func(ctx *sim.Ctx, ev *equeue.Event) {
+		client := ev.Data.(int)
+		st := &clients[client]
+		st.reqsLeft = spec.RequestsPerConn
+		st.connID = ctx.NewDataID()
+		ctx.Touch(st.connID, spec.ConnStateBytes)
+		ctx.Post(sim.Ev{Handler: hRegister, Color: dispatchColor(client), Cost: costs.RegisterFd, Data: client})
+	}, sim.HandlerOpts{})
+
+	hEpoll = eng.Register("Epoll", func(ctx *sim.Ctx, ev *equeue.Event) {
+		a := ev.Data.(arrival)
+		switch a.kind {
+		case arriveConnect:
+			ctx.Post(sim.Ev{Handler: hAccept, Color: controlColor(a.client), Cost: costs.Accept, Data: a.client})
+		case arriveRequest:
+			ctx.Post(sim.Ev{
+				Handler: hRead, Color: connColor(a.client), Cost: costs.ReadRequest,
+				DataID: clients[a.client].connID, Footprint: spec.ConnStateBytes,
+				Data: a.client,
+			})
+		}
+	}, sim.HandlerOpts{DefaultCost: costs.EpollDispatch})
+
+	// Kick off: every client connects within the first ConnectLatency.
+	eng.Seed(func(ctx *sim.Ctx) {
+		rng := ctx.Rand()
+		for i := 0; i < spec.Clients; i++ {
+			ctx.PostAfter(rng.Int63n(spec.ConnectLatency)+1, sim.Ev{
+				Handler: hEpoll,
+				Color:   dispatchColor(i),
+				Data:    arrival{kind: arriveConnect, client: i},
+			})
+		}
+	})
+	return eng, nil
+}
+
+// KRequestsPerSecond extracts the Figure 4/7 metric from a measured run.
+func KRequestsPerSecond(run *metrics.Run) float64 {
+	s := run.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return run.Payload["requests"] / s / 1000
+}

@@ -1,0 +1,138 @@
+package swsmodel
+
+import (
+	"testing"
+
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+func measure(t *testing.T, pol policy.Config, spec Spec) *metrics.Run {
+	return measureWin(t, pol, spec, 30_000_000, 120_000_000)
+}
+
+// measureWin runs with an explicit warmup/window; ownership migration
+// under workstealing needs a long warmup to converge.
+func measureWin(t *testing.T, pol policy.Config, spec Spec, warmup, window int64) *metrics.Run {
+	t.Helper()
+	eng, err := Build(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Measure(eng, warmup, window)
+}
+
+func TestServesRequests(t *testing.T) {
+	run := measure(t, policy.Mely(), Spec{Clients: 300})
+	if run.Payload["requests"] == 0 {
+		t.Fatal("no requests served")
+	}
+	if KRequestsPerSecond(run) <= 0 {
+		t.Fatal("zero throughput")
+	}
+	// Each request flows Epoll->Read->Parse->Cache->Write: ~5 events
+	// (window boundaries shave a handful).
+	if float64(run.Total().Events) < 4.8*run.Payload["requests"] {
+		t.Errorf("events (%d) inconsistent with requests (%.0f)",
+			run.Total().Events, run.Payload["requests"])
+	}
+}
+
+func TestConnectionsCycle(t *testing.T) {
+	// Short connections force the accept/close path through colors 0/1.
+	run := measure(t, policy.Mely(), Spec{Clients: 200, RequestsPerConn: 3})
+	if run.Payload["connections"] == 0 {
+		t.Fatal("no connections closed: the close/reconnect path is dead")
+	}
+	perConn := run.Payload["requests"] / run.Payload["connections"]
+	if perConn < 2 || perConn > 4.5 {
+		t.Errorf("requests per connection = %.1f, want ~3", perConn)
+	}
+}
+
+func TestThroughputRisesWithClients(t *testing.T) {
+	lo := measure(t, policy.Mely(), Spec{Clients: 100})
+	hi := measure(t, policy.Mely(), Spec{Clients: 400})
+	if KRequestsPerSecond(hi) < 1.5*KRequestsPerSecond(lo) {
+		t.Errorf("closed-loop throughput must rise with clients below saturation: %.1f -> %.1f",
+			KRequestsPerSecond(lo), KRequestsPerSecond(hi))
+	}
+}
+
+// TestFig7PlateauOrdering reproduces the Figure 7 ordering at the
+// saturation plateau: Mely-WS > N-copy and Mely-WS over Libasync-noWS by
+// a clear margin, with Libasync-WS below Libasync-noWS.
+func TestFig7PlateauOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	spec := Spec{Clients: 2000}
+	la := measureWin(t, policy.Libasync(), spec, 50_000_000, 200_000_000)
+	laWS := measureWin(t, policy.LibasyncWS(), spec, 50_000_000, 200_000_000)
+	melyWS := measureWin(t, policy.MelyWS(), spec, 50_000_000, 200_000_000)
+
+	ncopySpec := spec
+	ncopySpec.NCopy = true
+	ncopy := measureWin(t, policy.Mely(), ncopySpec, 50_000_000, 200_000_000)
+
+	kLa, kLaWS := KRequestsPerSecond(la), KRequestsPerSecond(laWS)
+	kMely, kNcopy := KRequestsPerSecond(melyWS), KRequestsPerSecond(ncopy)
+
+	if kMely < 1.15*kLa {
+		t.Errorf("Mely-WS (%.1f) should beat libasync (%.1f) by >15%%", kMely, kLa)
+	}
+	if kLaWS > kLa {
+		t.Errorf("libasync-WS (%.1f) should not beat libasync (%.1f) at the plateau", kLaWS, kLa)
+	}
+	if kMely < 1.2*kLaWS {
+		t.Errorf("Mely-WS (%.1f) should beat libasync-WS (%.1f) clearly", kMely, kLaWS)
+	}
+	if kMely < kNcopy*0.98 {
+		t.Errorf("Mely-WS (%.1f) should at least match N-copy (%.1f)", kMely, kNcopy)
+	}
+}
+
+// TestMelyNoWSSlower reproduces the paper's observation that Mely
+// without workstealing is somewhat slower than Libasync-smp without
+// workstealing (-7%..-20%), due to the short-lived per-request colors
+// paying color-queue insertion/removal.
+func TestMelyNoWSSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	spec := Spec{Clients: 1200}
+	la := measure(t, policy.Libasync(), spec)
+	mely := measure(t, policy.Mely(), spec)
+	ratio := KRequestsPerSecond(mely) / KRequestsPerSecond(la)
+	if ratio > 1.02 {
+		t.Errorf("Mely no-WS (ratio %.3f) should not beat libasync no-WS", ratio)
+	}
+	if ratio < 0.7 {
+		t.Errorf("Mely no-WS (ratio %.3f) should not collapse either", ratio)
+	}
+}
+
+func TestNCopyRejectsStealing(t *testing.T) {
+	_, err := Build(topology.IntelXeonE5410(), policy.MelyWS(), sim.DefaultParams(), 7, Spec{NCopy: true})
+	if err == nil {
+		t.Fatal("N-copy with stealing must be rejected")
+	}
+}
+
+func TestBadSkewRejected(t *testing.T) {
+	_, err := Build(topology.IntelXeonE5410(), policy.Mely(), sim.DefaultParams(), 7,
+		Spec{SkewWeights: []int{1, 2}})
+	if err == nil {
+		t.Fatal("skew weights must match the core count")
+	}
+}
+
+func TestTooManyClientsRejected(t *testing.T) {
+	_, err := Build(topology.IntelXeonE5410(), policy.Mely(), sim.DefaultParams(), 7,
+		Spec{Clients: 100_000})
+	if err == nil {
+		t.Fatal("client counts beyond the color space must be rejected")
+	}
+}

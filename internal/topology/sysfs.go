@@ -1,0 +1,217 @@
+package topology
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FromSysFS discovers the cache hierarchy from the Linux kernel's
+// reification under root (normally "/sys/devices/system/cpu"), the same
+// source Mely uses to build its cache map at startup (section IV-B).
+//
+// For each online CPU it reads cache/index*/{level,type,shared_cpu_list}
+// and groups cores by the deepest shared data/unified cache; package
+// grouping comes from topology/physical_package_id. Machines whose
+// layout cannot be read fall back cleanly: callers should use a preset.
+func FromSysFS(root string) (*Topology, error) {
+	cpus, err := listCPUs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("topology: no cpu directories under %s", root)
+	}
+	n := len(cpus)
+	share := make([]int, n)
+	pkg := make([]int, n)
+
+	// Map each core to the smallest shared_cpu_list of its deepest
+	// shared (level >= 2, type Data/Unified) cache.
+	groupKey := make([]string, n)
+	for i, cpu := range cpus {
+		key, err := deepestSharedGroup(filepath.Join(root, cpu, "cache"), i)
+		if err != nil {
+			return nil, err
+		}
+		groupKey[i] = key
+
+		pkgID, err := readInt(filepath.Join(root, cpu, "topology", "physical_package_id"))
+		if err != nil {
+			pkgID = 0 // single-package fallback
+		}
+		pkg[i] = pkgID
+	}
+
+	// Canonicalize group keys to dense ints.
+	ids := make(map[string]int)
+	for i, key := range groupKey {
+		id, ok := ids[key]
+		if !ok {
+			id = len(ids)
+			ids[key] = id
+		}
+		share[i] = id
+	}
+	return New(share, pkg)
+}
+
+func listCPUs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("topology: read %s: %w", root, err)
+	}
+	var cpus []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		if _, err := strconv.Atoi(name[3:]); err != nil {
+			continue // cpufreq, cpuidle, ...
+		}
+		cpus = append(cpus, name)
+	}
+	sort.Slice(cpus, func(i, j int) bool {
+		a, _ := strconv.Atoi(cpus[i][3:])
+		b, _ := strconv.Atoi(cpus[j][3:])
+		return a < b
+	})
+	return cpus, nil
+}
+
+// deepestSharedGroup returns a canonical key identifying the sharing
+// group of the deepest shared cache of the core, or the core's own id
+// when it shares nothing.
+func deepestSharedGroup(cacheDir string, core int) (string, error) {
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		// No cache directory: treat the core as unshared.
+		return fmt.Sprintf("solo:%d", core), nil
+	}
+	bestLevel := -1
+	bestKey := fmt.Sprintf("solo:%d", core)
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		dir := filepath.Join(cacheDir, e.Name())
+		typ, err := readString(filepath.Join(dir, "type"))
+		if err != nil || (typ != "Data" && typ != "Unified") {
+			continue
+		}
+		level, err := readInt(filepath.Join(dir, "level"))
+		if err != nil || level < 2 {
+			continue
+		}
+		shared, err := readString(filepath.Join(dir, "shared_cpu_list"))
+		if err != nil {
+			continue
+		}
+		cores, err := parseCPUList(shared)
+		if err != nil {
+			return "", fmt.Errorf("topology: %s: %w", dir, err)
+		}
+		if len(cores) < 2 {
+			continue // private cache
+		}
+		if level > bestLevel {
+			bestLevel = level
+			bestKey = "L" + strconv.Itoa(level) + ":" + canonicalList(cores)
+		}
+	}
+	if bestLevel < 0 {
+		return bestKey, nil
+	}
+	// Prefer the *lowest* shared level: a core pair sharing L2 is
+	// "closer" than the L3 the whole package shares. Re-scan for the
+	// minimum shared level.
+	minLevel := bestLevel
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		dir := filepath.Join(cacheDir, e.Name())
+		typ, err := readString(filepath.Join(dir, "type"))
+		if err != nil || (typ != "Data" && typ != "Unified") {
+			continue
+		}
+		level, err := readInt(filepath.Join(dir, "level"))
+		if err != nil || level < 2 || level >= minLevel {
+			continue
+		}
+		shared, err := readString(filepath.Join(dir, "shared_cpu_list"))
+		if err != nil {
+			continue
+		}
+		cores, err := parseCPUList(shared)
+		if err != nil || len(cores) < 2 {
+			continue
+		}
+		minLevel = level
+		bestKey = "L" + strconv.Itoa(level) + ":" + canonicalList(cores)
+	}
+	return bestKey, nil
+}
+
+// parseCPUList parses the kernel's cpu list format: "0-3,8,10-11".
+func parseCPUList(s string) ([]int, error) {
+	var cores []int
+	for _, part := range strings.Split(strings.TrimSpace(s), ",") {
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("bad cpu list %q: %w", s, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("bad cpu list %q: %w", s, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("bad cpu range %q", part)
+			}
+			for c := a; c <= b; c++ {
+				cores = append(cores, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad cpu list %q: %w", s, err)
+		}
+		cores = append(cores, c)
+	}
+	return cores, nil
+}
+
+func canonicalList(cores []int) string {
+	sorted := append([]int(nil), cores...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, c := range sorted {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func readString(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+func readInt(path string) (int, error) {
+	s, err := readString(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(s)
+}

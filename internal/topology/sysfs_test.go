@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// writeSysFS builds a fake /sys/devices/system/cpu tree. caches maps each
+// cpu to a list of (level, type, shared list) triples.
+type fakeCache struct {
+	level  int
+	typ    string
+	shared string
+}
+
+func writeSysFS(t *testing.T, cpus int, pkgOf func(int) int, caches func(int) []fakeCache) string {
+	t.Helper()
+	root := t.TempDir()
+	for c := 0; c < cpus; c++ {
+		cpuDir := filepath.Join(root, "cpu"+strconv.Itoa(c))
+		topoDir := filepath.Join(cpuDir, "topology")
+		if err := os.MkdirAll(topoDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, filepath.Join(topoDir, "physical_package_id"), strconv.Itoa(pkgOf(c)))
+		for i, fc := range caches(c) {
+			dir := filepath.Join(cpuDir, "cache", "index"+strconv.Itoa(i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			writeFile(t, filepath.Join(dir, "level"), strconv.Itoa(fc.level))
+			writeFile(t, filepath.Join(dir, "type"), fc.typ)
+			writeFile(t, filepath.Join(dir, "shared_cpu_list"), fc.shared)
+		}
+	}
+	// Distractor entries the parser must skip.
+	if err := os.MkdirAll(filepath.Join(root, "cpufreq"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSysFSXeonLayout(t *testing.T) {
+	// Reproduce the paper's machine: 8 cores, L2 shared by pairs.
+	root := writeSysFS(t, 8,
+		func(c int) int { return c / 4 },
+		func(c int) []fakeCache {
+			pair := c / 2 * 2
+			shared := strconv.Itoa(pair) + "-" + strconv.Itoa(pair+1)
+			return []fakeCache{
+				{1, "Data", strconv.Itoa(c)},
+				{1, "Instruction", strconv.Itoa(c)},
+				{2, "Unified", shared},
+			}
+		})
+	topo, err := FromSysFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := IntelXeonE5410()
+	if topo.NumCores() != 8 {
+		t.Fatalf("NumCores = %d", topo.NumCores())
+	}
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if topo.Dist(a, b) != want.Dist(a, b) {
+				t.Errorf("Dist(%d,%d) = %d, want %d", a, b, topo.Dist(a, b), want.Dist(a, b))
+			}
+		}
+	}
+}
+
+func TestFromSysFSPrefersLowestSharedLevel(t *testing.T) {
+	// 4 cores: L2 shared by pairs, L3 shared by all. Pairs must win.
+	root := writeSysFS(t, 4,
+		func(int) int { return 0 },
+		func(c int) []fakeCache {
+			pair := c / 2 * 2
+			return []fakeCache{
+				{2, "Unified", strconv.Itoa(pair) + "," + strconv.Itoa(pair+1)},
+				{3, "Unified", "0-3"},
+			}
+		})
+	topo, err := FromSysFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.SharesCache(0, 1) || topo.SharesCache(1, 2) {
+		t.Errorf("pair sharing not detected: 01=%v 12=%v",
+			topo.SharesCache(0, 1), topo.SharesCache(1, 2))
+	}
+}
+
+func TestFromSysFSPrivateCachesOnly(t *testing.T) {
+	root := writeSysFS(t, 2,
+		func(int) int { return 0 },
+		func(c int) []fakeCache {
+			return []fakeCache{{2, "Unified", strconv.Itoa(c)}}
+		})
+	topo, err := FromSysFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.SharesCache(0, 1) {
+		t.Error("cores with only private caches must not share")
+	}
+}
+
+func TestFromSysFSMissingRoot(t *testing.T) {
+	if _, err := FromSysFS(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing root must fail")
+	}
+}
+
+func TestFromSysFSRealMachine(t *testing.T) {
+	const root = "/sys/devices/system/cpu"
+	if _, err := os.Stat(root); err != nil {
+		t.Skip("no sysfs on this machine")
+	}
+	topo, err := FromSysFS(root)
+	if err != nil {
+		t.Skipf("sysfs layout not parseable here: %v", err)
+	}
+	if topo.NumCores() < 1 {
+		t.Error("expected at least one core")
+	}
+	t.Logf("detected: %s", topo)
+}
+
+func TestParseCPUList(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "0-3", want: []int{0, 1, 2, 3}},
+		{give: "5", want: []int{5}},
+		{give: "0-1,4,6-7", want: []int{0, 1, 4, 6, 7}},
+		{give: "  2,3\n", want: []int{2, 3}},
+		{give: "", want: nil},
+		{give: "3-1", wantErr: true},
+		{give: "x", wantErr: true},
+		{give: "1-y", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseCPUList(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseCPUList(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", tt.give, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseCPUList(%q) = %v, want %v", tt.give, got, tt.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package topology describes the cache hierarchy of a multicore machine:
+// which cores share which cache levels, and how "far" two cores are from
+// each other. The locality-aware stealing heuristic (section III-A of the
+// paper) orders steal victims by this distance, and the cache model uses
+// the sharing groups to decide whether a data set migration crosses a
+// cache boundary.
+//
+// Mely obtains this information from the Linux kernel's reification of
+// the cache hierarchy in /sys; this package provides the same parser plus
+// synthetic presets, including the paper's evaluation machine.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distance quantifies how far apart two cores are in the cache hierarchy.
+// Smaller is closer. The scale is ordinal, not metric:
+//
+//	0 - same core
+//	1 - cores sharing their lowest shared cache (e.g. an L2 pair)
+//	2 - same package/socket, no shared cache below the memory bus
+//	3 - different package (possibly non-uniform memory access)
+type Distance int
+
+// Topology is an immutable description of a machine's core layout.
+type Topology struct {
+	numCores int
+	// shareGroup[c] identifies the lowest-level shared-cache group of
+	// core c (the "L2 pair" on the paper's Xeon, the L3 quad on the
+	// AMD 16-core machine).
+	shareGroup []int
+	// pkg[c] identifies the package (socket) of core c.
+	pkg []int
+	// stealOrder[c] lists all other cores ordered by distance from c
+	// (ties broken by core number), precomputed for the hot path.
+	stealOrder [][]int
+}
+
+// New builds a topology from explicit group assignments. shareGroup and
+// pkg must each have one entry per core; cores with equal shareGroup
+// values share a cache, cores with equal pkg values share a package.
+func New(shareGroup, pkg []int) (*Topology, error) {
+	if len(shareGroup) == 0 {
+		return nil, fmt.Errorf("topology: no cores")
+	}
+	if len(shareGroup) != len(pkg) {
+		return nil, fmt.Errorf("topology: shareGroup has %d cores, pkg has %d",
+			len(shareGroup), len(pkg))
+	}
+	t := &Topology{
+		numCores:   len(shareGroup),
+		shareGroup: append([]int(nil), shareGroup...),
+		pkg:        append([]int(nil), pkg...),
+	}
+	t.buildStealOrder()
+	return t, nil
+}
+
+// Uniform returns a flat topology: n cores, no shared caches, one
+// package. All inter-core distances are equal, so locality-aware stealing
+// degenerates to the base order — useful as a control in experiments.
+func Uniform(n int) *Topology {
+	share := make([]int, n)
+	pkg := make([]int, n)
+	for i := range share {
+		share[i] = i // every core alone in its group
+	}
+	t, err := New(share, pkg)
+	if err != nil {
+		panic(err) // n >= 1 guaranteed by callers; n==0 is a programmer error
+	}
+	return t
+}
+
+// IntelXeonE5410 models the paper's evaluation machine (section V-A):
+// two quad-core Harpertown packages; within each package the cores are
+// grouped in pairs sharing a 6 MB L2 cache. Memory access is uniform.
+//
+// Core numbering follows the paper's convention: cores 0-3 on package 0,
+// 4-7 on package 1, with {0,1}, {2,3}, {4,5}, {6,7} the L2 pairs.
+func IntelXeonE5410() *Topology {
+	share := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	pkg := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	t, err := New(share, pkg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AMD16Core models the 16-core AMD machine referenced in section III-A:
+// four packages of four cores, each quad sharing an L3 cache, with
+// non-uniform memory access between packages.
+func AMD16Core() *Topology {
+	share := make([]int, 16)
+	pkg := make([]int, 16)
+	for i := range share {
+		share[i] = i / 4
+		pkg[i] = i / 4
+	}
+	t, err := New(share, pkg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Pairs returns a topology of n cores grouped in L2 pairs on one package,
+// a generalization of the Xeon preset for arbitrary core counts.
+func Pairs(n int) *Topology {
+	share := make([]int, n)
+	pkg := make([]int, n)
+	for i := range share {
+		share[i] = i / 2
+	}
+	t, err := New(share, pkg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumCores reports the number of cores.
+func (t *Topology) NumCores() int { return t.numCores }
+
+// ShareGroup reports the shared-cache group of core c.
+func (t *Topology) ShareGroup(c int) int { return t.shareGroup[c] }
+
+// Package reports the package (socket) of core c.
+func (t *Topology) Package(c int) int { return t.pkg[c] }
+
+// SharesCache reports whether cores a and b share a cache level below
+// memory (the paper's "neighbor core").
+func (t *Topology) SharesCache(a, b int) bool {
+	return t.shareGroup[a] == t.shareGroup[b]
+}
+
+// Dist returns the distance between cores a and b.
+func (t *Topology) Dist(a, b int) Distance {
+	switch {
+	case a == b:
+		return 0
+	case t.shareGroup[a] == t.shareGroup[b]:
+		return 1
+	case t.pkg[a] == t.pkg[b]:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// StealOrder returns every core other than c ordered by increasing
+// distance from c (ties by core number). The returned slice is shared;
+// callers must not modify it.
+func (t *Topology) StealOrder(c int) []int { return t.stealOrder[c] }
+
+// GroupPeers returns the cores sharing c's lowest shared cache,
+// excluding c itself.
+func (t *Topology) GroupPeers(c int) []int {
+	var peers []int
+	for i := 0; i < t.numCores; i++ {
+		if i != c && t.shareGroup[i] == t.shareGroup[c] {
+			peers = append(peers, i)
+		}
+	}
+	return peers
+}
+
+func (t *Topology) buildStealOrder() {
+	t.stealOrder = make([][]int, t.numCores)
+	for c := 0; c < t.numCores; c++ {
+		order := make([]int, 0, t.numCores-1)
+		for i := 0; i < t.numCores; i++ {
+			if i != c {
+				order = append(order, i)
+			}
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			di, dj := t.Dist(c, order[i]), t.Dist(c, order[j])
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+		t.stealOrder[c] = order
+	}
+}
+
+// String summarizes the topology, e.g. "8 cores, 4 cache groups, 2 packages".
+func (t *Topology) String() string {
+	groups := map[int]bool{}
+	pkgs := map[int]bool{}
+	for c := 0; c < t.numCores; c++ {
+		groups[t.shareGroup[c]] = true
+		pkgs[t.pkg[c]] = true
+	}
+	return fmt.Sprintf("%d cores, %d cache groups, %d packages",
+		t.numCores, len(groups), len(pkgs))
+}

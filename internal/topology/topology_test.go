@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXeonDistances(t *testing.T) {
+	topo := IntelXeonE5410()
+	if topo.NumCores() != 8 {
+		t.Fatalf("NumCores = %d, want 8", topo.NumCores())
+	}
+	tests := []struct {
+		a, b int
+		want Distance
+	}{
+		{0, 0, 0},
+		{0, 1, 1}, // L2 pair
+		{2, 3, 1},
+		{0, 2, 2}, // same package, different pair
+		{0, 3, 2},
+		{0, 4, 3}, // other package
+		{3, 7, 3},
+		{6, 7, 1},
+	}
+	for _, tt := range tests {
+		if got := topo.Dist(tt.a, tt.b); got != tt.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	topos := map[string]*Topology{
+		"xeon":    IntelXeonE5410(),
+		"amd16":   AMD16Core(),
+		"uniform": Uniform(5),
+		"pairs6":  Pairs(6),
+	}
+	for name, topo := range topos {
+		n := topo.NumCores()
+		for a := 0; a < n; a++ {
+			if topo.Dist(a, a) != 0 {
+				t.Errorf("%s: Dist(%d,%d) != 0", name, a, a)
+			}
+			for b := 0; b < n; b++ {
+				if topo.Dist(a, b) != topo.Dist(b, a) {
+					t.Errorf("%s: distance not symmetric for (%d,%d)", name, a, b)
+				}
+				if a != b && topo.Dist(a, b) <= 0 {
+					t.Errorf("%s: Dist(%d,%d) must be positive", name, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestStealOrderSortedByDistance(t *testing.T) {
+	topo := IntelXeonE5410()
+	for c := 0; c < topo.NumCores(); c++ {
+		order := topo.StealOrder(c)
+		if len(order) != topo.NumCores()-1 {
+			t.Fatalf("StealOrder(%d) has %d entries", c, len(order))
+		}
+		for i := 1; i < len(order); i++ {
+			if topo.Dist(c, order[i-1]) > topo.Dist(c, order[i]) {
+				t.Errorf("StealOrder(%d) not sorted: %v", c, order)
+			}
+		}
+		for _, v := range order {
+			if v == c {
+				t.Errorf("StealOrder(%d) contains self", c)
+			}
+		}
+	}
+	// Core 0's nearest victim must be its L2 pair mate, core 1.
+	if got := topo.StealOrder(0)[0]; got != 1 {
+		t.Errorf("StealOrder(0)[0] = %d, want 1 (the L2 pair mate)", got)
+	}
+	// Core 5's nearest victim is core 4.
+	if got := topo.StealOrder(5)[0]; got != 4 {
+		t.Errorf("StealOrder(5)[0] = %d, want 4", got)
+	}
+}
+
+func TestGroupPeers(t *testing.T) {
+	topo := IntelXeonE5410()
+	peers := topo.GroupPeers(2)
+	if len(peers) != 1 || peers[0] != 3 {
+		t.Errorf("GroupPeers(2) = %v, want [3]", peers)
+	}
+	if got := Uniform(4).GroupPeers(0); len(got) != 0 {
+		t.Errorf("Uniform GroupPeers = %v, want none", got)
+	}
+}
+
+func TestAMD16Groups(t *testing.T) {
+	topo := AMD16Core()
+	if topo.NumCores() != 16 {
+		t.Fatalf("NumCores = %d", topo.NumCores())
+	}
+	if !topo.SharesCache(4, 7) {
+		t.Error("cores 4 and 7 should share an L3 quad")
+	}
+	if topo.SharesCache(3, 4) {
+		t.Error("cores 3 and 4 are in different quads")
+	}
+	if topo.Dist(0, 15) != 3 {
+		t.Errorf("cross-package distance = %d, want 3", topo.Dist(0, 15))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("New with no cores must fail")
+	}
+	if _, err := New([]int{0, 0}, []int{0}); err == nil {
+		t.Error("New with mismatched slices must fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := IntelXeonE5410().String()
+	want := "8 cores, 4 cache groups, 2 packages"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: for any pair topology, steal order visits same-group cores
+// before other-group cores.
+func TestStealOrderLocalityProperty(t *testing.T) {
+	f := func(rawN uint8) bool {
+		n := int(rawN%14) + 2
+		topo := Pairs(n)
+		for c := 0; c < n; c++ {
+			seenFar := false
+			for _, v := range topo.StealOrder(c) {
+				far := !topo.SharesCache(c, v)
+				if seenFar && !far {
+					return false
+				}
+				seenFar = seenFar || far
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

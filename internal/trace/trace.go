@@ -1,0 +1,92 @@
+// Package trace renders simulator timelines in the Chrome trace-event
+// format, so a run can be inspected in chrome://tracing or Perfetto:
+// one track per core, execution spans labeled with handler and color,
+// steals highlighted — the fastest way to *see* a workstealing decision
+// go right or wrong.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/melyruntime/mely/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// ("X" complete events with microsecond timestamps).
+type chromeEvent struct {
+	Name     string         `json:"name"`
+	Phase    string         `json:"ph"`
+	TsMicros float64        `json:"ts"`
+	DurUs    float64        `json:"dur"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// Recorder accumulates simulator trace events.
+type Recorder struct {
+	cyclesPerMicro float64
+	events         []chromeEvent
+	counts         map[sim.TraceKind]int
+}
+
+// NewRecorder returns a recorder converting cycles to wall microseconds
+// at the given clock rate (e.g. 2.33e9).
+func NewRecorder(cyclesPerSecond float64) *Recorder {
+	if cyclesPerSecond <= 0 {
+		cyclesPerSecond = 1e6 // degenerate: 1 cycle = 1 µs
+	}
+	return &Recorder{
+		cyclesPerMicro: cyclesPerSecond / 1e6,
+		counts:         make(map[sim.TraceKind]int),
+	}
+}
+
+// Hook returns the function to install as sim.Config.Trace.
+func (r *Recorder) Hook() func(sim.TraceEvent) {
+	return func(ev sim.TraceEvent) { r.Add(ev) }
+}
+
+// Add records one span.
+func (r *Recorder) Add(ev sim.TraceEvent) {
+	r.counts[ev.Kind]++
+	name := ev.Handler
+	args := map[string]any{"color": int(ev.Color)}
+	switch ev.Kind {
+	case sim.TraceSteal:
+		name = "STEAL: " + ev.Handler
+	case sim.TraceFailedSteal:
+		name = "steal (failed)"
+		args = nil
+	case sim.TraceExec:
+		if ev.Stolen {
+			args["stolen"] = true
+		}
+	}
+	r.events = append(r.events, chromeEvent{
+		Name:     name,
+		Phase:    "X",
+		TsMicros: float64(ev.Start) / r.cyclesPerMicro,
+		DurUs:    float64(ev.End-ev.Start) / r.cyclesPerMicro,
+		PID:      0,
+		TID:      ev.Core,
+		Args:     args,
+	})
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Count reports how many spans of a kind were recorded.
+func (r *Recorder) Count(kind sim.TraceKind) int { return r.counts[kind] }
+
+// WriteJSON emits the Chrome trace-event array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(r.events); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}

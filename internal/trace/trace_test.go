@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/topology"
+	"github.com/melyruntime/mely/internal/workload"
+)
+
+func TestRecorderCapturesRun(t *testing.T) {
+	rec := NewRecorder(2.33e9)
+	eng, err := workload.BuildUnbalanced(topology.IntelXeonE5410(),
+		policy.MelyTimeLeftWS(), sim.DefaultParams(), 7,
+		workload.UnbalancedSpec{EventsPerRound: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTrace(rec.Hook())
+	eng.RunUntil(5_000_000)
+	if rec.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if rec.Count(sim.TraceExec) == 0 {
+		t.Fatal("no exec spans")
+	}
+	if rec.Count(sim.TraceSteal) == 0 {
+		t.Fatal("no steal spans on an imbalanced workload")
+	}
+}
+
+func TestWriteJSONIsValidAndOrdered(t *testing.T) {
+	rec := NewRecorder(1e6) // 1 cycle = 1 µs
+	rec.Add(sim.TraceEvent{Kind: sim.TraceExec, Core: 2, Start: 100, End: 250,
+		Color: equeue.Color(7), Handler: "h"})
+	rec.Add(sim.TraceEvent{Kind: sim.TraceSteal, Core: 1, Start: 300, End: 400,
+		Color: equeue.Color(7), Handler: "steal from core 2"})
+	rec.Add(sim.TraceEvent{Kind: sim.TraceFailedSteal, Core: 0, Start: 10, End: 20})
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	first := events[0]
+	if first["ph"] != "X" || first["tid"] != float64(2) {
+		t.Fatalf("unexpected first event: %v", first)
+	}
+	if first["ts"] != float64(100) || first["dur"] != float64(150) {
+		t.Fatalf("timestamp conversion wrong: %v", first)
+	}
+	if events[1]["name"] != "STEAL: steal from core 2" {
+		t.Fatalf("steal not labeled: %v", events[1])
+	}
+}
+
+// Property-ish check: per core, exec spans never overlap (the virtual
+// timeline is serial per core).
+func TestExecSpansSerialPerCore(t *testing.T) {
+	rec := NewRecorder(2.33e9)
+	type span struct{ s, e int64 }
+	perCore := map[int][]span{}
+	eng, err := workload.BuildUnbalanced(topology.IntelXeonE5410(),
+		policy.MelyWS(), sim.DefaultParams(), 3,
+		workload.UnbalancedSpec{EventsPerRound: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTrace(func(ev sim.TraceEvent) {
+		rec.Add(ev)
+		if ev.Kind == sim.TraceExec {
+			perCore[ev.Core] = append(perCore[ev.Core], span{ev.Start, ev.End})
+		}
+	})
+	eng.RunUntil(3_000_000)
+	for core, spans := range perCore {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e {
+				t.Fatalf("core %d: overlapping exec spans %v then %v",
+					core, spans[i-1], spans[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+// smallUnbalanced is a scaled-down spec for fast tests.
+var smallUnbalanced = UnbalancedSpec{
+	EventsPerRound: 2000,
+	ShortCost:      100,
+	LongMin:        10_000,
+	LongMax:        50_000,
+	ShortPermille:  980,
+}
+
+func measureUnbalanced(t *testing.T, pol policy.Config, spec UnbalancedSpec) *metrics.Run {
+	t.Helper()
+	eng, err := BuildUnbalanced(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Measure(eng, 2_000_000, 20_000_000)
+}
+
+func TestUnbalancedRunsRounds(t *testing.T) {
+	run := measureUnbalanced(t, policy.Libasync(), smallUnbalanced)
+	if run.Total().Events == 0 {
+		t.Fatal("no events executed")
+	}
+	if run.Payload["rounds"] == 0 {
+		t.Fatal("no rounds completed in the window")
+	}
+	// Without WS everything must run on core 0.
+	for i := 1; i < len(run.Cores); i++ {
+		if run.Cores[i].Events != 0 {
+			t.Fatalf("core %d executed events without WS", i)
+		}
+	}
+}
+
+func TestUnbalancedShortLongMix(t *testing.T) {
+	run := measureUnbalanced(t, policy.Libasync(), smallUnbalanced)
+	events := run.Total().Events
+	exec := run.Total().ExecCycles
+	avg := float64(exec) / float64(events)
+	// Expected mix: 0.98*100 + 0.02*~30000 = ~700 cycles/event.
+	if avg < 300 || avg > 1500 {
+		t.Errorf("average event cost %.0f outside the expected mix", avg)
+	}
+}
+
+// TestUnbalancedTableIIIShape reproduces the ordering of Table III on a
+// scaled-down configuration:
+//
+//	libasync >> libasync-WS   (base WS collapses the unbalanced load)
+//	mely-baseWS ~ mely        (cheap steals mostly fix it)
+//	libasync-WS locking time >> libasync locking time
+//	libasync-WS steal cost >> mely-baseWS steal cost
+func TestUnbalancedTableIIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	la := measureUnbalanced(t, policy.Libasync(), smallUnbalanced)
+	laWS := measureUnbalanced(t, policy.LibasyncWS(), smallUnbalanced)
+	mely := measureUnbalanced(t, policy.Mely(), smallUnbalanced)
+	melyBase := measureUnbalanced(t, policy.MelyBaseWS(), smallUnbalanced)
+
+	if laWS.KEventsPerSecond() > 0.5*la.KEventsPerSecond() {
+		t.Errorf("libasync WS should collapse throughput: %.0f vs %.0f KEv/s",
+			laWS.KEventsPerSecond(), la.KEventsPerSecond())
+	}
+	if melyBase.KEventsPerSecond() < 0.7*mely.KEventsPerSecond() {
+		t.Errorf("mely base WS should stay close to mely: %.0f vs %.0f KEv/s",
+			melyBase.KEventsPerSecond(), mely.KEventsPerSecond())
+	}
+	if laWS.LockingTimePercent() < 5*la.LockingTimePercent()+1 {
+		t.Errorf("libasync WS locking %% (%.2f) should dwarf libasync (%.2f)",
+			laWS.LockingTimePercent(), la.LockingTimePercent())
+	}
+	if laWS.StealCostCycles() < 4*melyBase.StealCostCycles() {
+		t.Errorf("libasync steal cost (%.0f) should dwarf mely (%.0f)",
+			laWS.StealCostCycles(), melyBase.StealCostCycles())
+	}
+}
+
+// TestUnbalancedTimeLeftShape reproduces Table IV: time-left beats both
+// the base workstealing and no workstealing, and steals far larger sets.
+func TestUnbalancedTimeLeftShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	mely := measureUnbalanced(t, policy.Mely(), smallUnbalanced)
+	melyBase := measureUnbalanced(t, policy.MelyBaseWS(), smallUnbalanced)
+	timeLeft := measureUnbalanced(t, policy.MelyTimeLeftWS(), smallUnbalanced)
+
+	if timeLeft.KEventsPerSecond() < 1.2*melyBase.KEventsPerSecond() {
+		t.Errorf("time-left (%.0f KEv/s) should clearly beat base WS (%.0f)",
+			timeLeft.KEventsPerSecond(), melyBase.KEventsPerSecond())
+	}
+	if timeLeft.KEventsPerSecond() < mely.KEventsPerSecond() {
+		t.Errorf("time-left (%.0f KEv/s) should beat no-WS (%.0f)",
+			timeLeft.KEventsPerSecond(), mely.KEventsPerSecond())
+	}
+	if timeLeft.StolenTimeCycles() < 5*melyBase.StolenTimeCycles() {
+		t.Errorf("time-left stolen sets (%.0f cy) should dwarf base (%.0f cy)",
+			timeLeft.StolenTimeCycles(), melyBase.StolenTimeCycles())
+	}
+}
+
+func measurePenalty(t *testing.T, pol policy.Config) *metrics.Run {
+	t.Helper()
+	spec := PenaltySpec{NumA: 48}
+	eng, err := BuildPenalty(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Measure(eng, 2_000_000, 20_000_000)
+}
+
+func TestPenaltyChainsComplete(t *testing.T) {
+	run := measurePenalty(t, policy.Mely())
+	if run.Payload["chains"] == 0 {
+		t.Fatal("no chains completed")
+	}
+	// 64KB / 16KB chunks: 4 B events per chain + terminator + A.
+	perChain := run.Total().Events / int64(run.Payload["chains"])
+	if perChain < 4 || perChain > 9 {
+		t.Errorf("events per chain = %d, expected ~6", perChain)
+	}
+}
+
+// TestPenaltyTableVShape reproduces Table V: penalty-aware stealing
+// beats base workstealing on throughput and massively on misses/event.
+func TestPenaltyTableVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	base := measurePenalty(t, policy.MelyBaseWS())
+	pen := measurePenalty(t, policy.MelyPenaltyWS())
+
+	if pen.KEventsPerSecond() < 1.15*base.KEventsPerSecond() {
+		t.Errorf("penalty-aware (%.0f KEv/s) should beat base WS (%.0f)",
+			pen.KEventsPerSecond(), base.KEventsPerSecond())
+	}
+	if pen.L2MissesPerEvent() > 0.5*base.L2MissesPerEvent() {
+		t.Errorf("penalty-aware misses/event (%.1f) should be well below base (%.1f)",
+			pen.L2MissesPerEvent(), base.L2MissesPerEvent())
+	}
+}
+
+func measureCacheEfficient(t *testing.T, pol policy.Config) *metrics.Run {
+	t.Helper()
+	spec := CacheEfficientSpec{APerCore: 50}
+	eng, err := BuildCacheEfficient(topology.IntelXeonE5410(), pol, sim.DefaultParams(), 7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Measure(eng, 2_000_000, 20_000_000)
+}
+
+func TestCacheEfficientJoins(t *testing.T) {
+	run := measureCacheEfficient(t, policy.Mely())
+	if run.Payload["merges"] == 0 {
+		t.Fatal("no merges completed")
+	}
+	// Each merge is 1 A + 2 B + 2 C = 5 events.
+	perMerge := float64(run.Total().Events) / run.Payload["merges"]
+	if perMerge < 4 || perMerge > 7 {
+		t.Errorf("events per merge = %.1f, expected ~5", perMerge)
+	}
+}
+
+// TestCacheEfficientTableVIShape reproduces Table VI: locality-aware
+// stealing beats base workstealing on throughput and on misses/event,
+// and (unlike the unbalanced benchmark) even the base workstealing
+// beats no workstealing here.
+func TestCacheEfficientTableVIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	mely := measureCacheEfficient(t, policy.Mely())
+	base := measureCacheEfficient(t, policy.MelyBaseWS())
+	loc := measureCacheEfficient(t, policy.MelyLocalityWS())
+
+	if base.KEventsPerSecond() < mely.KEventsPerSecond() {
+		t.Errorf("base WS (%.0f KEv/s) should beat no-WS (%.0f) on this benchmark",
+			base.KEventsPerSecond(), mely.KEventsPerSecond())
+	}
+	if loc.KEventsPerSecond() < 1.1*base.KEventsPerSecond() {
+		t.Errorf("locality-aware (%.0f KEv/s) should beat base WS (%.0f)",
+			loc.KEventsPerSecond(), base.KEventsPerSecond())
+	}
+	if loc.L2MissesPerEvent() > 0.6*base.L2MissesPerEvent() {
+		t.Errorf("locality misses/event (%.2f) should be well below base (%.2f)",
+			loc.L2MissesPerEvent(), base.L2MissesPerEvent())
+	}
+}

@@ -1,0 +1,640 @@
+package mely
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/melyruntime/mely/internal/affinity"
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/profile"
+	"github.com/melyruntime/mely/internal/spinlock"
+	"github.com/melyruntime/mely/internal/topology"
+)
+
+// Handler identifies a registered event handler. The zero value is
+// invalid (Post rejects it), so optional handler fields can be left
+// unset.
+type Handler struct{ id int32 } // id is the handler index + 1; 0 = invalid
+
+// HandlerFunc is an event handler. Handlers must not block: network and
+// disk waits belong in pumps (see internal/netpoll) that post events on
+// readiness. A handler runs with its event's color held — no two events
+// of one color ever run concurrently.
+type HandlerFunc func(ctx *Ctx)
+
+// HandlerOption annotates a handler at registration.
+type HandlerOption interface{ apply(*handlerEntry) }
+
+type penaltyOption int32
+
+func (p penaltyOption) apply(h *handlerEntry) { h.penalty = int32(p) }
+
+// WithPenalty sets the handler's workstealing penalty (section III-C of
+// the paper): thieves perceive its events as penalty-times cheaper, so
+// handlers touching large, long-lived data sets stay near their data.
+func WithPenalty(penalty int) HandlerOption {
+	if penalty < 1 {
+		penalty = 1
+	}
+	return penaltyOption(penalty)
+}
+
+type costOption time.Duration
+
+func (c costOption) apply(h *handlerEntry) { h.annotated = time.Duration(c) }
+
+// WithCostEstimate pins the handler's execution-time annotation (the
+// paper's profiling-then-annotation workflow). Without it the runtime
+// learns the estimate online.
+func WithCostEstimate(d time.Duration) HandlerOption { return costOption(d) }
+
+type handlerEntry struct {
+	name      string
+	fn        HandlerFunc
+	penalty   int32
+	annotated time.Duration
+}
+
+// rstats are per-core counters, atomics so Stats can snapshot while
+// workers run.
+type rstats struct {
+	events           atomic.Int64
+	execNanos        atomic.Int64
+	steals           atomic.Int64
+	remoteSteals     atomic.Int64
+	stealAttempts    atomic.Int64
+	failedSteals     atomic.Int64
+	stealNanos       atomic.Int64
+	stolenEvents     atomic.Int64
+	stolenExecNanos  atomic.Int64
+	parks            atomic.Int64
+	postedHere       atomic.Int64
+	colorQueueChurns atomic.Int64
+	panics           atomic.Int64
+}
+
+type rcore struct {
+	id   int
+	lock spinlock.Lock
+
+	// Exactly one of list/mely is non-nil; both are guarded by lock.
+	list *equeue.ListQueue
+	mely *equeue.CoreQueue
+
+	// running is the color being executed (guarded by lock; it stays
+	// set between events and is cleared when the worker demonstrably
+	// stops executing — stealing or parking — mirroring the simulator).
+	running    equeue.Color
+	hasRunning bool
+
+	// qlen/stealLen mirror queue sizes for unlocked victim screening.
+	qlen     atomic.Int32
+	stealLen atomic.Int32
+
+	parked atomic.Bool
+	wake   chan struct{}
+
+	victimBuf []int
+	lenBuf    []int
+	stats     rstats
+}
+
+// inTransitMarker occupies a color's table slot while a steal migrates
+// its queue between cores, so the lease logic keeps treating the color
+// as live (a drained-looking color would be re-homed mid-migration,
+// splitting it across cores). Only its identity is ever used.
+var inTransitMarker = new(equeue.ColorQueue)
+
+// Runtime is the real multicore event-coloring runtime.
+type Runtime struct {
+	cfg   Config
+	pol   policy.Config
+	topo  *topology.Topology
+	table *equeue.ColorTable
+	cores []*rcore
+
+	handlers atomic.Pointer[[]handlerEntry]
+	regMu    sync.Mutex
+
+	profiles *profile.Table
+	stealMon *profile.StealCostMonitor
+
+	started atomic.Bool
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// pending counts posted-but-not-completed events (Drain).
+	pending atomic.Int64
+
+	evPool sync.Pool
+}
+
+// New builds a runtime; call Start to launch the workers.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	pol := cfg.Policy.internal()
+	r := &Runtime{
+		cfg:      cfg,
+		pol:      pol,
+		topo:     detectTopology(cfg.Cores),
+		table:    equeue.NewColorTable(cfg.Cores),
+		profiles: profile.NewTable(0),
+		stealMon: profile.NewStealCostMonitor(cfg.StealCostSeed.Nanoseconds()),
+	}
+	r.evPool.New = func() any { return &equeue.Event{} }
+	empty := make([]handlerEntry, 0, 16)
+	r.handlers.Store(&empty)
+	r.cores = make([]*rcore, cfg.Cores)
+	for i := range r.cores {
+		c := &rcore{
+			id:        i,
+			wake:      make(chan struct{}, 1),
+			victimBuf: make([]int, 0, cfg.Cores),
+			lenBuf:    make([]int, cfg.Cores),
+		}
+		if pol.Layout == policy.ListLayout {
+			c.list = equeue.NewListQueue()
+		} else {
+			c.mely = equeue.NewCoreQueue(cfg.StealCostSeed.Nanoseconds())
+			c.mely.BatchThreshold = cfg.BatchThreshold
+		}
+		r.cores[i] = c
+	}
+	return r, nil
+}
+
+// Register adds a handler. Registration is allowed at any time, also
+// while the runtime runs.
+func (r *Runtime) Register(name string, fn HandlerFunc, opts ...HandlerOption) Handler {
+	entry := handlerEntry{name: name, fn: fn, penalty: 1}
+	for _, o := range opts {
+		o.apply(&entry)
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	old := *r.handlers.Load()
+	next := make([]handlerEntry, len(old)+1)
+	copy(next, old)
+	next[len(old)] = entry
+	r.handlers.Store(&next)
+	r.profiles.Grow(len(next))
+	idx := len(next) - 1
+	if entry.annotated > 0 {
+		r.profiles.Handler(idx).Annotate(entry.annotated.Nanoseconds())
+	}
+	return Handler{id: int32(idx) + 1}
+}
+
+// Start launches the worker goroutines.
+func (r *Runtime) Start() error {
+	if r.stopped.Load() {
+		return fmt.Errorf("mely: runtime already stopped")
+	}
+	if r.started.Swap(true) {
+		return fmt.Errorf("mely: runtime already started")
+	}
+	for _, c := range r.cores {
+		r.wg.Add(1)
+		go r.worker(c)
+	}
+	return nil
+}
+
+// Stop terminates the workers and waits for them to exit. Events still
+// queued are dropped; call Drain first for a graceful shutdown.
+func (r *Runtime) Stop() {
+	if !r.started.Load() || r.stopped.Swap(true) {
+		r.stopped.Store(true)
+		return
+	}
+	for _, c := range r.cores {
+		c.unpark()
+	}
+	r.wg.Wait()
+}
+
+// Drain waits until every posted event has been executed.
+func (r *Runtime) Drain(ctx context.Context) error {
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		if r.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Post registers an event for handler h under the given color. It is
+// safe from any goroutine, including handlers (prefer Ctx.Post there).
+func (r *Runtime) Post(h Handler, color Color, data any) error {
+	if r.stopped.Load() {
+		return fmt.Errorf("mely: runtime stopped")
+	}
+	hs := *r.handlers.Load()
+	idx := int(h.id) - 1
+	if idx < 0 || idx >= len(hs) {
+		return fmt.Errorf("mely: unknown handler %d", h.id)
+	}
+	entry := &hs[idx]
+
+	ev := r.evPool.Get().(*equeue.Event)
+	*ev = equeue.Event{
+		Handler: equeue.HandlerID(idx),
+		Color:   equeue.Color(color),
+		Cost:    r.estimate(int32(idx)),
+		Penalty: r.pol.EffectivePenalty(entry.penalty),
+		Data:    data,
+	}
+	r.pending.Add(1)
+	r.enqueue(ev)
+	return nil
+}
+
+// estimate is the profiled per-execution cost in nanoseconds, the
+// time-left heuristic's currency on the real platform.
+func (r *Runtime) estimate(h int32) int64 {
+	est := r.profiles.Handler(int(h)).Estimate()
+	if est <= 0 {
+		est = 1 // unprofiled handlers look cheap until measured
+	}
+	return est
+}
+
+// enqueue delivers an event to the current owner of its color,
+// retrying when a concurrent steal moves the color. Ownership is a
+// lease: when a stolen color has fully drained on its current owner
+// (no pending events, not executing), it re-homes to its hash core —
+// the same semantics as the simulator, and the reason load waves
+// re-create the hash placement the paper measures against.
+func (r *Runtime) enqueue(ev *equeue.Event) {
+	for {
+		owner := r.table.Owner(ev.Color)
+		c := r.cores[owner]
+		c.lock.Lock()
+		if r.table.Owner(ev.Color) != owner {
+			c.lock.Unlock()
+			continue // stolen between the read and the lock
+		}
+		if home := r.table.Hash(ev.Color); owner != home && !r.colorLiveLocked(c, ev.Color) {
+			// Lease expired: re-home and retry against the hash core.
+			r.table.SetOwner(ev.Color, home)
+			c.lock.Unlock()
+			continue
+		}
+		if c.list != nil {
+			c.list.PushBack(ev)
+			c.qlen.Store(int32(c.list.Len()))
+		} else {
+			if r.pol.TimeLeft {
+				c.mely.SetStealCost(r.stealMon.Estimate())
+			}
+			cq := r.table.Queue(ev.Color)
+			if cq == nil || cq == inTransitMarker {
+				cq = c.mely.NewColorQueue(ev.Color)
+				r.table.SetQueue(ev.Color, cq)
+			}
+			if c.mely.Push(cq, ev) {
+				c.stats.colorQueueChurns.Add(1)
+			}
+			c.qlen.Store(int32(c.mely.Len()))
+			c.stealLen.Store(int32(c.mely.Stealing().Len()))
+		}
+		c.stats.postedHere.Add(1)
+		c.lock.Unlock()
+		c.unpark()
+		return
+	}
+}
+
+// colorLiveLocked reports whether the color has pending events, is
+// executing on c, or is mid-migration. Callers hold c.lock.
+func (r *Runtime) colorLiveLocked(c *rcore, col equeue.Color) bool {
+	if c.hasRunning && c.running == col {
+		return true
+	}
+	cq := r.table.Queue(col)
+	if cq == inTransitMarker {
+		return true
+	}
+	if c.list != nil {
+		return c.list.Pending(col) > 0
+	}
+	return cq != nil && cq.Len() > 0
+}
+
+// worker is the per-core scheduling loop.
+func (r *Runtime) worker(c *rcore) {
+	defer r.wg.Done()
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	if r.cfg.Pin {
+		_ = affinity.Pin(c.id) // best effort; unpinned is correct, just less local
+	}
+
+	idle := 0
+	for !r.stopped.Load() {
+		if ev := r.popLocal(c); ev != nil {
+			r.execute(c, ev)
+			idle = 0
+			continue
+		}
+		if r.pol.Steal != policy.StealNone && r.stealOnce(c) {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle <= r.cfg.IdleSpins {
+			runtime.Gosched()
+			continue
+		}
+		c.stats.parks.Add(1)
+		c.park(r.cfg.ParkTimeout)
+		idle = 0
+	}
+}
+
+// popLocal dequeues the next event of c's queue, maintaining the
+// running color for thieves.
+func (r *Runtime) popLocal(c *rcore) *equeue.Event {
+	c.lock.Lock()
+	var ev *equeue.Event
+	if c.list != nil {
+		ev = c.list.PopFront()
+		c.qlen.Store(int32(c.list.Len()))
+	} else {
+		if r.pol.TimeLeft {
+			c.mely.SetStealCost(r.stealMon.Estimate())
+		}
+		var emptied *equeue.ColorQueue
+		ev, emptied = c.mely.PopNext()
+		if emptied != nil {
+			if r.table.Queue(emptied.Color()) == emptied {
+				r.table.SetQueue(emptied.Color(), nil)
+			}
+			c.mely.ReleaseColorQueue(emptied)
+			c.stats.colorQueueChurns.Add(1)
+		}
+		c.qlen.Store(int32(c.mely.Len()))
+		c.stealLen.Store(int32(c.mely.Stealing().Len()))
+	}
+	if ev != nil {
+		c.running, c.hasRunning = ev.Color, true
+	}
+	c.lock.Unlock()
+	return ev
+}
+
+// execute runs the handler and feeds the profiler. A panicking handler
+// is contained: the event is dropped, the panic counted, and the worker
+// lives on (one bad event must not take down the whole core).
+func (r *Runtime) execute(c *rcore, ev *equeue.Event) {
+	hs := *r.handlers.Load()
+	entry := &hs[ev.Handler]
+	start := time.Now()
+	if entry.fn != nil {
+		ctx := Ctx{r: r, core: c, ev: ev}
+		runHandler(entry, &ctx, &c.stats)
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	if elapsed < 1 {
+		elapsed = 1
+	}
+	r.profiles.Handler(int(ev.Handler)).Observe(elapsed)
+	c.stats.events.Add(1)
+	c.stats.execNanos.Add(elapsed)
+	if ev.Stolen {
+		c.stats.stolenEvents.Add(1)
+		c.stats.stolenExecNanos.Add(elapsed)
+	}
+	r.pending.Add(-1)
+	*ev = equeue.Event{}
+	r.evPool.Put(ev)
+}
+
+// runHandler invokes the handler with panic containment.
+func runHandler(entry *handlerEntry, ctx *Ctx, stats *rstats) {
+	defer func() {
+		if recover() != nil {
+			stats.panics.Add(1)
+		}
+	}()
+	entry.fn(ctx)
+}
+
+// clearRunning marks the worker as not executing (before stealing or
+// parking) so its last color becomes stealable again.
+func (c *rcore) clearRunning() {
+	c.lock.Lock()
+	c.hasRunning = false
+	c.lock.Unlock()
+}
+
+func (c *rcore) park(d time.Duration) {
+	c.parked.Store(true)
+	defer c.parked.Store(false)
+	c.clearRunning()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.wake:
+	case <-t.C:
+	}
+}
+
+func (c *rcore) unpark() {
+	if c.parked.Load() {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// rcoreView adapts a locked rcore to policy.VictimView.
+type rcoreView struct{ c *rcore }
+
+func (v rcoreView) QueuedEvents() int {
+	if v.c.list != nil {
+		return v.c.list.Len()
+	}
+	return v.c.mely.Len()
+}
+
+func (v rcoreView) DistinctColors() int {
+	if v.c.list != nil {
+		return v.c.list.DistinctColors()
+	}
+	return v.c.mely.Colors()
+}
+
+func (v rcoreView) RunningColor() (equeue.Color, bool) {
+	return v.c.running, v.c.hasRunning
+}
+
+func (v rcoreView) HasColorOtherThan(col equeue.Color) bool {
+	if v.DistinctColors() >= 2 {
+		return true
+	}
+	if v.c.list != nil {
+		first, ok := v.c.list.FirstColor()
+		return ok && first != col
+	}
+	first, ok := v.c.mely.FirstColor()
+	return ok && first != col
+}
+
+func (v rcoreView) Stealing() *equeue.StealingQueue {
+	if v.c.mely == nil {
+		return nil
+	}
+	return v.c.mely.Stealing()
+}
+
+// stealOnce runs one pass of the workstealing algorithm (Figure 2 plus
+// the configured heuristics) and reports whether work was migrated.
+func (r *Runtime) stealOnce(c *rcore) bool {
+	c.clearRunning()
+	c.stats.stealAttempts.Add(1)
+	start := time.Now()
+
+	for i, v := range r.cores {
+		c.lenBuf[i] = int(v.qlen.Load())
+	}
+	order := r.pol.VictimOrder(c.id, c.lenBuf, r.topo, c.victimBuf)
+
+	for _, vid := range order {
+		v := r.cores[vid]
+		// Heuristic policies screen victims with the unlocked
+		// mirrors; the base algorithm locks blindly, as in the paper.
+		if r.pol.Steal == policy.StealHeuristic {
+			if v.qlen.Load() == 0 {
+				continue
+			}
+			if r.pol.TimeLeft && v.stealLen.Load() == 0 {
+				continue
+			}
+		}
+
+		v.lock.Lock()
+		var (
+			set    equeue.EventSet
+			cq     *equeue.ColorQueue
+			color  equeue.Color
+			stolen bool
+		)
+		if r.pol.CanBeStolen(rcoreView{v}) {
+			if v.list != nil {
+				var ok bool
+				color, ok, _ = v.list.ChooseColorToSteal(v.running, v.hasRunning)
+				if ok {
+					set, _ = v.list.ExtractColor(color)
+					stolen = !set.Empty()
+				}
+			} else {
+				if r.pol.TimeLeft {
+					v.mely.SetStealCost(r.stealMon.Estimate())
+					cq = v.mely.StealWorthy(v.running, v.hasRunning)
+				} else {
+					cq, _ = v.mely.StealBase(v.running, v.hasRunning)
+				}
+				if cq != nil {
+					color = cq.Color()
+					stolen = true
+				}
+			}
+		}
+		if stolen {
+			// Ownership moves under the victim's lock; posters that
+			// race will retry against our core. The transit marker
+			// keeps the color "live" until adoption so the lease
+			// logic cannot re-home it mid-migration.
+			r.table.SetOwner(color, c.id)
+			r.table.SetQueue(color, inTransitMarker)
+			if v.mely != nil {
+				v.stealLen.Store(int32(v.mely.Stealing().Len()))
+			}
+			v.qlen.Store(int32(rcoreView{v}.QueuedEvents()))
+		}
+		v.lock.Unlock()
+		if !stolen {
+			continue
+		}
+
+		// Migrate into our own queue.
+		c.lock.Lock()
+		if c.list != nil {
+			set.MarkStolen()
+			c.list.AppendSet(set)
+			c.qlen.Store(int32(c.list.Len()))
+			if r.table.Queue(color) == inTransitMarker {
+				r.table.SetQueue(color, nil)
+			}
+		} else {
+			cq.MarkStolen()
+			if existing := r.table.Queue(color); existing != nil && existing != inTransitMarker {
+				// A poster created a fresh queue for the color while
+				// it was in transit: merge, oldest first.
+				c.mely.MergeFront(existing, cq)
+				c.mely.ReleaseColorQueue(cq)
+			} else {
+				c.mely.Adopt(cq)
+				r.table.SetQueue(color, cq)
+			}
+			c.qlen.Store(int32(c.mely.Len()))
+			c.stealLen.Store(int32(c.mely.Stealing().Len()))
+		}
+		c.lock.Unlock()
+
+		dt := time.Since(start).Nanoseconds()
+		c.stats.steals.Add(1)
+		if !r.topo.SharesCache(c.id, vid) {
+			c.stats.remoteSteals.Add(1)
+		}
+		c.stats.stealNanos.Add(dt)
+		r.stealMon.Observe(dt)
+		return true
+	}
+
+	c.stats.failedSteals.Add(1)
+	return false
+}
+
+// Ctx is the execution context of a running handler.
+type Ctx struct {
+	r    *Runtime
+	core *rcore
+	ev   *equeue.Event
+}
+
+// Post registers a follow-up event.
+func (ctx *Ctx) Post(h Handler, color Color, data any) error {
+	return ctx.r.Post(h, color, data)
+}
+
+// Data returns the event's payload.
+func (ctx *Ctx) Data() any { return ctx.ev.Data }
+
+// Color returns the event's color.
+func (ctx *Ctx) Color() Color { return Color(ctx.ev.Color) }
+
+// CoreID identifies the worker executing the handler.
+func (ctx *Ctx) CoreID() int { return ctx.core.id }
+
+// Stolen reports whether a steal migrated this event before execution.
+func (ctx *Ctx) Stolen() bool { return ctx.ev.Stolen }
+
+// Runtime returns the owning runtime.
+func (ctx *Ctx) Runtime() *Runtime { return ctx.r }

@@ -1,0 +1,93 @@
+package mely
+
+import "time"
+
+// CoreStats is a snapshot of one worker's counters.
+type CoreStats struct {
+	// Events executed on this core and their total handler time.
+	Events   int64
+	ExecTime time.Duration
+	// Steals performed by this core (RemoteSteals crossed a cache
+	// boundary); FailedSteals found nothing; StealTime is the total
+	// time spent in successful steal transactions.
+	Steals        int64
+	RemoteSteals  int64
+	StealAttempts int64
+	FailedSteals  int64
+	StealTime     time.Duration
+	// StolenEvents executed here after migration, and their time (the
+	// paper's "stolen time").
+	StolenEvents int64
+	StolenTime   time.Duration
+	// Parks counts idle sleeps; PostedHere counts enqueues landing on
+	// this core; ColorQueueChurns counts ColorQueue link/unlink pairs
+	// (the short-lived color overhead of section V-C1).
+	Parks            int64
+	PostedHere       int64
+	ColorQueueChurns int64
+	// Panics counts handler panics contained by the worker.
+	Panics int64
+	// Queued is the instantaneous queue length.
+	Queued int
+}
+
+// Stats is a whole-runtime snapshot.
+type Stats struct {
+	Cores []CoreStats
+	// StealCostEstimate is the monitored cost of one steal, the
+	// threshold the time-left heuristic steals against.
+	StealCostEstimate time.Duration
+	// Pending counts posted-but-not-completed events.
+	Pending int64
+}
+
+// Stats snapshots the runtime's counters. It is safe while running;
+// per-core numbers are individually atomic but not mutually consistent.
+func (r *Runtime) Stats() Stats {
+	s := Stats{
+		Cores:             make([]CoreStats, len(r.cores)),
+		StealCostEstimate: time.Duration(r.stealMon.Estimate()),
+		Pending:           r.pending.Load(),
+	}
+	for i, c := range r.cores {
+		s.Cores[i] = CoreStats{
+			Events:           c.stats.events.Load(),
+			ExecTime:         time.Duration(c.stats.execNanos.Load()),
+			Steals:           c.stats.steals.Load(),
+			RemoteSteals:     c.stats.remoteSteals.Load(),
+			StealAttempts:    c.stats.stealAttempts.Load(),
+			FailedSteals:     c.stats.failedSteals.Load(),
+			StealTime:        time.Duration(c.stats.stealNanos.Load()),
+			StolenEvents:     c.stats.stolenEvents.Load(),
+			StolenTime:       time.Duration(c.stats.stolenExecNanos.Load()),
+			Parks:            c.stats.parks.Load(),
+			PostedHere:       c.stats.postedHere.Load(),
+			ColorQueueChurns: c.stats.colorQueueChurns.Load(),
+			Panics:           c.stats.panics.Load(),
+			Queued:           int(c.qlen.Load()),
+		}
+	}
+	return s
+}
+
+// Total sums the per-core snapshots.
+func (s Stats) Total() CoreStats {
+	var t CoreStats
+	for _, c := range s.Cores {
+		t.Events += c.Events
+		t.ExecTime += c.ExecTime
+		t.Steals += c.Steals
+		t.RemoteSteals += c.RemoteSteals
+		t.StealAttempts += c.StealAttempts
+		t.FailedSteals += c.FailedSteals
+		t.StealTime += c.StealTime
+		t.StolenEvents += c.StolenEvents
+		t.StolenTime += c.StolenTime
+		t.Parks += c.Parks
+		t.PostedHere += c.PostedHere
+		t.ColorQueueChurns += c.ColorQueueChurns
+		t.Panics += c.Panics
+		t.Queued += c.Queued
+	}
+	return t
+}
