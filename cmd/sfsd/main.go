@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -42,10 +43,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := rt.Start(); err != nil {
-		return err
-	}
-	defer rt.Stop()
+	defer rt.Close()
 
 	content := make([]byte, *fileMB<<20)
 	rand.New(rand.NewSource(1)).Read(content)
@@ -66,9 +64,16 @@ func run() error {
 	}
 	fmt.Printf("sfsd: serving /data (%d MiB) on %s\n", *fileMB, srv.Addr())
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
+	// Run ties the lifecycle to the interrupt signal: on ^C the server
+	// stops accepting, then the runtime drains in-flight events and
+	// stops its workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	closed := make(chan error, 1)
+	context.AfterFunc(ctx, func() { closed <- srv.Close() })
+	if err := rt.Run(ctx); err != nil {
+		return err
+	}
 	fmt.Printf("sfsd: sent %d responses\n", srv.Sent())
-	return srv.Close()
+	return <-closed
 }

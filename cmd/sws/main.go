@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -61,10 +62,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := rt.Start(); err != nil {
-		return err
-	}
-	defer rt.Stop()
+	defer rt.Close()
 
 	files := make(map[string][]byte, *nfiles)
 	for i := 0; i < *nfiles; i++ {
@@ -88,11 +86,17 @@ func run() error {
 	fmt.Printf("sws: serving %d files of %d bytes on %s (policy %s, %d cores)\n",
 		*nfiles, *size, srv.Addr(), pol, *cores)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
+	// Run ties the lifecycle to the interrupt signal: on ^C the server
+	// stops accepting, then the runtime drains and stops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	closed := make(chan error, 1)
+	context.AfterFunc(ctx, func() { closed <- srv.Close() })
+	if err := rt.Run(ctx); err != nil {
+		return err
+	}
 	fmt.Printf("sws: served %d responses\n", srv.Served())
 	st := rt.Stats().Total()
 	fmt.Printf("sws: steals=%d (remote %d) stolen-events=%d\n", st.Steals, st.RemoteSteals, st.StolenEvents)
-	return srv.Close()
+	return <-closed
 }

@@ -12,7 +12,10 @@ import (
 // Color is an event-coloring annotation: events with equal colors run
 // serially, events with different colors may run concurrently. Color 0
 // (DefaultColor) serializes everything posted without a color choice.
-type Color uint16
+// The space is 64-bit so identifiers — connection ids, request ids,
+// object keys — color events directly, with no wraparound ever aliasing
+// two serialization domains.
+type Color uint64
 
 // DefaultColor is the color of unannotated events.
 const DefaultColor Color = 0

@@ -1,33 +1,55 @@
 // Package mely is a multicore event-driven runtime based on event
 // coloring, reproducing "Efficient Workstealing for Multicore
 // Event-Driven Systems" (Gaud, Genevès, Lachaize, Lepers, Mottet,
-// Muller, Quéma — ICDCS 2010).
+// Muller, Quéma — ICDCS 2010) and growing it into a production API.
 //
 // # Programming model
 //
 // Applications are sets of short, non-blocking event handlers. Each
-// posted event carries a color: events of the same color execute
+// posted event carries a 64-bit color: events of the same color execute
 // serially (mutual exclusion without locks), events of different colors
 // may run on different cores concurrently. A typical server colors each
-// connection with its descriptor so independent clients are served in
-// parallel, while shared-state handlers reuse one color to serialize.
+// connection with its id — the color space is wide enough to never
+// recycle — so independent clients are served in parallel, while
+// shared-state handlers reuse one color to serialize.
 //
 //	rt, err := mely.New(mely.Config{})
-//	echo := rt.Register("echo", func(ctx *mely.Ctx) {
-//		fmt.Println(ctx.Data())
+//	echo := mely.RegisterTyped(rt, "echo", func(ctx *mely.TypedCtx[string]) {
+//		fmt.Println(ctx.Data()) // statically a string
 //	})
-//	rt.Start()
-//	rt.Post(echo, mely.Color(42), "hello")
-//	rt.Drain(context.Background())
-//	rt.Stop()
+//	go rt.Run(ctx)                      // Start, then drain+stop when ctx ends
+//	echo.Post(mely.Color(42), "hello")  // one event
+//	rt.PostBatch([]mely.BatchEvent{     // a batch: one lock hop per core
+//		echo.Event(7, "a"), echo.Event(8, "b"),
+//	})
+//
+// # The v1 API
+//
+//   - Registration: Register takes an untyped func(*Ctx); RegisterTyped
+//     layers a generically typed handler over it whose TypedCtx exposes
+//     the payload without a type assertion.
+//   - Posting: Post delivers one event to the core owning its color.
+//     PostBatch amortizes delivery — it groups a caller batch by owning
+//     core and delivers each group under a single lock acquisition with
+//     a single wakeup, which is how pumps and fan-out stages should
+//     post (see BenchmarkRuntimePostBatch for the measured gap).
+//     Both fail with ErrStopped after shutdown.
+//   - Lifecycle: Start/Drain/Stop remain for manual control; Run(ctx)
+//     packages the common daemon shape (start, block until the context
+//     ends, drain, stop) and Close is the idempotent io.Closer-shaped
+//     immediate shutdown.
 //
 // # Scheduling
 //
 // One worker goroutine per configured core (thread-locked, and pinned
 // on Linux when Config.Pin is set) drains a per-core queue of colored
-// events. Load is balanced by workstealing: an idle core inspects
-// victims and migrates a whole color. The stealing policy is the
-// paper's contribution and is selectable via Config.Policy:
+// events. A sharded, lock-striped color table maps each live color to
+// its owning core — colors hash onto cores with a 64-bit mix, and
+// ownership moves only while a steal holds the color away from home
+// (the lease re-homes once the color drains). Load is balanced by
+// workstealing: an idle core inspects victims and migrates a whole
+// color. The stealing policy is the paper's contribution and is
+// selectable via Config.Policy:
 //
 //   - PolicyMelyWS (default): Mely's per-color queues with the
 //     locality-aware, time-left and penalty-aware heuristics;
@@ -46,5 +68,6 @@
 // The simulated counterpart of this runtime (internal/sim) executes the
 // same queue structures and policies on a modeled 8-core machine and
 // regenerates every table and figure of the paper: see cmd/melybench
-// and EXPERIMENTS.md.
+// and EXPERIMENTS.md. (The simulator keeps the paper's color%ncores
+// placement; the runtime's default placement is the 64-bit mix.)
 package mely

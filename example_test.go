@@ -69,6 +69,96 @@ func ExampleCtx_Post() {
 	// Output: hello, world
 }
 
+// Typed handlers read their payload without an assertion; posting
+// through the TypedHandler is type-checked at compile time.
+func ExampleRegisterTyped() {
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := 0 // touched only under color 9: no lock needed
+	add := mely.RegisterTyped(rt, "add", func(ctx *mely.TypedCtx[int]) {
+		sum += ctx.Data() // ctx.Data() is an int
+	})
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	for i := 1; i <= 4; i++ {
+		if err := add.Post(9, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := rt.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sum)
+	// Output: 10
+}
+
+// PostBatch delivers a whole batch with one lock acquisition per owning
+// core — the fast path for pumps and fan-out stages.
+func ExampleRuntime_PostBatch() {
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var counts [3]int // slot per color: each is touched by one color only
+	tally := mely.RegisterTyped(rt, "tally", func(ctx *mely.TypedCtx[int]) {
+		counts[ctx.Color()] += ctx.Data()
+	})
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	batch := []mely.BatchEvent{
+		tally.Event(1, 10),
+		tally.Event(2, 20),
+		tally.Event(1, 1),
+	}
+	if err := rt.PostBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(counts[1], counts[2])
+	// Output: 11 20
+}
+
+// Run packages the daemon lifecycle: start, serve until the context
+// ends, drain what was posted, stop.
+func ExampleRuntime_Run() {
+	rt, err := mely.New(mely.Config{Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	work := mely.RegisterTyped(rt, "work", func(ctx *mely.TypedCtx[int]) { n++ })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(ctx) }()
+
+	for i := 0; i < 100; i++ {
+		if err := work.Post(3, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cancel() // Run drains all 100 events, then stops the workers
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output: 100
+}
+
 // Annotations steer the workstealing heuristics: WithPenalty keeps
 // data-heavy handlers near their data, WithCostEstimate seeds the
 // time-left worthiness accounting.

@@ -27,7 +27,7 @@ func main() {
 	if err := rt.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer rt.Stop()
+	defer rt.Close()
 
 	psk := []byte("example-secret")
 	content := make([]byte, 8<<20) // 8 MiB so the example stays quick

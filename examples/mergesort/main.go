@@ -39,9 +39,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var sortHalf, join mely.Handler
-	join = rt.Register("join", func(ctx *mely.Ctx) {
-		j := ctx.Data().(*job)
+	// Typed handlers: each ctx.Data() is statically a *job or *half.
+	var sortHalf mely.TypedHandler[*half]
+	join := mely.RegisterTyped(rt, "join", func(ctx *mely.TypedCtx[*job]) {
+		j := ctx.Data()
 		j.sync++ // safe: both join events share the parent color
 		if j.sync < 2 {
 			return
@@ -52,23 +53,23 @@ func main() {
 		}
 		j.done.Add(1)
 	})
-	sortHalf = rt.Register("sort-half", func(ctx *mely.Ctx) {
-		h := ctx.Data().(*half)
+	sortHalf = mely.RegisterTyped(rt, "sort-half", func(ctx *mely.TypedCtx[*half]) {
+		h := ctx.Data()
 		sort.Ints(h.j.data[h.lo:h.hi])
-		if err := ctx.Post(join, h.j.color, h.j); err != nil {
+		if err := join.Post(h.j.color, h.j); err != nil {
 			log.Fatal(err)
 		}
 	})
-	spawn := rt.Register("spawn", func(ctx *mely.Ctx) {
-		j := ctx.Data().(*job)
+	spawn := mely.RegisterTyped(rt, "spawn", func(ctx *mely.TypedCtx[*job]) {
+		j := ctx.Data()
 		n := len(j.data)
 		// Two halves under fresh colors: stealable by idle cores.
 		c1 := mely.Color(1000 + 2*j.id)
 		c2 := mely.Color(1001 + 2*j.id)
-		if err := ctx.Post(sortHalf, c1, &half{j: j, lo: 0, hi: n / 2}); err != nil {
+		if err := sortHalf.Post(c1, &half{j: j, lo: 0, hi: n / 2}); err != nil {
 			log.Fatal(err)
 		}
-		if err := ctx.Post(sortHalf, c2, &half{j: j, lo: n / 2, hi: n}); err != nil {
+		if err := sortHalf.Post(c2, &half{j: j, lo: n / 2, hi: n}); err != nil {
 			log.Fatal(err)
 		}
 	})
@@ -76,7 +77,7 @@ func main() {
 	if err := rt.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer rt.Stop()
+	defer rt.Close()
 
 	const jobs, size = 64, 1 << 15
 	var done atomic.Int64
@@ -88,7 +89,7 @@ func main() {
 			data[k] = rng.Int()
 		}
 		j := &job{id: i, data: data, done: &done, color: mely.Color(100 + i)}
-		if err := rt.Post(spawn, j.color, j); err != nil {
+		if err := spawn.Post(j.color, j); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,8 +1,12 @@
-// Quickstart: the event-coloring model in one file.
+// Quickstart: the v1 event-coloring API in one file.
 //
 // Events of one color run serially — the per-account balances below are
 // plain ints with no locks — while different colors run in parallel
-// across cores, balanced by Mely's workstealing.
+// across cores, balanced by Mely's workstealing. Colors are 64-bit, so
+// a real server can color each of millions of connections by id; typed
+// handlers read their payload without assertions; batches deliver a
+// core's worth of events under one lock; Run ties the lifecycle to a
+// context.
 //
 //	go run ./examples/quickstart
 package main
@@ -22,33 +26,45 @@ func main() {
 	}
 
 	const accounts = 8
-	balances := make([]int, accounts) // no locks: colors serialize per account
+	balances := make([]int64, accounts) // no locks: colors serialize per account
 
-	var deposit mely.Handler
-	deposit = rt.Register("deposit", func(ctx *mely.Ctx) {
-		amount := ctx.Data().(int)
+	// A typed handler: ctx.Data() is an int64, no .(int64) at the use site.
+	deposit := mely.RegisterTyped(rt, "deposit", func(ctx *mely.TypedCtx[int64]) {
 		account := int(ctx.Color()) - 1
-		balances[account] += amount // safe: only this color touches it
+		balances[account] += ctx.Data() // safe: only this color touches it
 	})
 
-	if err := rt.Start(); err != nil {
-		log.Fatal(err)
-	}
-	defer rt.Stop()
+	// Run owns the lifecycle: Start now, then — once the context ends —
+	// drain everything posted and stop the workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(ctx) }()
 
-	// 10 000 deposits across 8 accounts, posted from one goroutine,
-	// executed in parallel across colors.
+	// 10 000 deposits across 8 accounts, posted in 64-event batches:
+	// each batch is grouped by owning core and delivered under one lock
+	// acquisition per core.
+	batch := make([]mely.BatchEvent, 0, 64)
 	for i := 0; i < 10_000; i++ {
 		account := i % accounts
-		if err := rt.Post(deposit, mely.Color(account+1), 1); err != nil {
-			log.Fatal(err)
+		batch = append(batch, deposit.Event(mely.Color(account+1), 1))
+		if len(batch) == cap(batch) {
+			if err := rt.PostBatch(batch); err != nil {
+				log.Fatal(err)
+			}
+			batch = batch[:0]
 		}
 	}
-	if err := rt.Drain(context.Background()); err != nil {
+	if err := rt.PostBatch(batch); err != nil {
 		log.Fatal(err)
 	}
 
-	total := 0
+	// Graceful shutdown: Run drains the queues, then stops.
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+
+	var total int64
 	for i, b := range balances {
 		fmt.Printf("account %d: %d\n", i, b)
 		total += b
@@ -56,5 +72,6 @@ func main() {
 	fmt.Printf("total deposits: %d (want 10000)\n", total)
 
 	st := rt.Stats().Total()
-	fmt.Printf("events=%d steals=%d stolen=%d\n", st.Events, st.Steals, st.StolenEvents)
+	fmt.Printf("events=%d batched=%d steals=%d stolen=%d\n",
+		st.Events, st.BatchedEvents, st.Steals, st.StolenEvents)
 }

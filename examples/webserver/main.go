@@ -25,7 +25,7 @@ func main() {
 	if err := rt.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer rt.Stop()
+	defer rt.Close()
 
 	// 150 one-KB files, like the paper's workload.
 	files := make(map[string][]byte, 150)

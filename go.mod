@@ -1,0 +1,3 @@
+module github.com/melyruntime/mely
+
+go 1.22

@@ -1,46 +1,136 @@
 package equeue
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// ColorTable is the statically allocated table mapping each color to the
-// core that currently owns it (and, for the Mely layout, to its live
-// ColorQueue). It mirrors the paper's 64K-entry array (section IV-A).
+// ColorTable maps each live color to the core that currently owns it
+// (and, for the Mely layout, to its live ColorQueue). The paper uses a
+// statically allocated 64K-entry array (section IV-A); with a 64-bit
+// color space the table is instead sharded: a fixed power-of-two number
+// of lock-striped shards, each holding owner and queue maps for the
+// colors hashing into it. A color absent from its shard is in the
+// default state — owned by its hash core, with no live queue — so the
+// shards only ever hold the working set (stolen colors plus colors with
+// pending events), not the keyspace.
 //
-// Ownership protocol: a color's owner defaults to Hash(color) and changes
-// only when a steal migrates the color. Producers read the owner without a
-// lock, then acquire that core's lock and re-check; if a concurrent steal
-// moved the color they retry. Owner entries are atomic so the unlocked
-// first read is well-defined in the real runtime; queue pointers are only
-// touched under the owning core's lock.
+// Ownership protocol (unchanged from the static table): a color's owner
+// defaults to Hash(color) and changes only when a steal migrates the
+// color. Producers read the owner, then acquire that core's lock and
+// re-check; if a concurrent steal moved the color they retry. Owner
+// entries are guarded by the shard lock so the unlocked-by-the-core
+// first read is well-defined in the real runtime; queue pointers are
+// additionally only installed or cleared under the owning core's lock.
 type ColorTable struct {
-	ncores int32
-	owner  []atomic.Int32
-	queues []*ColorQueue
+	ncores uint64
+	// place overrides the initial core placement when non-nil. The
+	// default is the 64-bit mix hash; the simulator installs the paper's
+	// modulo placement instead (the tables it regenerates depend on the
+	// exact Libasync-smp placement over the 64K color space).
+	place func(Color) int
+	// deviated counts owner entries across all shards. When zero, every
+	// color is at its hash home, so batch owner resolution is pure math
+	// — one atomic load amortized over a whole batch.
+	deviated atomic.Int64
+	shards   [numShards]tableShard
+}
+
+// numShards is the fixed shard count. Power of two so the shard index is
+// a mask; 256 stripes keep cross-core Post traffic from serializing on
+// one lock while staying small enough to embed in the table.
+const numShards = 256
+
+type tableShard struct {
+	mu     sync.Mutex
+	owner  map[Color]int32
+	queues map[Color]*ColorQueue
+	// deviated counts owner entries (colors away from their hash home),
+	// updated under mu but readable without it: when zero, OwnerHint
+	// answers from the hash alone and skips the stripe lock entirely —
+	// the common case, since steals are rare relative to posts.
+	deviated atomic.Int32
 }
 
 // NewColorTable returns a table for ncores cores with every color owned
 // by its hash core.
 func NewColorTable(ncores int) *ColorTable {
-	t := &ColorTable{
-		ncores: int32(ncores),
-		owner:  make([]atomic.Int32, NumColors),
-		queues: make([]*ColorQueue, NumColors),
-	}
-	for i := range t.owner {
-		t.owner[i].Store(-1)
+	t := &ColorTable{ncores: uint64(ncores)}
+	for i := range t.shards {
+		t.shards[i].owner = make(map[Color]int32)
+		t.shards[i].queues = make(map[Color]*ColorQueue)
 	}
 	return t
 }
 
-// Hash is the Libasync-smp initial color placement: a simple hash of the
-// color onto the cores.
+// mix64 is a 64-bit finalizer (the SplitMix64 / MurmurHash3 fmix64
+// constants): every input bit diffuses into every output bit, so
+// sequential colors — connection ids, loop counters — spread uniformly
+// over both the cores and the shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Hash is the initial color placement: by default a mixed hash of the
+// color onto the cores (the Libasync-smp role of "hash of the color",
+// with a mix that survives 64-bit sequential color allocation), unless
+// SetPlacement installed another scheme.
 func (t *ColorTable) Hash(c Color) int {
-	return int(int32(c) % t.ncores)
+	if t.place != nil {
+		return t.place(c)
+	}
+	return int(mix64(uint64(c)) % t.ncores)
+}
+
+// SetPlacement overrides the initial placement function. It must be
+// called before the table is shared between goroutines (construction
+// time) and must return a core in [0, NumCores). The real runtime keeps
+// the default mix hash; the discrete-event simulator installs the
+// paper's color%ncores placement so the regenerated tables and figures
+// keep the workload shapes the paper engineered around that placement.
+func (t *ColorTable) SetPlacement(fn func(Color) int) { t.place = fn }
+
+// ShardOf reports the shard index color c is striped into. Exposed so
+// stress tests can construct shard-colliding color sets.
+func (t *ColorTable) ShardOf(c Color) int {
+	return int(mix64(uint64(c)) >> 32 & (numShards - 1))
+}
+
+func (t *ColorTable) shard(c Color) *tableShard {
+	return &t.shards[mix64(uint64(c))>>32&(numShards-1)]
 }
 
 // Owner returns the core currently owning color c.
 func (t *ColorTable) Owner(c Color) int {
-	if o := t.owner[c].Load(); o >= 0 {
+	s := t.shard(c)
+	s.mu.Lock()
+	o, ok := s.owner[c]
+	s.mu.Unlock()
+	if ok {
+		return int(o)
+	}
+	return t.Hash(c)
+}
+
+// OwnerHint returns the core currently owning color c, skipping the
+// stripe lock when c's shard holds no deviated colors. It is exactly as
+// authoritative as Owner's result — which is to say advisory: every
+// delivery path re-checks ownership under the owning core's lock, so a
+// hint made stale by a concurrent steal only costs a retry.
+func (t *ColorTable) OwnerHint(c Color) int {
+	s := t.shard(c)
+	if s.deviated.Load() == 0 {
+		return t.Hash(c)
+	}
+	s.mu.Lock()
+	o, ok := s.owner[c]
+	s.mu.Unlock()
+	if ok {
 		return int(o)
 	}
 	return t.Hash(c)
@@ -48,17 +138,137 @@ func (t *ColorTable) Owner(c Color) int {
 
 // SetOwner records that core now owns color c. Called under the lock of
 // the core the color is moving to or from (steal or explicit placement).
+// Setting a color back to its hash core erases the entry: the default
+// state is implicit, which keeps the shards bounded by the number of
+// colors currently away from home.
 func (t *ColorTable) SetOwner(c Color, core int) {
-	t.owner[c].Store(int32(core))
+	s := t.shard(c)
+	s.mu.Lock()
+	t.setOwnerLocked(s, c, core)
+	s.mu.Unlock()
+}
+
+// setOwnerLocked is the owner/deviation bookkeeping shared by SetOwner
+// and BeginMigration. Callers hold s.mu.
+func (t *ColorTable) setOwnerLocked(s *tableShard, c Color, core int) {
+	if core == t.Hash(c) {
+		if _, ok := s.owner[c]; ok {
+			delete(s.owner, c)
+			s.deviated.Add(-1)
+			t.deviated.Add(-1)
+		}
+	} else {
+		if _, ok := s.owner[c]; !ok {
+			s.deviated.Add(1)
+			t.deviated.Add(1)
+		}
+		s.owner[c] = int32(core)
+	}
+}
+
+// AnyDeviated reports whether any color anywhere is currently owned
+// away from its hash home. False means Owner == Hash for every color —
+// the steady state between steals — which batch posting exploits to
+// resolve a whole batch's owners without touching a single stripe.
+func (t *ColorTable) AnyDeviated() bool { return t.deviated.Load() != 0 }
+
+// BeginMigration publishes a steal in ONE stripe acquisition: the thief
+// becomes the owner and marker replaces the (just detached) queue
+// entry, atomically with respect to every table reader. Publishing
+// these in two steps would let a poster observe owner=thief while the
+// detached ColorQueue is still tabled — it would push into that queue
+// and link it on the thief before Adopt, which panics. Called under the
+// victim's core lock.
+func (t *ColorTable) BeginMigration(c Color, thief int, marker *ColorQueue) {
+	s := t.shard(c)
+	s.mu.Lock()
+	t.setOwnerLocked(s, c, thief)
+	s.queues[c] = marker
+	s.mu.Unlock()
+}
+
+// OwnerAndQueue returns the current owner and live queue of c in one
+// stripe acquisition — the batch-delivery re-check, which would
+// otherwise pay two stripe hops per color. The queue result follows
+// Queue's locking contract (interpret under the owning core's lock).
+func (t *ColorTable) OwnerAndQueue(c Color) (int, *ColorQueue) {
+	s := t.shard(c)
+	s.mu.Lock()
+	o, ok := s.owner[c]
+	cq := s.queues[c]
+	s.mu.Unlock()
+	if ok {
+		return int(o), cq
+	}
+	return t.Hash(c), cq
+}
+
+// DeliverHome is the one-hop home-core delivery check: under a single
+// stripe acquisition it verifies color c still lives on its hash home
+// (no deviated owner entry) and, when the color has no live queue,
+// installs fresh as its queue. ok is false when a steal moved the
+// color (nothing is installed); otherwise cq is the queue to push to —
+// fresh (installed=true), the existing queue, or the caller's
+// in-transit marker. fresh may be nil for layouts without per-color
+// queues. Callers hold the home core's lock, per SetQueue's contract.
+func (t *ColorTable) DeliverHome(c Color, fresh *ColorQueue) (cq *ColorQueue, installed, ok bool) {
+	s := t.shard(c)
+	s.mu.Lock()
+	if _, deviated := s.owner[c]; deviated {
+		// An owner entry always names a core other than the hash home
+		// (SetOwner erases home entries), so its presence alone means
+		// the color was stolen away.
+		s.mu.Unlock()
+		return nil, false, false
+	}
+	cq = s.queues[c]
+	if cq == nil && fresh != nil {
+		s.queues[c] = fresh
+		cq = fresh
+		installed = true
+	}
+	s.mu.Unlock()
+	return cq, installed, true
+}
+
+// ClearQueue erases c's queue entry if it still is cq — the drained-
+// color cleanup, compare-and-clear in one stripe acquisition. Callers
+// hold the owning core's lock.
+func (t *ColorTable) ClearQueue(c Color, cq *ColorQueue) {
+	s := t.shard(c)
+	s.mu.Lock()
+	if s.queues[c] == cq {
+		delete(s.queues, c)
+	}
+	s.mu.Unlock()
 }
 
 // Queue returns the live ColorQueue of c, or nil. Callers must hold the
-// owning core's lock.
-func (t *ColorTable) Queue(c Color) *ColorQueue { return t.queues[c] }
+// owning core's lock to interpret the result (the pointed-to queue is
+// guarded by that lock, not by the shard).
+func (t *ColorTable) Queue(c Color) *ColorQueue {
+	s := t.shard(c)
+	s.mu.Lock()
+	cq := s.queues[c]
+	s.mu.Unlock()
+	return cq
+}
 
-// SetQueue records the live ColorQueue of c (nil when the color drains).
-// Callers must hold the owning core's lock.
-func (t *ColorTable) SetQueue(c Color, cq *ColorQueue) { t.queues[c] = cq }
+// SetQueue records the live ColorQueue of c (nil when the color drains,
+// erasing the entry). Callers must hold the owning core's lock.
+func (t *ColorTable) SetQueue(c Color, cq *ColorQueue) {
+	s := t.shard(c)
+	s.mu.Lock()
+	if cq == nil {
+		delete(s.queues, c)
+	} else {
+		s.queues[c] = cq
+	}
+	s.mu.Unlock()
+}
 
 // NumCores reports the core count the table was built for.
 func (t *ColorTable) NumCores() int { return int(t.ncores) }
+
+// NumShards reports the fixed shard count of the stripe.
+func (t *ColorTable) NumShards() int { return numShards }

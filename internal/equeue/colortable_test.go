@@ -1,0 +1,129 @@
+package equeue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestColorTableDefaultOwnerIsHash(t *testing.T) {
+	tab := NewColorTable(8)
+	for c := Color(0); c < 1000; c++ {
+		if got, want := tab.Owner(c), tab.Hash(c); got != want {
+			t.Fatalf("Owner(%d) = %d, want hash home %d", c, got, want)
+		}
+	}
+}
+
+func TestColorTableSetOwnerRoundTrip(t *testing.T) {
+	tab := NewColorTable(4)
+	const c = Color(1 << 40)
+	away := (tab.Hash(c) + 1) % 4
+	tab.SetOwner(c, away)
+	if got := tab.Owner(c); got != away {
+		t.Fatalf("Owner = %d after SetOwner(%d)", got, away)
+	}
+	// Re-homing erases the entry: the default state is implicit.
+	tab.SetOwner(c, tab.Hash(c))
+	if got := tab.Owner(c); got != tab.Hash(c) {
+		t.Fatalf("Owner = %d after re-home, want %d", got, tab.Hash(c))
+	}
+	s := tab.shard(c)
+	s.mu.Lock()
+	_, present := s.owner[c]
+	s.mu.Unlock()
+	if present {
+		t.Fatal("re-homed color must not retain a shard entry")
+	}
+}
+
+func TestColorTableQueueLifecycle(t *testing.T) {
+	tab := NewColorTable(2)
+	const c = Color(77)
+	if tab.Queue(c) != nil {
+		t.Fatal("fresh color has no queue")
+	}
+	cq := &ColorQueue{color: c}
+	tab.SetQueue(c, cq)
+	if tab.Queue(c) != cq {
+		t.Fatal("queue not recorded")
+	}
+	tab.SetQueue(c, nil)
+	if tab.Queue(c) != nil {
+		t.Fatal("drained color must drop its queue entry")
+	}
+	s := tab.shard(c)
+	s.mu.Lock()
+	n := len(s.queues)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("shard retains %d queue entries after drain", n)
+	}
+}
+
+// TestHashSpreadsSequentialColors guards the 64-bit mix: sequential
+// colors (the common allocation pattern — connection ids, counters)
+// must land near-uniformly on the cores, unlike the old c%ncores
+// placement which the tests could (and did) exploit.
+func TestHashSpreadsSequentialColors(t *testing.T) {
+	const ncores, n = 8, 64000
+	tab := NewColorTable(ncores)
+	perCore := make([]int, ncores)
+	for c := Color(1); c <= n; c++ {
+		perCore[tab.Hash(c)]++
+	}
+	want := n / ncores
+	for core, got := range perCore {
+		if got < want*8/10 || got > want*12/10 {
+			t.Fatalf("core %d received %d of %d colors (want ~%d): skewed hash", core, got, n, want)
+		}
+	}
+}
+
+func TestShardOfSpreadsColors(t *testing.T) {
+	tab := NewColorTable(4)
+	seen := map[int]bool{}
+	for c := Color(1); c <= 4096; c++ {
+		s := tab.ShardOf(c)
+		if s < 0 || s >= tab.NumShards() {
+			t.Fatalf("ShardOf(%d) = %d out of range", c, s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < tab.NumShards()/2 {
+		t.Fatalf("4096 colors hit only %d/%d shards", len(seen), tab.NumShards())
+	}
+}
+
+// TestColorTableConcurrentAccess hammers one shard from many goroutines
+// under -race: the stripe lock must make interleaved Owner/SetOwner and
+// Queue/SetQueue safe even for colors colliding in a single shard.
+func TestColorTableConcurrentAccess(t *testing.T) {
+	tab := NewColorTable(4)
+	// Collect colors that collide in one shard.
+	target := tab.ShardOf(1)
+	var colliding []Color
+	for c := Color(1); len(colliding) < 8; c++ {
+		if tab.ShardOf(c) == target {
+			colliding = append(colliding, c)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c := colliding[(g+i)%len(colliding)]
+				tab.SetOwner(c, (g+i)%4)
+				if o := tab.Owner(c); o < 0 || o >= 4 {
+					t.Errorf("Owner(%d) = %d out of range", c, o)
+					return
+				}
+				tab.SetQueue(c, &ColorQueue{color: c})
+				_ = tab.Queue(c)
+				tab.SetQueue(c, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

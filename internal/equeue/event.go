@@ -21,11 +21,10 @@ package equeue
 // may be handled concurrently; events of the same color are handled
 // serially (on the same core). The paper represents colors as short
 // integers and uses a statically allocated 64K-entry table to map colors
-// to queues; we follow it with a 16-bit color space.
-type Color uint16
-
-// NumColors is the size of the color space (and of ColorTable).
-const NumColors = 1 << 16
+// to queues; we widen the space to 64 bits (a production server colors
+// each of millions of connections individually) and replace the static
+// array with the sharded ColorTable.
+type Color uint64
 
 // DefaultColor is the color assigned to events registered without an
 // annotation. All such events serialize, which is always safe.
@@ -62,6 +61,11 @@ type Event struct {
 	// Stolen records that a steal migrated this event, so the platform
 	// can attribute its execution time to "stolen time" (Table I).
 	Stolen bool
+	// Slab marks an event allocated inside a batch slab: it must never
+	// enter an event pool, because a pooled interior pointer would pin
+	// the whole slab (and every sibling's payload backing array) for as
+	// long as it sits there.
+	Slab bool
 
 	// Footprint is the number of bytes of the data set the handler
 	// touches, DataID identifies that data set for the cache model, and

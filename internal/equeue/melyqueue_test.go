@@ -338,8 +338,8 @@ func TestCoreQueueConservation(t *testing.T) {
 
 func TestColorTableOwnership(t *testing.T) {
 	tab := NewColorTable(8)
-	if got := tab.Owner(11); got != 3 {
-		t.Errorf("default owner of color 11 on 8 cores = %d, want hash 3", got)
+	if got := tab.Owner(11); got != tab.Hash(11) {
+		t.Errorf("default owner of color 11 on 8 cores = %d, want hash home %d", got, tab.Hash(11))
 	}
 	tab.SetOwner(11, 6)
 	if got := tab.Owner(11); got != 6 {

@@ -75,6 +75,11 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
 	}
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
+	// The context's Err() flips only when its timer goroutine fires, but
+	// dials and reads fail against the deadline *timestamp*; in between,
+	// a closed-loop client would spin counting spurious errors. Gate the
+	// loop and the error accounting on the wall clock as well.
+	deadline, _ := runCtx.Deadline()
 
 	var (
 		requests, errCount, connects, bytesRead atomic.Int64
@@ -86,12 +91,12 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
 		go func(id int) {
 			defer wg.Done()
 			<-start // master-synchronized start
-			for runCtx.Err() == nil {
+			for runCtx.Err() == nil && time.Now().Before(deadline) {
 				n, b, err := runConnection(runCtx, cfg, id)
 				requests.Add(n)
 				bytesRead.Add(b)
 				connects.Add(1)
-				if err != nil && runCtx.Err() == nil {
+				if err != nil && runCtx.Err() == nil && time.Now().Before(deadline) {
 					errCount.Add(1)
 				}
 			}
@@ -124,6 +129,13 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 		return 0, 0, err
 	}
 	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// The client side initiates every close, so each reconnect cycle
+		// would leave a TIME_WAIT socket; at injection rates that
+		// exhausts the ephemeral port range within seconds and every
+		// later dial fails. Linger 0 closes with RST instead.
+		_ = tc.SetLinger(0)
+	}
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(deadline)
 	}

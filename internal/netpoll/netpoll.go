@@ -43,9 +43,11 @@ type Conn struct {
 }
 
 // Color derives the connection's event color from its ID, skipping the
-// reserved control colors 0 and 1.
+// reserved control colors 0 and 1. Colors are 64-bit, so every
+// connection a server ever accepts gets its own color — no wraparound
+// aliasing two clients onto one serialization domain.
 func (c *Conn) Color() mely.Color {
-	return mely.Color(2 + c.ID%65534)
+	return mely.Color(2 + c.ID)
 }
 
 // Shutdown closes the connection once; the server's OnClose handler is

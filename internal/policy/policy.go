@@ -2,7 +2,9 @@
 // the base Libasync-smp algorithm (Figure 2) and Mely's three heuristics
 // (section III). The same policy code drives both the discrete-event
 // simulator and the real runtime; platforms own locking and cost
-// accounting, this package owns the decisions.
+// accounting, this package owns the decisions. Colors are 64-bit
+// (equeue.Color) everywhere: the policy interfaces carry full-width
+// colors so victim views and steal choices never alias two colors.
 package policy
 
 import (

@@ -229,13 +229,19 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("sim: quiesce core %d out of range", cfg.QuiesceCore)
 	}
 	n := cfg.Topology.NumCores()
+	table := equeue.NewColorTable(n)
+	// The paper's workloads (and the models regenerating its tables)
+	// engineer colors around the Libasync-smp color%ncores placement;
+	// keep it for the simulated platform. The real runtime uses the
+	// table's default 64-bit mix placement.
+	table.SetPlacement(func(c equeue.Color) int { return int(uint64(c) % uint64(n)) })
 	e := &Engine{
 		cfg:      cfg,
 		topo:     cfg.Topology,
 		pol:      cfg.Policy,
 		params:   cfg.Params,
 		cache:    cachesim.New(cfg.Topology, cfg.Params.Cache),
-		table:    equeue.NewColorTable(n),
+		table:    table,
 		profiles: profile.NewTable(0),
 		stealMon: profile.NewStealCostMonitor(cfg.Params.StealCostSeed),
 		run:      metrics.NewRun(n, cfg.Params.CyclesPerSecond),
@@ -726,7 +732,7 @@ func (e *Engine) post(from *core, explicit int, ev Ev) {
 // paper's Web server keeps stealing forever: every load wave re-creates
 // the hash imbalance and the thieves pay the steal price again.
 func (e *Engine) resolveOwner(col equeue.Color, explicit int) int {
-	owner := e.table.Owner(col)
+	owner := e.table.OwnerHint(col) // single-threaded: identical to Owner, skips the stripe lock
 	if explicit >= 0 {
 		if explicit != owner && e.colorLive(col, owner) {
 			panic(fmt.Sprintf(

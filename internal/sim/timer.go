@@ -84,7 +84,7 @@ func (e *Engine) inject(ev Ev) {
 	event.DataID = ev.DataID
 	event.Data = ev.Data
 
-	owner := e.table.Owner(ev.Color)
+	owner := e.table.OwnerHint(ev.Color) // single-threaded: identical to Owner, skips the stripe lock
 	target := e.cores[owner]
 	if target.list != nil {
 		target.list.PushBack(event)

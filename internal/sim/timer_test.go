@@ -78,7 +78,15 @@ func TestLeaseOwnershipRevertsOnDrain(t *testing.T) {
 	// A stolen color's events run on the thief; once the color drains,
 	// new posts go back to the hash core.
 	eng := newEngine(t, policy.MelyBaseWS(), func(ctx *Ctx) bool { return true })
-	const col = equeue.Color(9) // hash home: core 9%8 = 1
+	// Pick a color (clear of the filler range) whose mix-hash home is
+	// core 1 — away from core 0, where the events are placed.
+	var col equeue.Color
+	for c := equeue.Color(200); ; c++ {
+		if eng.table.Hash(c) == 1 {
+			col = c
+			break
+		}
+	}
 	coresSeen := map[int]bool{}
 	h := eng.Register("work", func(ctx *Ctx, ev *equeue.Event) {
 		coresSeen[ctx.Core()] = true

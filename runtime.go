@@ -2,6 +2,7 @@ package mely
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,6 +16,11 @@ import (
 	"github.com/melyruntime/mely/internal/spinlock"
 	"github.com/melyruntime/mely/internal/topology"
 )
+
+// ErrStopped is returned by Post and PostBatch once the runtime has
+// stopped (Stop, Close, or the end of Run). Producers race shutdown by
+// design — drain loops and pumps test for it with errors.Is.
+var ErrStopped = errors.New("mely: runtime stopped")
 
 // Handler identifies a registered event handler. The zero value is
 // invalid (Post rejects it), so optional handler fields can be left
@@ -74,6 +80,7 @@ type rstats struct {
 	stolenExecNanos  atomic.Int64
 	parks            atomic.Int64
 	postedHere       atomic.Int64
+	batchedEvents    atomic.Int64
 	colorQueueChurns atomic.Int64
 	panics           atomic.Int64
 }
@@ -96,8 +103,7 @@ type rcore struct {
 	qlen     atomic.Int32
 	stealLen atomic.Int32
 
-	parked atomic.Bool
-	wake   chan struct{}
+	wake chan struct{}
 
 	victimBuf []int
 	lenBuf    []int
@@ -126,12 +132,25 @@ type Runtime struct {
 
 	started atomic.Bool
 	stopped atomic.Bool
-	wg      sync.WaitGroup
+	// lifeMu serializes Start/Stop transitions: without it a Stop racing
+	// Start's worker-launch loop would call wg.Wait concurrently with
+	// wg.Add (a documented WaitGroup misuse). Workers never take it.
+	lifeMu sync.Mutex
+	wg     sync.WaitGroup
 
-	// pending counts posted-but-not-completed events (Drain).
-	pending atomic.Int64
+	// pending counts posted-but-not-completed events (Drain). Drain
+	// waiters subscribe to drainCh; workers close it when pending hits
+	// zero, so an idle drain costs nothing (no polling). drainWaiters
+	// keeps the zero-crossing check off the execute hot path when
+	// nobody is draining.
+	pending      atomic.Int64
+	drainWaiters atomic.Int32
+	drainMu      sync.Mutex
+	drainCh      chan struct{}
 
 	evPool sync.Pool
+	// scratch pools PostBatch working memory (see batchScratch).
+	scratch sync.Pool
 }
 
 // New builds a runtime; call Start to launch the workers.
@@ -150,6 +169,7 @@ func New(cfg Config) (*Runtime, error) {
 		stealMon: profile.NewStealCostMonitor(cfg.StealCostSeed.Nanoseconds()),
 	}
 	r.evPool.New = func() any { return &equeue.Event{} }
+	r.scratch.New = func() any { return &batchScratch{} }
 	empty := make([]handlerEntry, 0, 16)
 	r.handlers.Store(&empty)
 	r.cores = make([]*rcore, cfg.Cores)
@@ -195,61 +215,151 @@ func (r *Runtime) Register(name string, fn HandlerFunc, opts ...HandlerOption) H
 
 // Start launches the worker goroutines.
 func (r *Runtime) Start() error {
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
 	if r.stopped.Load() {
 		return fmt.Errorf("mely: runtime already stopped")
 	}
 	if r.started.Swap(true) {
 		return fmt.Errorf("mely: runtime already started")
 	}
+	r.wg.Add(len(r.cores))
 	for _, c := range r.cores {
-		r.wg.Add(1)
 		go r.worker(c)
 	}
 	return nil
 }
 
 // Stop terminates the workers and waits for them to exit. Events still
-// queued are dropped; call Drain first for a graceful shutdown.
+// queued are dropped; call Drain first (or use Run) for a graceful
+// shutdown. Stop is idempotent.
 func (r *Runtime) Stop() {
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
 	if !r.started.Load() || r.stopped.Swap(true) {
 		r.stopped.Store(true)
+		if r.started.Load() {
+			// An earlier Stop shut the workers down (lifeMu serializes
+			// us behind it); Wait here is immediate and keeps the
+			// waits-for-exit contract for every caller.
+			r.wg.Wait()
+		}
+		r.wakeDrainers() // queued events (if any) will never complete
 		return
 	}
 	for _, c := range r.cores {
 		c.unpark()
 	}
 	r.wg.Wait()
+	// Events still queued were dropped and will never complete: release
+	// Drain waiters so they observe the stop instead of hanging.
+	r.wakeDrainers()
 }
 
-// Drain waits until every posted event has been executed.
+// Close shuts the runtime down immediately and idempotently: it is Stop
+// with an io.Closer-shaped signature, so a Runtime slots into defer
+// chains and resource managers. Queued events are dropped; for a
+// graceful shutdown call Drain first or use Run. Close never fails and
+// may be called any number of times, before or after Start.
+func (r *Runtime) Close() error {
+	r.Stop()
+	return nil
+}
+
+// Run is the context-aware lifecycle: it starts the workers, blocks
+// until ctx is cancelled, drains every event posted so far, and stops.
+// It returns Start's error if the runtime cannot launch, ErrStopped if
+// the runtime was stopped out from under it (Stop/Close during Run)
+// with events still queued, and nil after a complete drain-and-stop.
+// The drain deliberately ignores ctx (which is already done by then) —
+// handlers finish their queued work — so producers should stop posting
+// once ctx ends; handler chains that re-post forever will hold Run
+// open.
+func (r *Runtime) Run(ctx context.Context) error {
+	if err := r.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	err := r.Drain(context.WithoutCancel(ctx))
+	r.Stop()
+	return err
+}
+
+// Drain waits until every posted event has been executed. It is
+// event-driven: waiters sleep on a channel the workers close at the
+// pending-count zero crossing, so draining an idle runtime burns no
+// CPU. If the runtime stops with events still queued (Stop or Close
+// without a prior drain drops them), Drain fails with ErrStopped
+// rather than waiting for completions that can never happen.
 func (r *Runtime) Drain(ctx context.Context) error {
-	tick := time.NewTicker(200 * time.Microsecond)
-	defer tick.Stop()
+	if r.pending.Load() == 0 {
+		return nil
+	}
+	r.drainWaiters.Add(1)
+	defer r.drainWaiters.Add(-1)
 	for {
+		r.drainMu.Lock()
+		ch := r.drainCh
+		if ch == nil {
+			ch = make(chan struct{})
+			r.drainCh = ch
+		}
+		r.drainMu.Unlock()
+		// Re-check after subscribing: a zero crossing before this point
+		// either already closed ch or is ordered before this load.
 		if r.pending.Load() == 0 {
 			return nil
+		}
+		if r.stopped.Load() {
+			// The runtime stopped with this work still queued; it was
+			// dropped (Stop wakes drainers on every path).
+			return ErrStopped
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-tick.C:
+		case <-ch:
 		}
 	}
 }
 
+// wakeDrainers releases every Drain waiter (pending reached zero).
+func (r *Runtime) wakeDrainers() {
+	r.drainMu.Lock()
+	if r.drainCh != nil {
+		close(r.drainCh)
+		r.drainCh = nil
+	}
+	r.drainMu.Unlock()
+}
+
 // Post registers an event for handler h under the given color. It is
 // safe from any goroutine, including handlers (prefer Ctx.Post there).
+// After shutdown it fails with ErrStopped.
 func (r *Runtime) Post(h Handler, color Color, data any) error {
 	if r.stopped.Load() {
-		return fmt.Errorf("mely: runtime stopped")
+		return ErrStopped
 	}
-	hs := *r.handlers.Load()
+	ev, err := r.buildEvent(*r.handlers.Load(), h, color, data)
+	if err != nil {
+		return err
+	}
+	r.pending.Add(1)
+	r.enqueue(ev)
+	return nil
+}
+
+func unknownHandlerError(h Handler) error {
+	return fmt.Errorf("mely: unknown handler %d", h.id)
+}
+
+// buildEvent validates the handler and materializes a pooled event.
+func (r *Runtime) buildEvent(hs []handlerEntry, h Handler, color Color, data any) (*equeue.Event, error) {
 	idx := int(h.id) - 1
 	if idx < 0 || idx >= len(hs) {
-		return fmt.Errorf("mely: unknown handler %d", h.id)
+		return nil, unknownHandlerError(h)
 	}
 	entry := &hs[idx]
-
 	ev := r.evPool.Get().(*equeue.Event)
 	*ev = equeue.Event{
 		Handler: equeue.HandlerID(idx),
@@ -258,9 +368,7 @@ func (r *Runtime) Post(h Handler, color Color, data any) error {
 		Penalty: r.pol.EffectivePenalty(entry.penalty),
 		Data:    data,
 	}
-	r.pending.Add(1)
-	r.enqueue(ev)
-	return nil
+	return ev, nil
 }
 
 // estimate is the profiled per-execution cost in nanoseconds, the
@@ -280,35 +388,28 @@ func (r *Runtime) estimate(h int32) int64 {
 // the same semantics as the simulator, and the reason load waves
 // re-create the hash placement the paper measures against.
 func (r *Runtime) enqueue(ev *equeue.Event) {
-	for {
-		owner := r.table.Owner(ev.Color)
+	for tries := 0; ; tries++ {
+		if tries > 1 {
+			// More than one retry means we are waiting on another
+			// goroutine's progress (a thief mid-migration): yield so it
+			// can run, especially when GOMAXPROCS < workers+posters.
+			runtime.Gosched()
+		}
+		owner := r.table.OwnerHint(ev.Color)
 		c := r.cores[owner]
 		c.lock.Lock()
-		if r.table.Owner(ev.Color) != owner {
-			c.lock.Unlock()
-			continue // stolen between the read and the lock
+		if c.mely != nil && r.pol.TimeLeft {
+			c.mely.SetStealCost(r.stealMon.Estimate())
 		}
-		if home := r.table.Hash(ev.Color); owner != home && !r.colorLiveLocked(c, ev.Color) {
-			// Lease expired: re-home and retry against the hash core.
-			r.table.SetOwner(ev.Color, home)
+		if _, ok := r.deliverLocked(c, owner, ev); !ok {
+			// Stolen between the read and the lock, or the lease just
+			// expired (deliverLocked re-homed it): resolve again.
 			c.lock.Unlock()
 			continue
 		}
 		if c.list != nil {
-			c.list.PushBack(ev)
 			c.qlen.Store(int32(c.list.Len()))
 		} else {
-			if r.pol.TimeLeft {
-				c.mely.SetStealCost(r.stealMon.Estimate())
-			}
-			cq := r.table.Queue(ev.Color)
-			if cq == nil || cq == inTransitMarker {
-				cq = c.mely.NewColorQueue(ev.Color)
-				r.table.SetQueue(ev.Color, cq)
-			}
-			if c.mely.Push(cq, ev) {
-				c.stats.colorQueueChurns.Add(1)
-			}
 			c.qlen.Store(int32(c.mely.Len()))
 			c.stealLen.Store(int32(c.mely.Stealing().Len()))
 		}
@@ -319,20 +420,81 @@ func (r *Runtime) enqueue(ev *equeue.Event) {
 	}
 }
 
-// colorLiveLocked reports whether the color has pending events, is
-// executing on c, or is mid-migration. Callers hold c.lock.
-func (r *Runtime) colorLiveLocked(c *rcore, col equeue.Color) bool {
-	if c.hasRunning && c.running == col {
-		return true
+// deliverLocked is the single lease-protocol delivery step, shared by
+// the per-event path (enqueue) and the batch path (deliverGroup). The
+// caller holds c.lock and resolved owner == c.id for ev's color. It
+// re-checks ownership against the table, applies the lease re-home
+// rule, and pushes on success, returning the ColorQueue pushed to (nil
+// for the list layout). ok=false means the color moved — stolen away,
+// or its expired lease was just re-homed here — and the caller must
+// re-route the event.
+func (r *Runtime) deliverLocked(c *rcore, owner int, ev *equeue.Event) (*equeue.ColorQueue, bool) {
+	if home := r.table.Hash(ev.Color); owner == home {
+		// Home delivery, the common case: one stripe hop re-checks
+		// ownership and installs the queue (see DeliverHome).
+		if c.list != nil {
+			cq, _, ok := r.table.DeliverHome(ev.Color, nil)
+			if !ok || cq == inTransitMarker {
+				return nil, false // stolen, or in transit: wait it out
+			}
+			c.list.PushBack(ev)
+			return nil, true
+		}
+		fresh := c.mely.NewColorQueue(ev.Color)
+		cq, installed, ok := r.table.DeliverHome(ev.Color, fresh)
+		if !ok || cq == inTransitMarker {
+			// Stolen since resolution, or mid-migration. A color in
+			// transit REJECTS deliveries — the caller retries until the
+			// thief has adopted. Installing a queue over the marker
+			// would erase the in-transit state and make the new queue
+			// stealable before the first thief lands, letting a second
+			// steal interleave and split the color across two cores.
+			c.mely.ReleaseColorQueue(fresh)
+			return nil, false
+		}
+		if !installed {
+			c.mely.ReleaseColorQueue(fresh)
+		}
+		if c.mely.Push(cq, ev) {
+			c.stats.colorQueueChurns.Add(1)
+		}
+		return cq, true
+	} else {
+		// Away-from-home (leased) delivery: re-check owner and fetch
+		// the queue in one hop, then apply the lease re-home rule.
+		curOwner, cq := r.table.OwnerAndQueue(ev.Color)
+		if curOwner != owner {
+			return nil, false
+		}
+		if cq == inTransitMarker {
+			return nil, false // in transit: wait for adoption (see above)
+		}
+		live := (c.hasRunning && c.running == ev.Color)
+		if !live {
+			if c.list != nil {
+				live = c.list.Pending(ev.Color) > 0
+			} else {
+				live = cq != nil && cq.Len() > 0
+			}
+		}
+		if !live {
+			// Lease expired: re-home; the caller retries at home.
+			r.table.SetOwner(ev.Color, home)
+			return nil, false
+		}
+		if c.list != nil {
+			c.list.PushBack(ev)
+			return nil, true
+		}
+		if cq == nil {
+			cq = c.mely.NewColorQueue(ev.Color)
+			r.table.SetQueue(ev.Color, cq)
+		}
+		if c.mely.Push(cq, ev) {
+			c.stats.colorQueueChurns.Add(1)
+		}
+		return cq, true
 	}
-	cq := r.table.Queue(col)
-	if cq == inTransitMarker {
-		return true
-	}
-	if c.list != nil {
-		return c.list.Pending(col) > 0
-	}
-	return cq != nil && cq.Len() > 0
 }
 
 // worker is the per-core scheduling loop.
@@ -381,9 +543,7 @@ func (r *Runtime) popLocal(c *rcore) *equeue.Event {
 		var emptied *equeue.ColorQueue
 		ev, emptied = c.mely.PopNext()
 		if emptied != nil {
-			if r.table.Queue(emptied.Color()) == emptied {
-				r.table.SetQueue(emptied.Color(), nil)
-			}
+			r.table.ClearQueue(emptied.Color(), emptied)
 			c.mely.ReleaseColorQueue(emptied)
 			c.stats.colorQueueChurns.Add(1)
 		}
@@ -419,9 +579,14 @@ func (r *Runtime) execute(c *rcore, ev *equeue.Event) {
 		c.stats.stolenEvents.Add(1)
 		c.stats.stolenExecNanos.Add(elapsed)
 	}
-	r.pending.Add(-1)
-	*ev = equeue.Event{}
-	r.evPool.Put(ev)
+	if r.pending.Add(-1) == 0 && r.drainWaiters.Load() > 0 {
+		r.wakeDrainers()
+	}
+	slabbed := ev.Slab
+	*ev = equeue.Event{} // release the payload reference promptly either way
+	if !slabbed {
+		r.evPool.Put(ev)
+	}
 }
 
 // runHandler invokes the handler with panic containment.
@@ -443,9 +608,18 @@ func (c *rcore) clearRunning() {
 }
 
 func (c *rcore) park(d time.Duration) {
-	c.parked.Store(true)
-	defer c.parked.Store(false)
 	c.clearRunning()
+	// A wake token may already be buffered: a post landed after our last
+	// queue scan (every unpark sends unconditionally, so the token
+	// cannot be missed the way the old parked-flag handshake could —
+	// unpark used to read the flag before park stored it, and a post in
+	// that window waited out the full ParkTimeout). Consume it and
+	// return to re-scan instead of sleeping.
+	select {
+	case <-c.wake:
+		return
+	default:
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -454,12 +628,13 @@ func (c *rcore) park(d time.Duration) {
 	}
 }
 
+// unpark deposits a wake token unconditionally (non-blocking, buffered
+// chan of one): if the worker is awake the token makes its next park
+// return immediately, closing the missed-wakeup window.
 func (c *rcore) unpark() {
-	if c.parked.Load() {
-		select {
-		case c.wake <- struct{}{}:
-		default:
-		}
+	select {
+	case c.wake <- struct{}{}:
+	default:
 	}
 }
 
@@ -560,9 +735,11 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 			// Ownership moves under the victim's lock; posters that
 			// race will retry against our core. The transit marker
 			// keeps the color "live" until adoption so the lease
-			// logic cannot re-home it mid-migration.
-			r.table.SetOwner(color, c.id)
-			r.table.SetQueue(color, inTransitMarker)
+			// logic cannot re-home it mid-migration. Owner and marker
+			// are published in one stripe acquisition — a two-step
+			// publish would expose the detached queue to posters that
+			// already see the new owner.
+			r.table.BeginMigration(color, c.id, inTransitMarker)
 			if v.mely != nil {
 				v.stealLen.Store(int32(v.mely.Stealing().Len()))
 			}
@@ -573,7 +750,12 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 			continue
 		}
 
-		// Migrate into our own queue.
+		// Migrate into our own queue. Between BeginMigration and here
+		// the table holds the in-transit marker and every delivery of
+		// the color backs off (deliverLocked), so the marker is
+		// necessarily still in place: no poster can have installed a
+		// queue over it, and no second thief can have found anything
+		// of this color to steal.
 		c.lock.Lock()
 		if c.list != nil {
 			set.MarkStolen()
@@ -585,8 +767,9 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 		} else {
 			cq.MarkStolen()
 			if existing := r.table.Queue(color); existing != nil && existing != inTransitMarker {
-				// A poster created a fresh queue for the color while
-				// it was in transit: merge, oldest first.
+				// Defense in depth: unreachable under the protocol
+				// above, but if a queue ever did appear during
+				// transit, merging oldest-first is the safe recovery.
 				c.mely.MergeFront(existing, cq)
 				c.mely.ReleaseColorQueue(cq)
 			} else {

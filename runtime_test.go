@@ -29,6 +29,19 @@ func startRuntime(t *testing.T, cfg Config) *Runtime {
 	return r
 }
 
+// colorsOn returns n distinct colors whose hash home is the given core
+// (the 64-bit mix hash made "multiples of Cores" placement tricks
+// meaningless, so imbalance-sensitive tests pick colors by search).
+func colorsOn(r *Runtime, core, n int) []Color {
+	out := make([]Color, 0, n)
+	for c := uint64(1); len(out) < n; c++ {
+		if r.table.Hash(equeue.Color(c)) == core {
+			out = append(out, Color(c))
+		}
+	}
+	return out
+}
+
 func drain(t *testing.T, r *Runtime) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -118,9 +131,9 @@ func TestWorkstealingSpreadsLoad(t *testing.T) {
 		}
 		wg.Done()
 	}, WithCostEstimate(200*time.Microsecond))
-	// All colors hash to core 0 (multiples of 4 on 4 cores).
-	for i := 0; i < 400; i++ {
-		if err := r.Post(h, Color((i+1)*4), i); err != nil {
+	// All colors hash to core 0: a fully imbalanced load.
+	for i, col := range colorsOn(r, 0, 400) {
+		if err := r.Post(h, col, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -146,8 +159,8 @@ func TestNoStealingWhenDisabled(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(100)
 	h := r.Register("work", func(ctx *Ctx) { wg.Done() })
-	for i := 0; i < 100; i++ {
-		if err := r.Post(h, Color((i+1)*4), i); err != nil {
+	for i, col := range colorsOn(r, 0, 100) {
+		if err := r.Post(h, col, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -334,8 +347,8 @@ func TestStolenEventsMarked(t *testing.T) {
 		}
 		wg.Done()
 	}, WithCostEstimate(100*time.Microsecond))
-	for i := 0; i < 200; i++ {
-		if err := r.Post(h, Color((i+1)*4), nil); err != nil {
+	for _, col := range colorsOn(r, 0, 200) {
+		if err := r.Post(h, col, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -371,7 +384,7 @@ func TestOwnershipLeaseRevertsOnDrain(t *testing.T) {
 	// must land back on its hash core.
 	r := newRuntime(t, Config{Cores: 4, Policy: PolicyMelyWS})
 	h := r.Register("w", func(ctx *Ctx) {})
-	const col = Color(6) // hash home on 4 cores: core 2
+	col := colorsOn(r, 2, 1)[0] // hash home: core 2
 	// Simulate a past steal: core 1 owns the (drained) color.
 	r.table.SetOwner(equeue.Color(col), 1)
 	if err := r.Post(h, col, nil); err != nil {
@@ -393,7 +406,7 @@ func TestOwnershipLeaseHeldWhileLive(t *testing.T) {
 	// A color with pending events must NOT re-home.
 	r := newRuntime(t, Config{Cores: 4, Policy: PolicyMelyWS})
 	h := r.Register("w", func(ctx *Ctx) {})
-	const col = Color(6)
+	col := colorsOn(r, 2, 1)[0] // hash home: core 2, held live on core 1
 	// Place a live event on core 1 the way a steal would: queue plus
 	// table entry, under the core's lock.
 	c1 := r.cores[1]
@@ -434,6 +447,7 @@ func TestLeaseStealRaceStress(t *testing.T) {
 	}, WithCostEstimate(20*time.Microsecond))
 
 	var wg sync.WaitGroup
+	hot := colorsOn(r, 0, 3)
 	const posters, bursts, perBurst = 4, 60, 25
 	for p := 0; p < posters; p++ {
 		wg.Add(1)
@@ -443,7 +457,7 @@ func TestLeaseStealRaceStress(t *testing.T) {
 				for i := 0; i < perBurst; i++ {
 					// Few colors, all hashing to core 0, so they are
 					// constantly stolen away and re-homed on drain.
-					if err := r.Post(h, Color(4*(1+i%3)), nil); err != nil {
+					if err := r.Post(h, hot[i%3], nil); err != nil {
 						t.Error(err)
 						return
 					}

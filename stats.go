@@ -20,10 +20,13 @@ type CoreStats struct {
 	StolenEvents int64
 	StolenTime   time.Duration
 	// Parks counts idle sleeps; PostedHere counts enqueues landing on
-	// this core; ColorQueueChurns counts ColorQueue link/unlink pairs
-	// (the short-lived color overhead of section V-C1).
+	// this core; BatchedEvents counts the subset delivered through
+	// PostBatch's one-lock-per-core path; ColorQueueChurns counts
+	// ColorQueue link/unlink pairs (the short-lived color overhead of
+	// section V-C1).
 	Parks            int64
 	PostedHere       int64
+	BatchedEvents    int64
 	ColorQueueChurns int64
 	// Panics counts handler panics contained by the worker.
 	Panics int64
@@ -62,6 +65,7 @@ func (r *Runtime) Stats() Stats {
 			StolenTime:       time.Duration(c.stats.stolenExecNanos.Load()),
 			Parks:            c.stats.parks.Load(),
 			PostedHere:       c.stats.postedHere.Load(),
+			BatchedEvents:    c.stats.batchedEvents.Load(),
 			ColorQueueChurns: c.stats.colorQueueChurns.Load(),
 			Panics:           c.stats.panics.Load(),
 			Queued:           int(c.qlen.Load()),
@@ -85,6 +89,7 @@ func (s Stats) Total() CoreStats {
 		t.StolenTime += c.StolenTime
 		t.Parks += c.Parks
 		t.PostedHere += c.PostedHere
+		t.BatchedEvents += c.BatchedEvents
 		t.ColorQueueChurns += c.ColorQueueChurns
 		t.Panics += c.Panics
 		t.Queued += c.Queued

@@ -1,0 +1,62 @@
+package mely
+
+// TypedHandler is a Handler whose events carry payloads of a single
+// static type T. Obtain one with RegisterTyped; posting through it needs
+// no any-boxing discipline at the call site and the handler body reads
+// its payload without a type assertion. A TypedHandler is layered over
+// the untyped core: Untyped exposes the plain Handler for mixing with
+// Post, PostBatch, and handler tables.
+type TypedHandler[T any] struct {
+	r *Runtime
+	h Handler
+}
+
+// RegisterTyped adds a handler whose payload is statically typed. It is
+// the typed layer over Runtime.Register and accepts the same options
+// (WithPenalty, WithCostEstimate); like Register it may be called at any
+// time, including while the runtime runs.
+//
+// Events posted through the returned TypedHandler (or with its Event
+// entries via PostBatch) always carry a T. If an event reaches the
+// handler through the untyped Handler with a payload that is not a T,
+// the handler sees T's zero value — the typed layer never panics on a
+// foreign payload.
+func RegisterTyped[T any](r *Runtime, name string, fn func(ctx *TypedCtx[T]), opts ...HandlerOption) TypedHandler[T] {
+	h := r.Register(name, func(ctx *Ctx) {
+		tc := TypedCtx[T]{Ctx: ctx}
+		tc.data, _ = ctx.Data().(T)
+		fn(&tc)
+	}, opts...)
+	return TypedHandler[T]{r: r, h: h}
+}
+
+// Untyped returns the plain Handler identity, for use with the untyped
+// Post/PostBatch APIs or storage in heterogeneous handler tables.
+func (th TypedHandler[T]) Untyped() Handler { return th.h }
+
+// Post posts one event for this handler under the given color.
+func (th TypedHandler[T]) Post(color Color, data T) error {
+	return th.r.Post(th.h, color, data)
+}
+
+// Event builds a PostBatch entry for this handler, keeping batch
+// construction typed:
+//
+//	batch = append(batch, decode.Event(conn.Color(), frame))
+//	...
+//	rt.PostBatch(batch)
+func (th TypedHandler[T]) Event(color Color, data T) BatchEvent {
+	return BatchEvent{Handler: th.h, Color: color, Data: data}
+}
+
+// TypedCtx is the execution context of a typed handler. It embeds the
+// untyped Ctx — Post, PostBatch, Color, CoreID, Stolen, and Runtime are
+// all available — and shadows Data with the typed payload.
+type TypedCtx[T any] struct {
+	*Ctx
+	data T
+}
+
+// Data returns the event's payload as a T, with no assertion at the
+// call site.
+func (c *TypedCtx[T]) Data() T { return c.data }
