@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/melyruntime/mely/internal/equeue"
 	"github.com/melyruntime/mely/internal/metrics"
 	"github.com/melyruntime/mely/internal/policy"
 	"github.com/melyruntime/mely/internal/sfsmodel"
@@ -299,6 +300,78 @@ func BenchmarkRuntimePostBatch(b *testing.B) {
 	}
 	b.Run("post", func(b *testing.B) { run(b, false) })
 	b.Run("batch64", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkUnbalancedSteal measures the real runtime's steal-path
+// throughput on an engineered imbalance at 8 cores: every color hashes
+// to core 0 (probed via the table's placement, since v1 colors spread
+// by mix hash), so all work lands on one worker and the other seven
+// drain it exclusively by stealing. Each iteration posts one wave and
+// waits for quiescence; colors re-home once drained, so every wave
+// re-creates the imbalance — the paper's "Web server keeps stealing
+// forever" shape. Sub-benchmarks compare the paper's single-color
+// protocol (MaxStealColors=1) against batched stealing (the default):
+// the batch path must sustain at least 1.2x the single-color
+// steal-path throughput (the CI smoke run only checks it executes;
+// compare events/s across the two sub-benchmarks on a quiet host).
+func BenchmarkUnbalancedSteal(b *testing.B) {
+	const (
+		nColors        = 64
+		eventsPerColor = 4
+	)
+	run := func(b *testing.B, maxStealColors int) {
+		r, err := New(Config{Cores: 8, MaxStealColors: maxStealColors})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		var done atomic.Int64
+		var sink atomic.Int64
+		h := r.Register("spin", func(ctx *Ctx) {
+			n := int64(0)
+			for i := 0; i < 200; i++ { // ~handler-sized work, no allocation
+				n += int64(i)
+			}
+			sink.Add(n)
+			done.Add(1)
+		})
+		// Colors that all hash to core 0: the steal pressure generator.
+		colors := make([]Color, 0, nColors)
+		for c := Color(1); len(colors) < nColors; c++ {
+			if r.table.Hash(equeue.Color(c)) == 0 {
+				colors = append(colors, c)
+			}
+		}
+		wave := make([]BatchEvent, 0, nColors*eventsPerColor)
+		for k := 0; k < eventsPerColor; k++ {
+			for _, c := range colors {
+				wave = append(wave, BatchEvent{Handler: h, Color: c})
+			}
+		}
+		var total int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.PostBatch(wave); err != nil {
+				b.Fatal(err)
+			}
+			total += int64(len(wave))
+			for done.Load() < total {
+				runtime.Gosched()
+			}
+		}
+		b.StopTimer()
+		st := r.Stats().Total()
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/s")
+		if st.Steals > 0 {
+			b.ReportMetric(st.MeanStealBatch(), "colors/steal")
+			b.ReportMetric(float64(st.Steals), "steals")
+		}
+	}
+	b.Run("single", func(b *testing.B) { run(b, 1) })
+	b.Run("batch", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkRuntimeColorPingPong measures serialized same-color chains

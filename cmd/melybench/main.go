@@ -8,6 +8,14 @@
 //	melybench -exp table3       # one experiment
 //	melybench -exp fig7 -quick  # scaled-down smoke run
 //	melybench -list             # experiment inventory
+//
+// The CI benchmark-regression gate runs the deterministic gate suite
+// (unbalanced + penalty workloads, single-color and batched stealing),
+// writes the measurements as JSON, and fails when throughput drops
+// more than 10% against a committed baseline:
+//
+//	melybench -quick -gate-out BENCH_PR2.json -gate-against BENCH_baseline.json
+//	melybench -quick -gate-out BENCH_baseline.json   # refresh the baseline
 package main
 
 import (
@@ -28,11 +36,13 @@ func main() {
 
 func run() error {
 	var (
-		expID = flag.String("exp", "", "experiment id (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiments")
-		quick = flag.Bool("quick", false, "scaled-down workloads and windows")
-		seed  = flag.Int64("seed", 42, "simulation seed")
+		expID       = flag.String("exp", "", "experiment id (see -list)")
+		all         = flag.Bool("all", false, "run every experiment")
+		list        = flag.Bool("list", false, "list experiments")
+		quick       = flag.Bool("quick", false, "scaled-down workloads and windows")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		gateOut     = flag.String("gate-out", "", "run the benchmark gate suite and write its JSON here")
+		gateAgainst = flag.String("gate-against", "", "baseline gate JSON to compare against (fails on >10% regression)")
 	)
 	flag.Parse()
 
@@ -44,6 +54,9 @@ func run() error {
 	}
 
 	opt := bench.Options{Quick: *quick, Seed: *seed}
+	if *gateOut != "" || *gateAgainst != "" {
+		return runGate(opt, *gateOut, *gateAgainst)
+	}
 	var exps []bench.Experiment
 	switch {
 	case *all:
@@ -56,7 +69,7 @@ func run() error {
 		exps = []bench.Experiment{e}
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -exp <id>, or -list")
+		return fmt.Errorf("nothing to do: pass -all, -exp <id>, -list, or -gate-out")
 	}
 
 	for _, e := range exps {
@@ -69,6 +82,49 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runGate measures the gate suite, optionally writes the JSON artifact,
+// and optionally enforces the regression threshold against a baseline.
+func runGate(opt bench.Options, outPath, againstPath string) error {
+	start := time.Now()
+	result, err := bench.GateSuite(opt)
+	if err != nil {
+		return fmt.Errorf("gate suite: %w", err)
+	}
+	for _, e := range result.Entries {
+		fmt.Printf("%-12s %-34s %8.0f KEvents/s  attempts=%d steals=%d colors=%d\n",
+			e.Experiment, e.Config, e.KEventsPerSecond, e.StealAttempts, e.Steals, e.StolenColors)
+	}
+	fmt.Fprintf(os.Stderr, "[gate suite done in %v]\n", time.Since(start).Round(time.Millisecond))
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := result.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[gate results written to %s]\n", outPath)
+	}
+	if againstPath != "" {
+		baseline, err := bench.LoadGate(againstPath)
+		if err != nil {
+			return err
+		}
+		if violations := bench.CompareGate(baseline, result, bench.GateTolerance); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+			}
+			return fmt.Errorf("benchmark gate failed: %d regression(s) against %s", len(violations), againstPath)
+		}
+		fmt.Fprintf(os.Stderr, "[gate passed against %s]\n", againstPath)
 	}
 	return nil
 }

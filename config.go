@@ -21,7 +21,13 @@ type Color uint64
 const DefaultColor Color = 0
 
 // Policy selects the queue layout and workstealing algorithm, matching
-// the configurations evaluated in the paper.
+// the configurations evaluated in the paper. Batch stealing is
+// orthogonal to the policy choice: the runtime applies it on top of
+// EVERY stealing policy by default — including the Libasync-smp
+// baselines, whose original protocol moved one color per steal — so
+// set MaxStealColors to 1 when reproducing a paper configuration
+// faithfully. (The simulator, which regenerates the paper's tables,
+// keeps batching off unless a policy.Config enables it.)
 type Policy int
 
 const (
@@ -94,6 +100,23 @@ type Config struct {
 	// ParkTimeout bounds a parked worker's sleep so missed wakeups
 	// self-heal (default 500µs).
 	ParkTimeout time.Duration
+	// MaxStealColors caps how many colors one steal attempt migrates.
+	// Batch stealing takes up to half the victim's stealable colors in
+	// a single victim-lock critical section, amortizing the per-color
+	// lock, table, and wakeup costs. 0 applies the default cap (8);
+	// 1 restores the paper's single-color steal protocol; larger
+	// values raise the cap, up to policy.MaxStealColorsLimit (64) —
+	// the whole batch detaches under one victim-lock hold, so the cap
+	// bounds that critical section.
+	MaxStealColors int
+	// StealBackoff is the initial pause of the exponential backoff a
+	// worker applies when consecutive steal probes find nothing: each
+	// further fruitless round doubles the pause up to ParkTimeout, and
+	// any success resets it — throttling steal storms when many cores
+	// go idle together. 0 means the 10µs default; negative disables
+	// the backoff entirely — every post-spin park lasts the full
+	// ParkTimeout regardless of the failure streak.
+	StealBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.ParkTimeout == 0 {
 		c.ParkTimeout = 500 * time.Microsecond
 	}
+	if c.StealBackoff == 0 {
+		c.StealBackoff = 10 * time.Microsecond
+	}
 	return c
 }
 
@@ -127,6 +153,13 @@ func (c Config) validate() error {
 	}
 	if c.BatchThreshold < 0 {
 		return fmt.Errorf("mely: negative batch threshold")
+	}
+	if c.MaxStealColors < 0 {
+		return fmt.Errorf("mely: negative steal batch cap")
+	}
+	if c.MaxStealColors > policy.MaxStealColorsLimit {
+		return fmt.Errorf("mely: steal batch cap %d exceeds limit %d",
+			c.MaxStealColors, policy.MaxStealColorsLimit)
 	}
 	return nil
 }

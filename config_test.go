@@ -30,19 +30,41 @@ func TestPolicyStrings(t *testing.T) {
 }
 
 func TestZeroPolicyDefaultsToMelyWS(t *testing.T) {
+	// The full heuristic set plus batch stealing (the v2 default; set
+	// MaxStealColors to 1 for the paper's single-color protocol).
 	r, err := New(Config{Cores: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.pol.String() != "mely+locality+timeleft+penalty-WS" {
+	if r.pol.String() != "mely+locality+timeleft+penalty-WS+batchsteal" {
 		t.Fatalf("default policy = %s", r.pol)
+	}
+}
+
+func TestSingleColorStealOptOut(t *testing.T) {
+	r, err := New(Config{Cores: 1, MaxStealColors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.pol.BatchSteal {
+		t.Fatal("MaxStealColors=1 must disable batch stealing")
+	}
+	if r.pol.String() != "mely+locality+timeleft+penalty-WS" {
+		t.Fatalf("single-color policy = %s", r.pol)
 	}
 }
 
 func TestConfigDefaults(t *testing.T) {
 	cfg := Config{}.withDefaults()
 	if cfg.Cores <= 0 || cfg.BatchThreshold != 10 ||
-		cfg.StealCostSeed <= 0 || cfg.ParkTimeout <= 0 || cfg.IdleSpins <= 0 {
+		cfg.StealCostSeed <= 0 || cfg.ParkTimeout <= 0 || cfg.IdleSpins <= 0 ||
+		cfg.StealBackoff <= 0 {
 		t.Fatalf("defaults incomplete: %+v", cfg)
+	}
+}
+
+func TestConfigRejectsNegativeStealCap(t *testing.T) {
+	if _, err := New(Config{Cores: 1, MaxStealColors: -1}); err == nil {
+		t.Fatal("negative MaxStealColors must be rejected")
 	}
 }

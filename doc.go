@@ -65,6 +65,29 @@
 // WithPenalty sets the ws_penalty annotation that makes handlers with
 // large, long-lived data sets unattractive to thieves.
 //
+// # Batch stealing and steal throttling
+//
+// The paper's steal protocol migrates exactly one color per successful
+// attempt; this runtime batches by default: one attempt takes up to
+// half the victim's stealable colors — worthy ones first under the
+// time-left heuristic — capped by Config.MaxStealColors (default 8),
+// all inside a single victim-lock critical section whose color leases
+// are published in one pass over the color table's stripes. The fixed
+// steal costs (victim lock transfer, can_be_stolen, migration setup)
+// are paid once per batch instead of once per color, the steal-side
+// mirror of PostBatch; set MaxStealColors to 1 for the paper's
+// single-color protocol. Stats exposes the accounting: StolenColors,
+// the per-steal batch-size histogram (StealBatchHist), and the
+// attempt/success counters.
+//
+// Idle workers whose steal probes keep failing back off exponentially:
+// after Config.IdleSpins fruitless rounds a worker parks for
+// Config.StealBackoff (default 10µs), doubling per further fruitless
+// round up to Config.ParkTimeout, and any success resets the streak.
+// This throttles the steal storm that forms when many cores go idle
+// together and hammer the same few victim locks; BackoffParks counts
+// the shortened parks. A negative StealBackoff disables the backoff.
+//
 // The simulated counterpart of this runtime (internal/sim) executes the
 // same queue structures and policies on a modeled 8-core machine and
 // regenerates every table and figure of the paper: see cmd/melybench

@@ -108,7 +108,7 @@ func AblateIntervals(opt Options) (*Report, error) {
 	for _, n := range []int{1, 3, 8} {
 		params := opt.Params
 		params.StealIntervals = n
-		run, err := runSkewedColors(opt, params)
+		run, err := runSkewedColors(opt, params, policy.MelyTimeLeftWS())
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +129,7 @@ func AblateIntervals(opt Options) (*Report, error) {
 
 // runSkewedColors builds rounds of colors whose backlogs range from one
 // event to hundreds, all registered on core 0.
-func runSkewedColors(opt Options, params sim.Params) (*metrics.Run, error) {
+func runSkewedColors(opt Options, params sim.Params, pol policy.Config) (*metrics.Run, error) {
 	const colors = 48
 	var (
 		eng  *sim.Engine
@@ -138,7 +138,7 @@ func runSkewedColors(opt Options, params sim.Params) (*metrics.Run, error) {
 	)
 	cfg := sim.Config{
 		Topology: opt.Topology,
-		Policy:   policy.MelyTimeLeftWS(),
+		Policy:   pol,
 		Params:   params,
 		Seed:     opt.Seed,
 		OnQuiescent: func(ctx *sim.Ctx) bool {
@@ -169,6 +169,53 @@ func runSkewedColors(opt Options, params sim.Params) (*metrics.Run, error) {
 	}, sim.HandlerOpts{})
 	warm, win := opt.windows(20_000_000, 200_000_000)
 	return measureBuilt(eng, warm, win), nil
+}
+
+// AblateBatchSteal measures batch stealing — not a paper mode; the
+// paper's protocol migrates exactly one color per steal — on the
+// skewed-color workload, where core 0 keeps regrowing a deep field of
+// worthy colors: the same time-left policy with batching off
+// (bit-identical to the single-color protocol everywhere else) and on,
+// at two caps. Steal attempts, successes, and colors-per-steal expose
+// the amortization directly: batches move the same work in fewer,
+// slightly longer critical sections.
+func AblateBatchSteal(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	r := &Report{
+		ID:      "Ablation: batch stealing",
+		Title:   "Single-color vs batched steals (skewed colors, time-left WS)",
+		Columns: []string{"Configuration", "KEvents/s", "attempts", "steals", "colors/steal"},
+	}
+	batched := func(limit int) policy.Config {
+		p := policy.MelyTimeLeftWS()
+		p.BatchSteal = true
+		p.MaxStealColors = limit
+		return p
+	}
+	rows := []struct {
+		name string
+		pol  policy.Config
+	}{
+		{"single (paper)", policy.MelyTimeLeftWS()},
+		{"batch, cap 4", batched(4)},
+		{"batch, cap 8 (default)", batched(8)},
+	}
+	for _, row := range rows {
+		run, err := runSkewedColors(opt, opt.Params, row.pol)
+		if err != nil {
+			return nil, err
+		}
+		t := run.Total()
+		perSteal := "-"
+		if t.Steals > 0 {
+			perSteal = f2(float64(t.StolenColors) / float64(t.Steals))
+		}
+		r.AddRow(row.name, f0(run.KEventsPerSecond()),
+			f0(float64(t.StealAttempts)), f0(float64(t.Steals)), perSteal)
+	}
+	r.AddNote("batching pays the fixed steal costs (victim lock, can_be_stolen, migrate setup) once per")
+	r.AddNote("batch; the single-color rows of Tables III-VI are untouched by the feature")
+	return r, nil
 }
 
 // AblateHeuristics runs every heuristic combination over the three

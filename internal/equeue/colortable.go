@@ -187,6 +187,42 @@ func (t *ColorTable) BeginMigration(c Color, thief int, marker *ColorQueue) {
 	s.mu.Unlock()
 }
 
+// BeginMigrationBatch publishes a batch steal: every color gets the
+// BeginMigration treatment (thief becomes owner, marker replaces the
+// queue entry, atomically per stripe), but colors striped into the same
+// shard are published under ONE stripe acquisition — the table-side
+// amortization of batch stealing. Each color is still atomic with
+// respect to readers; the batch as a whole is not, which is fine: each
+// color's queue was already detached under the victim's lock, so a
+// poster observing color i migrated and color j not yet simply retries
+// j against the victim until its turn lands. Called under the victim's
+// core lock.
+func (t *ColorTable) BeginMigrationBatch(colors []Color, thief int, marker *ColorQueue) {
+	// One pass per distinct stripe: the first color of a stripe
+	// publishes every later color sharing it. A 256-bit stamp marks
+	// handled stripes, keeping the dedup O(1) per color — this runs
+	// inside the victim-lock critical section.
+	var seen [numShards / 64]uint64
+	for i, c := range colors {
+		sh := uint(t.ShardOf(c))
+		if seen[sh/64]&(1<<(sh%64)) != 0 {
+			continue
+		}
+		seen[sh/64] |= 1 << (sh % 64)
+		s := &t.shards[sh]
+		s.mu.Lock()
+		t.setOwnerLocked(s, c, thief)
+		s.queues[c] = marker
+		for j := i + 1; j < len(colors); j++ {
+			if t.shard(colors[j]) == s {
+				t.setOwnerLocked(s, colors[j], thief)
+				s.queues[colors[j]] = marker
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // OwnerAndQueue returns the current owner and live queue of c in one
 // stripe acquisition — the batch-delivery re-check, which would
 // otherwise pay two stripe hops per color. The queue result follows

@@ -126,6 +126,77 @@ func (q *ListQueue) ChooseColorToSteal(running Color, hasRunning bool) (c Color,
 	return 0, false, q.count
 }
 
+// ChooseColorsToSteal is the batch form of ChooseColorToSteal: select,
+// in queue order, up to max distinct colors that are (i) not the color
+// being processed on the victim and (ii) each associated with no more
+// than half of the queued events. An idle victim keeps at least one
+// color (see CanBeStolen); a mid-event victim keeps its running color.
+// It returns the chosen colors appended to buf[:0] and the links
+// scanned for cost accounting.
+func (q *ListQueue) ChooseColorsToSteal(running Color, hasRunning bool, max int, buf []Color) (colors []Color, scanned int) {
+	// The running color is skipped below, so a mid-event victim may lose
+	// every queued color; an idle one keeps at least one.
+	keep := 1
+	if hasRunning {
+		keep = 0
+	}
+	if max > len(q.pending)-keep {
+		max = len(q.pending) - keep
+	}
+	half := q.count / 2
+	buf = buf[:0]
+	for e := q.head; e != nil && len(buf) < max; e = e.next {
+		scanned++
+		if hasRunning && e.Color == running {
+			continue
+		}
+		if q.pending[e.Color] > half && q.count > 1 {
+			continue
+		}
+		dup := false
+		for _, c := range buf {
+			if c == e.Color {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, e.Color)
+		}
+	}
+	return buf, scanned
+}
+
+// ExtractColorSet implements the batched construct_event_set: remove
+// every event whose color appears in colors, preserving order, in ONE
+// scan of the list — the per-steal amortization a batch steal buys on
+// this layout, where per-color extraction would re-walk the queue once
+// per color. sets[i] receives the events of colors[i]; the scan stops
+// as soon as the last pending event of the chosen colors has been
+// extracted (per-color counters, footnote 1 of the paper).
+func (q *ListQueue) ExtractColorSet(colors []Color, sets []EventSet) (out []EventSet, scanned int) {
+	sets = sets[:0]
+	remaining := 0
+	for _, c := range colors {
+		sets = append(sets, EventSet{})
+		remaining += q.pending[c]
+	}
+	for e := q.head; e != nil && remaining > 0; {
+		next := e.next
+		scanned++
+		for i, c := range colors {
+			if e.Color == c {
+				q.unlink(e)
+				sets[i].pushBack(e)
+				remaining--
+				break
+			}
+		}
+		e = next
+	}
+	return sets, scanned
+}
+
 // ExtractColor implements construct_event_set: remove every event of color
 // c, preserving order, and return them as a chain along with the number of
 // links scanned. Thanks to the per-color pending counter the scan stops at

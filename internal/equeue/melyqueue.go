@@ -220,6 +220,58 @@ func (q *CoreQueue) StealWorthy(running Color, hasRunning bool) *ColorQueue {
 	return cq
 }
 
+// StealWorthySet is the batch form of StealWorthy: it detaches up to
+// max worthy ColorQueues (richest time-left intervals first, never the
+// running color) in one pass and returns them appended to buf[:0]. An
+// idle victim always keeps at least one color — stealing its last color
+// cannot add parallelism, it only moves the work — whereas a victim
+// mid-event keeps its running color instead, so every queued color is
+// fair game.
+func (q *CoreQueue) StealWorthySet(running Color, hasRunning bool, max int, buf []*ColorQueue) []*ColorQueue {
+	buf = q.steal.CollectWorthy(running, hasRunning, max, buf[:0])
+	buf = buf[:q.capTake(len(buf), hasRunning)]
+	for _, cq := range buf {
+		q.detach(cq)
+	}
+	return buf
+}
+
+// StealBaseSet is the batch form of StealBase: walk the CoreQueue and
+// detach up to max colors that are not running and hold no more than
+// half of the core's pending events, keeping one color on an idle
+// victim. inspected counts ColorQueues examined, for cost accounting.
+func (q *CoreQueue) StealBaseSet(running Color, hasRunning bool, max int, buf []*ColorQueue) (set []*ColorQueue, inspected int) {
+	half := q.nevents / 2
+	buf = buf[:0]
+	for c := q.head; c != nil && len(buf) < max; c = c.cqNext {
+		inspected++
+		if hasRunning && c.color == running {
+			continue
+		}
+		if c.count <= half || q.ncolors == 1 {
+			buf = append(buf, c)
+		}
+	}
+	buf = buf[:q.capTake(len(buf), hasRunning)]
+	for _, cq := range buf {
+		q.detach(cq)
+	}
+	return buf, inspected
+}
+
+// capTake bounds how many colors a batch steal may detach: an idle
+// victim keeps at least one (the serial color it would have executed
+// itself), a mid-event victim's kept color is the running one.
+func (q *CoreQueue) capTake(n int, hasRunning bool) int {
+	if !hasRunning && q.ncolors-n < 1 {
+		n = q.ncolors - 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // Adopt links a stolen ColorQueue into this core's structures (migrate).
 func (q *CoreQueue) Adopt(cq *ColorQueue) {
 	if cq.inCore || cq.interval >= 0 {

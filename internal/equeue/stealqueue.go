@@ -126,6 +126,24 @@ func (s *StealingQueue) HasWorthy(running Color, hasRunning bool) bool {
 	return s.top(running, hasRunning) != nil
 }
 
+// CollectWorthy appends to buf up to max steal candidates, richest
+// intervals first, skipping the running color, and returns the filled
+// slice. It is the multi-pop counterpart of top: a batch steal selects
+// its whole set in one pass over the intervals instead of re-walking
+// the queue once per stolen color. The entries stay linked; the caller
+// detaches the ones it actually migrates.
+func (s *StealingQueue) CollectWorthy(running Color, hasRunning bool, max int, buf []*ColorQueue) []*ColorQueue {
+	for i := s.numLevels() - 1; i >= 0 && len(buf) < max; i-- {
+		for cq := s.intervals[i].head; cq != nil && len(buf) < max; cq = cq.sqNext {
+			if hasRunning && cq.color == running {
+				continue
+			}
+			buf = append(buf, cq)
+		}
+	}
+	return buf
+}
+
 type stealList struct {
 	head, tail *ColorQueue
 }

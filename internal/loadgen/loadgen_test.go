@@ -51,6 +51,9 @@ func fakeHTTP(t *testing.T, body string) (addr string, stop func()) {
 }
 
 func TestClosedLoopInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test (loopback listener + timed injection); run without -short")
+	}
 	addr, stop := fakeHTTP(t, "hello")
 	defer stop()
 	res, err := RunHTTP(context.Background(), HTTPConfig{
@@ -87,6 +90,9 @@ func TestInjectionValidation(t *testing.T) {
 }
 
 func TestInjectionAgainstDeadServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test (timed dials against a dead port); run without -short")
+	}
 	// A dead target: every connect fails; the run must still terminate
 	// and report errors rather than hang.
 	res, err := RunHTTP(context.Background(), HTTPConfig{

@@ -40,6 +40,10 @@ type Core struct {
 	// this core (the "stolen time" of Table I).
 	StolenEvents     int64
 	StolenExecCycles int64
+	// StolenColors counts colors migrated by this core's steals: equal
+	// to Steals under the paper's one-color protocol, larger when batch
+	// stealing migrates several colors per attempt.
+	StolenColors int64
 	// VictimLockedCycles is the time this core's queue lock was held by
 	// thieves (contention pressure on the victim).
 	VictimLockedCycles int64
@@ -73,6 +77,7 @@ func (c *Core) Add(o *Core) {
 	c.RemoteSteals += o.RemoteSteals
 	c.StolenEvents += o.StolenEvents
 	c.StolenExecCycles += o.StolenExecCycles
+	c.StolenColors += o.StolenColors
 	c.VictimLockedCycles += o.VictimLockedCycles
 	c.LockWaitCycles += o.LockWaitCycles
 	c.IdleCycles += o.IdleCycles

@@ -74,7 +74,32 @@ type Config struct {
 	// accounting color worthiness (section III-C). Requires TimeLeft
 	// to influence choices.
 	PenaltyAware bool
+
+	// BatchSteal lets one steal attempt migrate several colors under a
+	// single victim-lock critical section (up to half the victim's
+	// stealable colors, capped by MaxStealColors) — the steal-side
+	// analogue of batched posting: per-color lock, table, and wakeup
+	// costs amortize over the batch. The paper's protocol migrates
+	// exactly one color per steal, so the preset constructors below
+	// all leave this off (and the simulator's regenerated tables
+	// depend on that); the real runtime layers it on top of whichever
+	// policy is selected unless mely.Config.MaxStealColors is 1.
+	BatchSteal bool
+	// MaxStealColors caps the colors one batch steal may migrate
+	// (0 = DefaultMaxStealColors). Only meaningful with BatchSteal.
+	MaxStealColors int
 }
+
+// DefaultMaxStealColors caps a batch steal when MaxStealColors is 0:
+// large enough to amortize the per-steal overhead, small enough that a
+// thief cannot empty a loaded victim in one swoop.
+const DefaultMaxStealColors = 8
+
+// MaxStealColorsLimit bounds the configurable batch cap: the whole
+// batch is selected, detached, and lease-published inside one
+// victim-lock critical section, so an unbounded cap would let one
+// steal stall the victim's posters arbitrarily long.
+const MaxStealColorsLimit = 64
 
 // The paper's evaluated configurations.
 
@@ -137,11 +162,33 @@ func (c Config) Validate() error {
 	if c.PenaltyAware && !c.TimeLeft {
 		return fmt.Errorf("policy: penalty-aware builds on time-left")
 	}
+	if c.BatchSteal && c.Steal == StealNone {
+		return fmt.Errorf("policy: batch stealing requires stealing")
+	}
+	if c.MaxStealColors < 0 {
+		return fmt.Errorf("policy: negative steal batch cap")
+	}
+	if c.MaxStealColors > MaxStealColorsLimit {
+		return fmt.Errorf("policy: steal batch cap %d exceeds limit %d",
+			c.MaxStealColors, MaxStealColorsLimit)
+	}
+	if c.MaxStealColors > 0 && !c.BatchSteal {
+		return fmt.Errorf("policy: MaxStealColors requires BatchSteal")
+	}
 	return nil
 }
 
-// String names the configuration the way the paper's tables do.
+// String names the configuration the way the paper's tables do; batch
+// stealing (not a paper mode) is suffixed.
 func (c Config) String() string {
+	name := c.baseName()
+	if c.BatchSteal {
+		name += "+batchsteal"
+	}
+	return name
+}
+
+func (c Config) baseName() string {
 	switch {
 	case c.Steal == StealNone:
 		return c.Layout.String()
@@ -225,6 +272,57 @@ type VictimView interface {
 	// Stealing returns the victim's StealingQueue (Mely layout only;
 	// nil for the list layout).
 	Stealing() *equeue.StealingQueue
+}
+
+// StealBudget returns how many colors one steal attempt may migrate
+// from a victim currently exposing `stealable` candidate colors (worthy
+// colors under time-left, distinct colors otherwise): one without
+// BatchSteal, else half the candidates — enough to rebalance in O(log)
+// steals while never emptying the victim — capped by MaxStealColors,
+// and always at least one so a stealable victim is never skipped.
+func (c Config) StealBudget(stealable int) int {
+	if !c.BatchSteal {
+		return 1
+	}
+	budget := stealable / 2
+	limit := c.MaxStealColors
+	if limit <= 0 {
+		limit = DefaultMaxStealColors
+	}
+	if budget > limit {
+		budget = limit
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
+// SelectStealSet picks and detaches the set of colors one steal
+// attempt migrates from a locked Mely victim: up to StealBudget colors,
+// worthy ones first under time-left (richest intervals first,
+// penalty-aware through the cumulative costs the queues maintain), or
+// base-eligible colors otherwise. The victim's running color is never
+// taken, and an idle victim always keeps its last color. inspected
+// counts ColorQueues examined (base mode), for platform cost
+// accounting. The returned queues are unlinked; the caller owns their
+// migration.
+func (c Config) SelectStealSet(q *equeue.CoreQueue, running equeue.Color, hasRunning bool, buf []*equeue.ColorQueue) (set []*equeue.ColorQueue, inspected int) {
+	if c.Steal == StealHeuristic && c.TimeLeft {
+		budget := c.StealBudget(q.Stealing().Len())
+		return q.StealWorthySet(running, hasRunning, budget, buf), 0
+	}
+	budget := c.StealBudget(q.Colors())
+	return q.StealBaseSet(running, hasRunning, budget, buf)
+}
+
+// SelectStealColors is SelectStealSet for the list layout: choose up to
+// StealBudget colors by the base rules (not running, each at most half
+// the queue, last color kept on an idle victim). The caller extracts
+// the events (ExtractColorSet) under the same lock hold. scanned counts
+// list links visited by the choice pass.
+func (c Config) SelectStealColors(q *equeue.ListQueue, running equeue.Color, hasRunning bool, buf []equeue.Color) (colors []equeue.Color, scanned int) {
+	return q.ChooseColorsToSteal(running, hasRunning, c.StealBudget(q.DistinctColors()), buf)
 }
 
 // CanBeStolen is Figure 2's can_be_stolen, refined per heuristics:

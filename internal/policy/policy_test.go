@@ -207,6 +207,197 @@ func TestCanBeStolenTimeLeft(t *testing.T) {
 	}
 }
 
+func TestCanBeStolenSingleColorVictims(t *testing.T) {
+	base := LibasyncWS()
+	// A single-color idle victim must never be stolen from: the color is
+	// serial, so migrating it moves the work without adding parallelism.
+	if base.CanBeStolen(&fakeVictim{queued: 100, colors: 1, other: false}) {
+		t.Error("single-color idle victim must not be stealable")
+	}
+	// A victim executing its only queued color keeps it too.
+	if base.CanBeStolen(&fakeVictim{queued: 3, colors: 1, running: 7, hasRunning: true, other: false}) {
+		t.Error("running-color-only victim must not be stealable")
+	}
+	// But a victim mid-event whose single queued color differs from the
+	// running one may lose it: the running color is its kept color.
+	if !base.CanBeStolen(&fakeVictim{queued: 3, colors: 1, running: 7, hasRunning: true, other: true}) {
+		t.Error("mid-event victim with one other color must be stealable")
+	}
+}
+
+func TestVictimOrderTieBreak(t *testing.T) {
+	topo := topology.Uniform(4)
+	// Two victims with equal (maximal) queue lengths: the scan keeps the
+	// first maximum in core order, and the rest wrap around from it —
+	// deterministic, so thieves do not herd randomly.
+	lens := []int{0, 5, 5, 1}
+	got := LibasyncWS().VictimOrder(0, lens, topo, nil)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("VictimOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VictimOrder = %v, want %v (first equal maximum leads)", got, want)
+		}
+	}
+	// Ties behind self: the wrap-around must still exclude self.
+	lens = []int{9, 2, 9, 2}
+	got = LibasyncWS().VictimOrder(2, lens, topo, nil)
+	if got[0] != 0 {
+		t.Fatalf("VictimOrder = %v, want first equal maximum (core 0) first", got)
+	}
+}
+
+func TestStealBudget(t *testing.T) {
+	single := MelyTimeLeftWS()
+	for _, n := range []int{0, 1, 5, 100} {
+		if got := single.StealBudget(n); got != 1 {
+			t.Fatalf("non-batch budget(%d) = %d, want 1", n, got)
+		}
+	}
+	batch := MelyTimeLeftWS()
+	batch.BatchSteal = true
+	tests := []struct{ stealable, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {4, 2}, {10, 5},
+		{16, 8}, {100, DefaultMaxStealColors},
+	}
+	for _, tt := range tests {
+		if got := batch.StealBudget(tt.stealable); got != tt.want {
+			t.Errorf("budget(%d) = %d, want %d", tt.stealable, got, tt.want)
+		}
+	}
+	batch.MaxStealColors = 3
+	if got := batch.StealBudget(100); got != 3 {
+		t.Errorf("capped budget = %d, want 3", got)
+	}
+}
+
+// buildVictimQueue fills a CoreQueue with n worthy colors (1..n), each
+// holding one event far above the steal-cost threshold.
+func buildVictimQueue(n int) *equeue.CoreQueue {
+	q := equeue.NewCoreQueue(100)
+	for c := 1; c <= n; c++ {
+		cq := q.NewColorQueue(equeue.Color(c))
+		q.Push(cq, &equeue.Event{Color: equeue.Color(c), Cost: 1_000_000, Penalty: 1})
+	}
+	return q
+}
+
+func TestSelectStealSetNeverTakesRunningOrLastColor(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"timeleft", func() Config { c := MelyTimeLeftWS(); c.BatchSteal = true; return c }()},
+		{"base", func() Config { c := MelyBaseWS(); c.BatchSteal = true; return c }()},
+	} {
+		// Idle victim: the set must leave at least one color behind.
+		q := buildVictimQueue(4)
+		set, _ := mode.cfg.SelectStealSet(q, 0, false, nil)
+		if len(set) == 0 {
+			t.Fatalf("%s: nothing stolen from a 4-color victim", mode.name)
+		}
+		if q.Colors() < 1 {
+			t.Fatalf("%s: victim lost its last color (left %d)", mode.name, q.Colors())
+		}
+
+		// Mid-event victim: the running color must never be in the set,
+		// but every other color may go.
+		q = buildVictimQueue(4)
+		running := equeue.Color(2)
+		set, _ = mode.cfg.SelectStealSet(q, running, true, nil)
+		for _, cq := range set {
+			if cq.Color() == running {
+				t.Fatalf("%s: stole the running color", mode.name)
+			}
+		}
+
+		// Idle single-color victim: nothing to take.
+		q = buildVictimQueue(1)
+		set, _ = mode.cfg.SelectStealSet(q, 0, false, nil)
+		if len(set) != 0 {
+			t.Fatalf("%s: stole the last color of an idle victim", mode.name)
+		}
+	}
+}
+
+func TestSelectStealSetHonorsBudget(t *testing.T) {
+	cfg := MelyTimeLeftWS()
+	cfg.BatchSteal = true
+	q := buildVictimQueue(12)
+	set, _ := cfg.SelectStealSet(q, 0, false, nil)
+	if len(set) != 6 { // half of 12 worthy colors
+		t.Fatalf("batch size = %d, want 6", len(set))
+	}
+	if q.Colors() != 6 {
+		t.Fatalf("victim keeps %d colors, want 6", q.Colors())
+	}
+	// Without BatchSteal the same call degenerates to the paper's
+	// single-color steal.
+	cfg.BatchSteal = false
+	q = buildVictimQueue(12)
+	set, _ = cfg.SelectStealSet(q, 0, false, nil)
+	if len(set) != 1 {
+		t.Fatalf("single-color batch size = %d, want 1", len(set))
+	}
+}
+
+func TestSelectStealColorsListLayout(t *testing.T) {
+	cfg := LibasyncWS()
+	cfg.BatchSteal = true
+	q := equeue.NewListQueue()
+	for c := 1; c <= 6; c++ {
+		q.PushBack(&equeue.Event{Color: equeue.Color(c), Cost: 100, Penalty: 1})
+	}
+	// Idle victim: at most half the colors (budget 3), never all six.
+	colors, _ := cfg.SelectStealColors(q, 0, false, nil)
+	if len(colors) != 3 {
+		t.Fatalf("chose %d colors, want 3", len(colors))
+	}
+	// Running color excluded even when eligible by counts.
+	colors, _ = cfg.SelectStealColors(q, 2, true, nil)
+	for _, c := range colors {
+		if c == 2 {
+			t.Fatal("chose the running color")
+		}
+	}
+}
+
+func TestValidateBatchStealKnobs(t *testing.T) {
+	bad := Mely() // no stealing
+	bad.BatchSteal = true
+	if err := bad.Validate(); err == nil {
+		t.Error("BatchSteal without stealing must be rejected")
+	}
+	neg := MelyWS()
+	neg.BatchSteal = true
+	neg.MaxStealColors = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative MaxStealColors must be rejected")
+	}
+	orphan := MelyWS()
+	orphan.MaxStealColors = 4 // without BatchSteal
+	if err := orphan.Validate(); err == nil {
+		t.Error("MaxStealColors without BatchSteal must be rejected")
+	}
+	huge := MelyWS()
+	huge.BatchSteal = true
+	huge.MaxStealColors = MaxStealColorsLimit + 1
+	if err := huge.Validate(); err == nil {
+		t.Error("over-limit MaxStealColors must be rejected")
+	}
+	good := MelyWS()
+	good.BatchSteal = true
+	good.MaxStealColors = 4
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid batch config rejected: %v", err)
+	}
+	if got := good.String(); got != "mely+locality+timeleft+penalty-WS+batchsteal" {
+		t.Errorf("batch config String() = %q", got)
+	}
+}
+
 // Property: VictimOrder is always a permutation of every core but self.
 func TestVictimOrderPermutationProperty(t *testing.T) {
 	f := func(rawCores uint8, rawSelf uint8, useLocality bool, rawLens []uint8) bool {

@@ -186,6 +186,10 @@ type core struct {
 
 	stats     *metrics.Core
 	victimBuf []int
+	// Batch-steal scratch (mirrors the real runtime's per-core buffers).
+	cqBuf    []*equeue.ColorQueue
+	colorBuf []equeue.Color
+	setBuf   []equeue.EventSet
 }
 
 // Engine simulates one runtime configuration on one machine.
@@ -249,9 +253,18 @@ func New(cfg Config) (*Engine, error) {
 		queueLen: make([]int, n),
 		nextData: 1,
 	}
+	stealCap := cfg.Policy.MaxStealColors
+	if stealCap <= 0 {
+		stealCap = policy.DefaultMaxStealColors
+	}
 	e.cores = make([]*core, n)
 	for i := 0; i < n; i++ {
 		c := &core{id: i, stats: &e.run.Cores[i], victimBuf: make([]int, 0, n)}
+		if cfg.Policy.BatchSteal {
+			c.cqBuf = make([]*equeue.ColorQueue, 0, stealCap)
+			c.colorBuf = make([]equeue.Color, 0, stealCap)
+			c.setBuf = make([]equeue.EventSet, 0, stealCap)
+		}
 		if cfg.Policy.Layout == policy.ListLayout {
 			c.list = equeue.NewListQueue()
 		} else {
@@ -513,7 +526,13 @@ func (e *Engine) finishOne(c *core) {
 
 // stealAttempt runs the workstealing routine of Figure 2 (with the
 // configured heuristics) and reports whether events were migrated.
+// Batch stealing diverts to stealAttemptBatch; the single-color path
+// below is untouched by it, so every paper configuration replays the
+// exact cycle-for-cycle schedule it always has.
 func (e *Engine) stealAttempt(c *core) bool {
+	if e.pol.BatchSteal {
+		return e.stealAttemptBatch(c)
+	}
 	c.idle = false
 	c.stats.StealAttempts++
 	t0 := c.clock
@@ -598,6 +617,7 @@ func (e *Engine) stealAttempt(c *core) bool {
 
 		dt := c.clock - t0
 		c.stats.Steals++
+		c.stats.StolenColors++
 		if !e.topo.SharesCache(c.id, vid) {
 			c.stats.RemoteSteals++
 		}
@@ -616,6 +636,134 @@ func (e *Engine) stealAttempt(c *core) bool {
 				End:     c.clock,
 				Color:   color,
 				Handler: fmt.Sprintf("steal from core %d", vid),
+			})
+		}
+		return true
+	}
+
+	c.stats.FailedSteals++
+	dt := c.clock - t0
+	c.stats.FailedStealCycles += dt
+	c.stats.BusyCycles += dt
+	if e.cfg.Trace != nil && dt > 0 {
+		e.cfg.Trace(TraceEvent{
+			Kind:  TraceFailedSteal,
+			Core:  c.id,
+			Start: t0,
+			End:   c.clock,
+		})
+	}
+	return false
+}
+
+// stealAttemptBatch is stealAttempt with the batch protocol: one
+// victim-lock critical section selects and detaches up to
+// policy.StealBudget colors, their leases are published in one table
+// pass, and one self-lock hold adopts them all. Costs mirror the
+// single path per color (scan/inspect/unlink/link) while the fixed
+// costs — victim lock transfer, can_be_stolen, migrate setup — are
+// paid once per batch: exactly the amortization being modeled.
+func (e *Engine) stealAttemptBatch(c *core) bool {
+	c.idle = false
+	c.stats.StealAttempts++
+	t0 := c.clock
+	var waited int64
+	c.clock += e.params.StealSetup
+
+	order := e.pol.VictimOrder(c.id, e.queueLen, e.topo, c.victimBuf)
+	for _, vid := range order {
+		v := e.cores[vid]
+		if e.pol.Steal == policy.StealHeuristic {
+			if e.coreLen(v) == 0 {
+				continue
+			}
+			if e.pol.TimeLeft && v.mely.Stealing().Len() == 0 {
+				continue
+			}
+		}
+		waited += e.lockAcquire(c, v)
+		heldFrom := c.clock
+		c.clock += e.params.InspectVictim
+
+		var (
+			sets   []equeue.EventSet
+			cqs    []*equeue.ColorQueue
+			colors []equeue.Color
+		)
+		if e.pol.CanBeStolen(victimView{v}) {
+			if v.list != nil {
+				var scanned int
+				colors, scanned = e.pol.SelectStealColors(v.list, v.running, v.hasRunning, c.colorBuf)
+				c.clock += int64(scanned) * e.params.ScanPerEvent
+				if len(colors) > 0 {
+					var scanned2 int
+					sets, scanned2 = v.list.ExtractColorSet(colors, c.setBuf)
+					c.clock += int64(scanned2) * e.params.ScanPerEvent
+				}
+			} else {
+				var inspected int
+				if e.pol.TimeLeft {
+					v.mely.SetStealCost(e.stealMon.Estimate())
+				}
+				cqs, inspected = e.pol.SelectStealSet(v.mely, v.running, v.hasRunning, c.cqBuf)
+				if inspected == 0 {
+					// Time-left selection is interval-indexed: one
+					// lookup per taken color, one for an empty probe.
+					inspected = len(cqs)
+					if inspected == 0 {
+						inspected = 1
+					}
+				}
+				c.clock += int64(inspected) * e.params.CQInspect
+				c.clock += int64(len(cqs)) * e.params.ColorQueueUnlink
+				colors = c.colorBuf[:0]
+				for _, cq := range cqs {
+					colors = append(colors, cq.Color())
+				}
+			}
+		}
+		e.lockRelease(c, v, heldFrom)
+		if len(colors) == 0 {
+			continue
+		}
+
+		// Migrate the whole batch and take ownership of every color.
+		e.queueLen[vid] = e.coreLen(v)
+		waited += e.lockAcquire(c, c)
+		mHeld := c.clock
+		c.clock += e.params.MigrateBase
+		for i, color := range colors {
+			e.table.SetOwner(color, c.id)
+			if c.list != nil {
+				sets[i].MarkStolen()
+				c.list.AppendSet(sets[i])
+			} else {
+				cqs[i].MarkStolen()
+				c.mely.Adopt(cqs[i])
+				c.clock += e.params.ColorQueueLink
+				e.table.SetQueue(color, cqs[i])
+			}
+		}
+		e.lockRelease(c, c, mHeld)
+		e.queueLen[c.id] = e.coreLen(c)
+
+		dt := c.clock - t0
+		c.stats.Steals++
+		c.stats.StolenColors += int64(len(colors))
+		if !e.topo.SharesCache(c.id, vid) {
+			c.stats.RemoteSteals++
+		}
+		c.stats.StealCycles += dt
+		c.stats.BusyCycles += dt
+		e.stealMon.Observe(dt - waited)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TraceEvent{
+				Kind:    TraceSteal,
+				Core:    c.id,
+				Start:   t0,
+				End:     c.clock,
+				Color:   colors[0],
+				Handler: fmt.Sprintf("steal %d colors from core %d", len(colors), vid),
 			})
 		}
 		return true

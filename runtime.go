@@ -78,6 +78,9 @@ type rstats struct {
 	stealNanos       atomic.Int64
 	stolenEvents     atomic.Int64
 	stolenExecNanos  atomic.Int64
+	stolenColors     atomic.Int64
+	batchHist        [StealBatchBuckets]atomic.Int64
+	backoffParks     atomic.Int64
 	parks            atomic.Int64
 	postedHere       atomic.Int64
 	batchedEvents    atomic.Int64
@@ -107,7 +110,11 @@ type rcore struct {
 
 	victimBuf []int
 	lenBuf    []int
-	stats     rstats
+	// Batch-steal scratch, reused across attempts (worker-owned).
+	stealBuf []*equeue.ColorQueue
+	colorBuf []equeue.Color
+	setBuf   []equeue.EventSet
+	stats    rstats
 }
 
 // inTransitMarker occupies a color's table slot while a steal migrates
@@ -160,6 +167,14 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	cfg = cfg.withDefaults()
 	pol := cfg.Policy.internal()
+	if pol.Steal != policy.StealNone && cfg.MaxStealColors != 1 {
+		// Batch stealing is the runtime default (MaxStealColors 1 opts
+		// back into the paper's one-color-per-steal protocol); the
+		// simulator keeps batching off so the paper's tables regenerate
+		// unchanged.
+		pol.BatchSteal = true
+		pol.MaxStealColors = cfg.MaxStealColors
+	}
 	r := &Runtime{
 		cfg:      cfg,
 		pol:      pol,
@@ -172,6 +187,10 @@ func New(cfg Config) (*Runtime, error) {
 	r.scratch.New = func() any { return &batchScratch{} }
 	empty := make([]handlerEntry, 0, 16)
 	r.handlers.Store(&empty)
+	stealCap := pol.MaxStealColors
+	if stealCap <= 0 {
+		stealCap = policy.DefaultMaxStealColors
+	}
 	r.cores = make([]*rcore, cfg.Cores)
 	for i := range r.cores {
 		c := &rcore{
@@ -179,6 +198,9 @@ func New(cfg Config) (*Runtime, error) {
 			wake:      make(chan struct{}, 1),
 			victimBuf: make([]int, 0, cfg.Cores),
 			lenBuf:    make([]int, cfg.Cores),
+			stealBuf:  make([]*equeue.ColorQueue, 0, stealCap),
+			colorBuf:  make([]equeue.Color, 0, stealCap),
+			setBuf:    make([]equeue.EventSet, 0, stealCap),
 		}
 		if pol.Layout == policy.ListLayout {
 			c.list = equeue.NewListQueue()
@@ -506,6 +528,9 @@ func (r *Runtime) worker(c *rcore) {
 		_ = affinity.Pin(c.id) // best effort; unpinned is correct, just less local
 	}
 
+	// idle counts consecutive fruitless rounds (no local work, steal
+	// probe failed or disabled). It survives parks, so repeated failed
+	// probes back off exponentially (see below) until any success.
 	idle := 0
 	for !r.stopped.Load() {
 		if ev := r.popLocal(c); ev != nil {
@@ -522,9 +547,29 @@ func (r *Runtime) worker(c *rcore) {
 			runtime.Gosched()
 			continue
 		}
+		// Adaptive steal throttling: when probes keep failing — the
+		// steal-storm shape, many cores idle and hammering the same few
+		// victim locks — park for exponentially growing slices
+		// (StealBackoff, 2x per fruitless round, capped at ParkTimeout)
+		// instead of a full ParkTimeout, so a lone idle worker reacts
+		// fast while a stampede quiets itself. An unpark (new work) or
+		// any successful round resets the streak.
+		d := r.cfg.ParkTimeout
+		if r.cfg.StealBackoff > 0 {
+			// Double per fruitless round, stopping at the ParkTimeout
+			// ceiling — doubling instead of shifting by the streak so a
+			// large StealBackoff cannot overflow into a negative park.
+			bd := r.cfg.StealBackoff
+			for i := r.cfg.IdleSpins + 1; i < idle && bd < d; i++ {
+				bd <<= 1
+			}
+			if bd < d {
+				d = bd
+				c.stats.backoffParks.Add(1)
+			}
+		}
 		c.stats.parks.Add(1)
-		c.park(r.cfg.ParkTimeout)
-		idle = 0
+		c.park(d)
 	}
 }
 
@@ -703,78 +748,85 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 			}
 		}
 
+		// One victim-lock critical section selects and detaches the
+		// whole steal set (a single color unless batch stealing is on)
+		// and publishes every lease in one table pass.
 		v.lock.Lock()
 		var (
-			set    equeue.EventSet
-			cq     *equeue.ColorQueue
-			color  equeue.Color
-			stolen bool
+			sets   []equeue.EventSet
+			cqs    []*equeue.ColorQueue
+			colors []equeue.Color
 		)
 		if r.pol.CanBeStolen(rcoreView{v}) {
 			if v.list != nil {
-				var ok bool
-				color, ok, _ = v.list.ChooseColorToSteal(v.running, v.hasRunning)
-				if ok {
-					set, _ = v.list.ExtractColor(color)
-					stolen = !set.Empty()
+				colors, _ = r.pol.SelectStealColors(v.list, v.running, v.hasRunning, c.colorBuf)
+				if len(colors) > 0 {
+					sets, _ = v.list.ExtractColorSet(colors, c.setBuf)
 				}
 			} else {
 				if r.pol.TimeLeft {
 					v.mely.SetStealCost(r.stealMon.Estimate())
-					cq = v.mely.StealWorthy(v.running, v.hasRunning)
-				} else {
-					cq, _ = v.mely.StealBase(v.running, v.hasRunning)
 				}
-				if cq != nil {
-					color = cq.Color()
-					stolen = true
+				cqs, _ = r.pol.SelectStealSet(v.mely, v.running, v.hasRunning, c.stealBuf)
+				colors = c.colorBuf[:0]
+				for _, cq := range cqs {
+					colors = append(colors, cq.Color())
 				}
 			}
 		}
-		if stolen {
+		if len(colors) > 0 {
 			// Ownership moves under the victim's lock; posters that
 			// race will retry against our core. The transit marker
-			// keeps the color "live" until adoption so the lease
+			// keeps each color "live" until adoption so the lease
 			// logic cannot re-home it mid-migration. Owner and marker
-			// are published in one stripe acquisition — a two-step
-			// publish would expose the detached queue to posters that
-			// already see the new owner.
-			r.table.BeginMigration(color, c.id, inTransitMarker)
+			// are published in one stripe acquisition per color — and
+			// colors sharing a stripe share one acquisition — because
+			// a two-step publish would expose a detached queue to
+			// posters that already see the new owner.
+			r.table.BeginMigrationBatch(colors, c.id, inTransitMarker)
 			if v.mely != nil {
 				v.stealLen.Store(int32(v.mely.Stealing().Len()))
 			}
 			v.qlen.Store(int32(rcoreView{v}.QueuedEvents()))
 		}
 		v.lock.Unlock()
-		if !stolen {
+		if len(colors) == 0 {
 			continue
 		}
 
-		// Migrate into our own queue. Between BeginMigration and here
-		// the table holds the in-transit marker and every delivery of
-		// the color backs off (deliverLocked), so the marker is
+		// Migrate the whole batch into our own queue under one
+		// self-lock hold. Between BeginMigrationBatch and here the
+		// table holds the in-transit marker for every stolen color and
+		// every delivery backs off (deliverLocked), so the markers are
 		// necessarily still in place: no poster can have installed a
-		// queue over it, and no second thief can have found anything
-		// of this color to steal.
+		// queue over one, and no second thief can have found anything
+		// of these colors to steal.
 		c.lock.Lock()
 		if c.list != nil {
-			set.MarkStolen()
-			c.list.AppendSet(set)
+			for i := range sets {
+				sets[i].MarkStolen()
+				c.list.AppendSet(sets[i])
+			}
 			c.qlen.Store(int32(c.list.Len()))
-			if r.table.Queue(color) == inTransitMarker {
-				r.table.SetQueue(color, nil)
+			for _, color := range colors {
+				if r.table.Queue(color) == inTransitMarker {
+					r.table.SetQueue(color, nil)
+				}
 			}
 		} else {
-			cq.MarkStolen()
-			if existing := r.table.Queue(color); existing != nil && existing != inTransitMarker {
-				// Defense in depth: unreachable under the protocol
-				// above, but if a queue ever did appear during
-				// transit, merging oldest-first is the safe recovery.
-				c.mely.MergeFront(existing, cq)
-				c.mely.ReleaseColorQueue(cq)
-			} else {
-				c.mely.Adopt(cq)
-				r.table.SetQueue(color, cq)
+			for _, cq := range cqs {
+				cq.MarkStolen()
+				color := cq.Color()
+				if existing := r.table.Queue(color); existing != nil && existing != inTransitMarker {
+					// Defense in depth: unreachable under the protocol
+					// above, but if a queue ever did appear during
+					// transit, merging oldest-first is the safe recovery.
+					c.mely.MergeFront(existing, cq)
+					c.mely.ReleaseColorQueue(cq)
+				} else {
+					c.mely.Adopt(cq)
+					r.table.SetQueue(color, cq)
+				}
 			}
 			c.qlen.Store(int32(c.mely.Len()))
 			c.stealLen.Store(int32(c.mely.Stealing().Len()))
@@ -783,11 +835,26 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 
 		dt := time.Since(start).Nanoseconds()
 		c.stats.steals.Add(1)
+		c.stats.stolenColors.Add(int64(len(colors)))
+		c.stats.batchHist[stealBatchBucket(len(colors))].Add(1)
 		if !r.topo.SharesCache(c.id, vid) {
 			c.stats.remoteSteals.Add(1)
 		}
 		c.stats.stealNanos.Add(dt)
 		r.stealMon.Observe(dt)
+		if len(colors) > 1 && len(r.cores) > 2 {
+			// The batch brought home more colors than one worker can
+			// drain at once; one wakeup lets a parked neighbor steal
+			// the surplus onward instead of sleeping out its timeout.
+			// One, not len(colors): cascading thieves wake the next
+			// neighbor themselves if work remains. Skip the victim —
+			// it has its own work and would not re-steal the surplus.
+			next := (c.id + 1) % len(r.cores)
+			if next == vid {
+				next = (next + 1) % len(r.cores)
+			}
+			r.cores[next].unpark()
+		}
 		return true
 	}
 

@@ -154,6 +154,46 @@ func TestWorkstealingSpreadsLoad(t *testing.T) {
 	}
 }
 
+func TestBatchStealAccounting(t *testing.T) {
+	// Same imbalanced shape as above, under the default (batched) steal
+	// protocol: the stats must tie out — every steal lands in exactly
+	// one histogram bucket, colors migrated can only exceed steals, and
+	// the serial-execution guarantee still holds per color.
+	r := startRuntime(t, Config{Cores: 4})
+	var wg sync.WaitGroup
+	wg.Add(400)
+	h := r.Register("spin", func(ctx *Ctx) {
+		deadline := time.Now().Add(100 * time.Microsecond)
+		for time.Now().Before(deadline) {
+		}
+		wg.Done()
+	}, WithCostEstimate(100*time.Microsecond))
+	for i, col := range colorsOn(r, 0, 400) {
+		if err := r.Post(h, col, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	drain(t, r)
+	st := r.Stats().Total()
+	if st.Steals == 0 {
+		t.Fatal("no steals despite a fully imbalanced load")
+	}
+	if st.StolenColors < st.Steals {
+		t.Fatalf("stolen colors %d < steals %d", st.StolenColors, st.Steals)
+	}
+	var hist int64
+	for _, n := range st.StealBatchHist {
+		hist += n
+	}
+	if hist != st.Steals {
+		t.Fatalf("batch histogram sums to %d, want %d steals", hist, st.Steals)
+	}
+	if got := st.MeanStealBatch(); got < 1 {
+		t.Fatalf("mean batch %f < 1", got)
+	}
+}
+
 func TestNoStealingWhenDisabled(t *testing.T) {
 	r := startRuntime(t, Config{Cores: 4, Policy: PolicyMely})
 	var wg sync.WaitGroup

@@ -2,6 +2,29 @@ package mely
 
 import "time"
 
+// StealBatchBuckets is the length of the steal batch-size histogram in
+// CoreStats.StealBatchHist; see that field for the bucket boundaries.
+const StealBatchBuckets = 6
+
+// stealBatchBucket maps a steal's color count to its histogram bucket:
+// 1, 2, 3–4, 5–8, 9–16, ≥17.
+func stealBatchBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
 // CoreStats is a snapshot of one worker's counters.
 type CoreStats struct {
 	// Events executed on this core and their total handler time.
@@ -19,12 +42,22 @@ type CoreStats struct {
 	// paper's "stolen time").
 	StolenEvents int64
 	StolenTime   time.Duration
-	// Parks counts idle sleeps; PostedHere counts enqueues landing on
-	// this core; BatchedEvents counts the subset delivered through
-	// PostBatch's one-lock-per-core path; ColorQueueChurns counts
-	// ColorQueue link/unlink pairs (the short-lived color overhead of
-	// section V-C1).
+	// StolenColors counts colors migrated here by this core's steals:
+	// equal to Steals under the single-color protocol, larger when
+	// batch stealing migrates several colors per attempt.
+	// StealBatchHist is the batch-size histogram of those steals, with
+	// buckets 1, 2, 3–4, 5–8, 9–16, ≥17 colors.
+	StolenColors   int64
+	StealBatchHist [StealBatchBuckets]int64
+	// Parks counts idle sleeps; BackoffParks the subset shortened by
+	// the steal-throttling backoff (see Config.StealBackoff);
+	// PostedHere counts enqueues landing on this core; BatchedEvents
+	// counts the subset delivered through PostBatch's
+	// one-lock-per-core path; ColorQueueChurns counts ColorQueue
+	// link/unlink pairs (the short-lived color overhead of section
+	// V-C1).
 	Parks            int64
+	BackoffParks     int64
 	PostedHere       int64
 	BatchedEvents    int64
 	ColorQueueChurns int64
@@ -32,6 +65,15 @@ type CoreStats struct {
 	Panics int64
 	// Queued is the instantaneous queue length.
 	Queued int
+}
+
+// MeanStealBatch is the average number of colors migrated per
+// successful steal (0 when no steals happened).
+func (c CoreStats) MeanStealBatch() float64 {
+	if c.Steals == 0 {
+		return 0
+	}
+	return float64(c.StolenColors) / float64(c.Steals)
 }
 
 // Stats is a whole-runtime snapshot.
@@ -53,7 +95,7 @@ func (r *Runtime) Stats() Stats {
 		Pending:           r.pending.Load(),
 	}
 	for i, c := range r.cores {
-		s.Cores[i] = CoreStats{
+		cs := CoreStats{
 			Events:           c.stats.events.Load(),
 			ExecTime:         time.Duration(c.stats.execNanos.Load()),
 			Steals:           c.stats.steals.Load(),
@@ -63,13 +105,19 @@ func (r *Runtime) Stats() Stats {
 			StealTime:        time.Duration(c.stats.stealNanos.Load()),
 			StolenEvents:     c.stats.stolenEvents.Load(),
 			StolenTime:       time.Duration(c.stats.stolenExecNanos.Load()),
+			StolenColors:     c.stats.stolenColors.Load(),
 			Parks:            c.stats.parks.Load(),
+			BackoffParks:     c.stats.backoffParks.Load(),
 			PostedHere:       c.stats.postedHere.Load(),
 			BatchedEvents:    c.stats.batchedEvents.Load(),
 			ColorQueueChurns: c.stats.colorQueueChurns.Load(),
 			Panics:           c.stats.panics.Load(),
 			Queued:           int(c.qlen.Load()),
 		}
+		for b := range cs.StealBatchHist {
+			cs.StealBatchHist[b] = c.stats.batchHist[b].Load()
+		}
+		s.Cores[i] = cs
 	}
 	return s
 }
@@ -87,7 +135,12 @@ func (s Stats) Total() CoreStats {
 		t.StealTime += c.StealTime
 		t.StolenEvents += c.StolenEvents
 		t.StolenTime += c.StolenTime
+		t.StolenColors += c.StolenColors
+		for b := range c.StealBatchHist {
+			t.StealBatchHist[b] += c.StealBatchHist[b]
+		}
 		t.Parks += c.Parks
+		t.BackoffParks += c.BackoffParks
 		t.PostedHere += c.PostedHere
 		t.BatchedEvents += c.BatchedEvents
 		t.ColorQueueChurns += c.ColorQueueChurns
