@@ -404,3 +404,30 @@ func BenchmarkRuntimeColorPingPong(b *testing.B) {
 
 // metricsSink prevents dead-code elimination in simBench closures.
 var metricsSink *metrics.Run
+
+// BenchmarkRuntimeTimers is the end-to-end timer path: arm a burst of
+// one-shot timers with near-term deadlines and wait for every expiry
+// handler to run — wheel insert, worker harvest, lease delivery, and
+// execution. The arm-only rate is reported separately by
+// BenchmarkTimerWheelArmCancel in internal/timerwheel.
+func BenchmarkRuntimeTimers(b *testing.B) {
+	r, err := New(Config{Cores: 2, TimerTick: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer r.Stop()
+	var done atomic.Int64
+	h := r.Register("expire", func(ctx *Ctx) { done.Add(1) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.PostAfter(h, Color(i%256+1), time.Duration(i%4)*time.Millisecond, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for done.Load() < int64(b.N) {
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -47,8 +47,13 @@ func run() error {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments (-exp <id>):")
 		for _, e := range bench.All() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\ngate scenarios (-gate-out / -gate-against):")
+		for _, s := range bench.GateScenarios() {
+			fmt.Printf("  %s\n", s)
 		}
 		return nil
 	}

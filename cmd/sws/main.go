@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/melyruntime/mely"
 	"github.com/melyruntime/mely/internal/sws"
@@ -44,13 +45,14 @@ func parsePolicy(name string) (mely.Policy, error) {
 
 func run() error {
 	var (
-		listen     = flag.String("listen", ":8080", "listen address")
-		nfiles     = flag.Int("files", 150, "number of distinct files to serve")
-		size       = flag.Int("size", 1024, "file size in bytes (the paper serves 1 KB files)")
-		cores      = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
-		policyName = flag.String("policy", "melyws", "scheduling policy")
-		maxClients = flag.Int("max-clients", 0, "simultaneous client limit (0 = unlimited)")
-		pin        = flag.Bool("pin", false, "pin workers to CPUs (Linux)")
+		listen      = flag.String("listen", ":8080", "listen address")
+		nfiles      = flag.Int("files", 150, "number of distinct files to serve")
+		size        = flag.Int("size", 1024, "file size in bytes (the paper serves 1 KB files)")
+		cores       = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
+		policyName  = flag.String("policy", "melyws", "scheduling policy")
+		maxClients  = flag.Int("max-clients", 0, "simultaneous client limit (0 = unlimited)")
+		pin         = flag.Bool("pin", false, "pin workers to CPUs (Linux)")
+		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "reap connections idle this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -72,7 +74,7 @@ func run() error {
 		}
 		files[fmt.Sprintf("/file%d.bin", i)] = body
 	}
-	srv, err := sws.New(sws.Config{Runtime: rt, Files: files, MaxClients: *maxClients})
+	srv, err := sws.New(sws.Config{Runtime: rt, Files: files, MaxClients: *maxClients, IdleTimeout: *idleTimeout})
 	if err != nil {
 		return err
 	}
@@ -95,8 +97,11 @@ func run() error {
 	if err := rt.Run(ctx); err != nil {
 		return err
 	}
-	fmt.Printf("sws: served %d responses\n", srv.Served())
-	st := rt.Stats().Total()
+	fmt.Printf("sws: served %d responses, %d idle connections reaped\n", srv.Served(), srv.IdleClosed())
+	stats := rt.Stats()
+	st := stats.Total()
 	fmt.Printf("sws: steals=%d (remote %d) stolen-events=%d\n", st.Steals, st.RemoteSteals, st.StolenEvents)
+	fmt.Printf("sws: timers fired=%d canceled=%d pending=%d lag-hist(≤100µs,≤1ms,≤2ms,≤10ms,≤100ms,>100ms)=%v\n",
+		st.TimersFired, stats.TimersCanceled, st.TimersPending, st.TimerLagHist)
 	return <-closed
 }

@@ -29,6 +29,8 @@ func run() error {
 		perConn  = flag.Int("requests", 150, "requests per connection")
 		nfiles   = flag.Int("files", 150, "distinct files on the server")
 		duration = flag.Duration("duration", 30*time.Second, "run length")
+		think    = flag.Duration("think", 0, "client think time between requests (0 = closed-loop hammering)")
+		jitter   = flag.Duration("think-jitter", 0, "uniform random extra think time per pause")
 	)
 	flag.Parse()
 
@@ -42,6 +44,8 @@ func run() error {
 		RequestsPerConn: *perConn,
 		Paths:           paths,
 		Duration:        *duration,
+		ThinkTime:       *think,
+		ThinkJitter:     *jitter,
 	})
 	if err != nil {
 		return err

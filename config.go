@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/timerwheel"
 	"github.com/melyruntime/mely/internal/topology"
 )
 
@@ -117,6 +118,17 @@ type Config struct {
 	// the backoff entirely — every post-spin park lasts the full
 	// ParkTimeout regardless of the failure streak.
 	StealBackoff time.Duration
+	// TimerTick is the granularity of the per-core timing wheels behind
+	// PostAfter/PostAt/PostEvery (default 1ms): timers fire on the next
+	// tick at or after their deadline, so the tick bounds the structural
+	// firing lag. Finer ticks buy resolution at the cost of more wheel
+	// positions to walk on an idle core.
+	TimerTick time.Duration
+	// TimerWheelLevels is the depth of the timing-wheel hierarchy
+	// (default 4). Each level multiplies the horizon by 64: four levels
+	// of 1ms ticks cover ~4.7 hours before deadlines park in the top
+	// level and pay extra cascades (still correct, just costlier).
+	TimerWheelLevels int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +153,12 @@ func (c Config) withDefaults() Config {
 	if c.StealBackoff == 0 {
 		c.StealBackoff = 10 * time.Microsecond
 	}
+	if c.TimerTick == 0 {
+		c.TimerTick = time.Millisecond
+	}
+	if c.TimerWheelLevels == 0 {
+		c.TimerWheelLevels = 4
+	}
 	return c
 }
 
@@ -160,6 +178,16 @@ func (c Config) validate() error {
 	if c.MaxStealColors > policy.MaxStealColorsLimit {
 		return fmt.Errorf("mely: steal batch cap %d exceeds limit %d",
 			c.MaxStealColors, policy.MaxStealColorsLimit)
+	}
+	if c.TimerTick < 0 {
+		return fmt.Errorf("mely: negative timer tick")
+	}
+	if c.TimerTick > 0 && c.TimerTick < 10*time.Microsecond {
+		return fmt.Errorf("mely: timer tick %v below the 10µs floor", c.TimerTick)
+	}
+	if c.TimerWheelLevels < 0 || c.TimerWheelLevels > timerwheel.MaxLevels {
+		return fmt.Errorf("mely: timer wheel levels %d out of range [1, %d]",
+			c.TimerWheelLevels, timerwheel.MaxLevels)
 	}
 	return nil
 }

@@ -58,7 +58,7 @@ func TestConfigDefaults(t *testing.T) {
 	cfg := Config{}.withDefaults()
 	if cfg.Cores <= 0 || cfg.BatchThreshold != 10 ||
 		cfg.StealCostSeed <= 0 || cfg.ParkTimeout <= 0 || cfg.IdleSpins <= 0 ||
-		cfg.StealBackoff <= 0 {
+		cfg.StealBackoff <= 0 || cfg.TimerTick <= 0 || cfg.TimerWheelLevels <= 0 {
 		t.Fatalf("defaults incomplete: %+v", cfg)
 	}
 }
@@ -66,5 +66,20 @@ func TestConfigDefaults(t *testing.T) {
 func TestConfigRejectsNegativeStealCap(t *testing.T) {
 	if _, err := New(Config{Cores: 1, MaxStealColors: -1}); err == nil {
 		t.Fatal("negative MaxStealColors must be rejected")
+	}
+}
+
+func TestConfigRejectsBadTimerKnobs(t *testing.T) {
+	if _, err := New(Config{Cores: 1, TimerTick: -1}); err == nil {
+		t.Fatal("negative TimerTick must be rejected")
+	}
+	if _, err := New(Config{Cores: 1, TimerTick: 1}); err == nil {
+		t.Fatal("sub-floor TimerTick must be rejected")
+	}
+	if _, err := New(Config{Cores: 1, TimerWheelLevels: 99}); err == nil {
+		t.Fatal("excessive TimerWheelLevels must be rejected")
+	}
+	if _, err := New(Config{Cores: 1, TimerWheelLevels: -1}); err == nil {
+		t.Fatal("negative TimerWheelLevels must be rejected")
 	}
 }

@@ -80,6 +80,38 @@
 // the per-steal batch-size histogram (StealBatchHist), and the
 // attempt/success counters.
 //
+// # Timers and color affinity
+//
+// PostAfter, PostAt, and PostEvery arm timers whose expiry is a normal
+// event post: after the deadline the handler is posted with the given
+// color and data, so the expiry callback is serialized with every other
+// event of that color — idle-connection reapers, retries, and session
+// expiry read per-color state with no user locking, ever. This replaces
+// the time.AfterFunc+Post workaround, which burned a goroutine and an
+// allocation per timer and delivered the post outside the runtime's
+// scheduling (see CHANGES.md for migration guidance).
+//
+// Timers live on per-core hierarchical timing wheels (internal/
+// timerwheel): arming, Cancel, and Reset are O(1); expiry is a batch
+// harvest folded into the worker loop, and a parked worker sleeps only
+// until min(park timeout, its wheel's next deadline). Config.TimerTick
+// (default 1ms) is the granularity — timers fire on the first tick at
+// or after their deadline — and Config.TimerWheelLevels (default 4)
+// sets the hierarchy depth (64 slots per level; deadlines beyond the
+// horizon cascade, so any duration is legal).
+//
+// Timers are color-affine: an entry is armed on the wheel of the core
+// that owns its color, and when a steal or a lease re-home migrates the
+// color, its pending timers migrate with it — expiry harvest stays
+// core-local. The affinity is purely a performance property: a firing
+// is delivered through the same ownership lease protocol as a Post, so
+// the serialization guarantee holds no matter where the entry sits.
+// The Timer handle is race-safe: exactly one of Cancel-returning-true
+// and the firing happens (a periodic timer canceled mid-firing still
+// delivers the in-flight occurrence, never another). Stats reports
+// TimersFired, TimersCanceled, the armed count (TimersPending), and a
+// firing-lag histogram (TimerLagHist).
+//
 // Idle workers whose steal probes keep failing back off exponentially:
 // after Config.IdleSpins fruitless rounds a worker parks for
 // Config.StealBackoff (default 10µs), doubling per further fruitless

@@ -36,7 +36,10 @@ func main() {
 		}
 		files[fmt.Sprintf("/file%d.bin", i)] = body
 	}
-	srv, err := sws.New(sws.Config{Runtime: rt, Files: files})
+	// Idle connections are reaped by the runtime's color-affine timers:
+	// a PostAfter per connection, serialized with that connection's
+	// request handlers, no locks and no time.AfterFunc goroutines.
+	srv, err := sws.New(sws.Config{Runtime: rt, Files: files, IdleTimeout: 400 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,13 +64,22 @@ func main() {
 		RequestsPerConn: 150,
 		Paths:           paths,
 		Duration:        3 * time.Second,
+		// A little think time makes some clients outlast the server's
+		// idle timeout, exercising the timer-driven reaper.
+		ThinkTime:   20 * time.Millisecond,
+		ThinkJitter: 600 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("served %d requests in %v (%.1f KReq/s, %d errors)\n",
+	// Clients whose think pause outlasts the idle timeout find their
+	// connection reaped and reconnect; loadgen reports those as errors.
+	fmt.Printf("served %d requests in %v (%.1f KReq/s, %d reaped-mid-think errors)\n",
 		res.Requests, res.Elapsed.Round(time.Millisecond), res.KRequestsPS, res.Errors)
-	st := rt.Stats().Total()
+	stats := rt.Stats()
+	st := stats.Total()
 	fmt.Printf("runtime: events=%d steals=%d (remote %d) stolen-time=%v\n",
 		st.Events, st.Steals, st.RemoteSteals, st.StolenTime.Round(time.Microsecond))
+	fmt.Printf("timers: fired=%d canceled=%d idle-reaped=%d\n",
+		st.TimersFired, stats.TimersCanceled, srv.IdleClosed())
 }

@@ -65,6 +65,7 @@ func All() []Experiment {
 		{"fig7", "Performance of SWS across runtimes", Fig7},
 		{"fig8", "Performance of SFS across runtimes", Fig8},
 		{"amd16", "Extension: locality-aware stealing on the 16-core AMD topology", AMD16Locality},
+		{"timer", "Extension: deadline-driven workload (closed-loop clients with think times)", TimerScenario},
 		{"ablate-batch", "Ablation: Mely batch threshold", AblateBatch},
 		{"ablate-batchsteal", "Ablation: batched vs single-color steals", AblateBatchSteal},
 		{"ablate-intervals", "Ablation: stealing-queue interval count", AblateIntervals},

@@ -41,8 +41,9 @@ type GateResult struct {
 }
 
 // gateConfigs are the tracked configurations: the steal-relevant rows
-// of the unbalanced and penalty microbenchmarks, plus the batched
-// steal protocol the paper tables deliberately exclude.
+// of the unbalanced and penalty microbenchmarks, the batched steal
+// protocol the paper tables deliberately exclude, and the
+// deadline-driven timer workload (all load arriving as timed events).
 func gateConfigs() []struct {
 	experiment string
 	pol        policy.Config
@@ -59,7 +60,19 @@ func gateConfigs() []struct {
 		{"unbalanced", batch},
 		{"penalty", policy.MelyBaseWS()},
 		{"penalty", policy.MelyPenaltyWS()},
+		{"timer", policy.Mely()},
+		{"timer", policy.MelyTimeLeftWS()},
 	}
+}
+
+// GateScenarios lists the gate suite's experiment/config pairs, for
+// melybench -list.
+func GateScenarios() []string {
+	var out []string
+	for _, gc := range gateConfigs() {
+		out = append(out, gc.experiment+"/"+gc.pol.String())
+	}
+	return out
 }
 
 // GateSuite measures every gate configuration. The simulator is
@@ -79,6 +92,8 @@ func GateSuite(opt Options) (*GateResult, error) {
 			run, err = opt.measureUnbalanced(gc.pol)
 		case "penalty":
 			run, err = opt.measurePenalty(gc.pol)
+		case "timer":
+			run, err = opt.measureTimer(gc.pol)
 		default:
 			return nil, fmt.Errorf("bench: unknown gate experiment %q", gc.experiment)
 		}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -34,6 +35,15 @@ type HTTPConfig struct {
 	Duration time.Duration
 	// DialTimeout bounds one connection attempt.
 	DialTimeout time.Duration
+	// ThinkTime pauses each virtual client between requests, modeling
+	// the idle periods of a real user session (and exercising server
+	// idle-timeout paths). Zero keeps the classic closed loop that
+	// hammers as fast as responses return.
+	ThinkTime time.Duration
+	// ThinkJitter adds a uniform random [0, ThinkJitter) on top of each
+	// pause, de-synchronizing the clients so think times don't beat in
+	// lockstep.
+	ThinkJitter time.Duration
 }
 
 func (c *HTTPConfig) defaults() error {
@@ -54,6 +64,9 @@ func (c *HTTPConfig) defaults() error {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
+	}
+	if c.ThinkTime < 0 || c.ThinkJitter < 0 {
+		return errors.New("loadgen: negative think time")
 	}
 	return nil
 }
@@ -155,8 +168,29 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 			return done, read, err
 		}
 		done++
+		if pause := thinkPause(cfg); pause > 0 && i+1 < cfg.RequestsPerConn {
+			// Think on the open connection (the idle-timeout shape),
+			// but never sleep past the run deadline.
+			if deadline, ok := ctx.Deadline(); ok {
+				if remain := time.Until(deadline); pause >= remain {
+					time.Sleep(max(remain, 0))
+					return done, read, nil
+				}
+			}
+			time.Sleep(pause)
+		}
 	}
 	return done, read, nil
+}
+
+// thinkPause draws one between-requests pause from the configured think
+// time and jitter.
+func thinkPause(cfg HTTPConfig) time.Duration {
+	pause := cfg.ThinkTime
+	if cfg.ThinkJitter > 0 {
+		pause += time.Duration(rand.Int63n(int64(cfg.ThinkJitter)))
+	}
+	return pause
 }
 
 // readResponse consumes one HTTP response, returning its size.

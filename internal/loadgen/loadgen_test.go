@@ -118,3 +118,47 @@ func TestReadResponseRejectsMissingLength(t *testing.T) {
 		t.Fatal("missing content length must fail")
 	}
 }
+
+func TestThinkTimeSlowsTheLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test (loopback listener + timed injection); run without -short")
+	}
+	addr, stop := fakeHTTP(t, "hello")
+	defer stop()
+	run := func(think time.Duration) int64 {
+		res, err := RunHTTP(context.Background(), HTTPConfig{
+			Addr:            addr,
+			Clients:         2,
+			RequestsPerConn: 1000,
+			Duration:        400 * time.Millisecond,
+			ThinkTime:       think,
+			ThinkJitter:     think / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("errors = %d", res.Errors)
+		}
+		return res.Requests
+	}
+	thinking := run(50 * time.Millisecond)
+	if thinking == 0 {
+		t.Fatal("thinking clients completed nothing")
+	}
+	// 2 clients × ≥50ms pause per request bounds the thinking loop to
+	// ~16 requests in 400ms; the closed loop does orders of magnitude
+	// more. A loose 4x factor keeps the test robust on loaded CI.
+	if limit := int64(2 * (400 / 50) * 4); thinking > limit {
+		t.Fatalf("think-time run did %d requests, want <= %d (pauses not applied)", thinking, limit)
+	}
+	if hammering := run(0); hammering <= thinking {
+		t.Fatalf("closed loop (%d) not faster than thinking loop (%d)", hammering, thinking)
+	}
+}
+
+func TestThinkValidation(t *testing.T) {
+	if _, err := RunHTTP(context.Background(), HTTPConfig{Addr: "x", ThinkTime: -time.Second}); err == nil {
+		t.Fatal("negative think time must fail")
+	}
+}

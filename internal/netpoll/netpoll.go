@@ -59,6 +59,11 @@ func (c *Conn) Shutdown() {
 	})
 }
 
+// IsClosed reports whether Shutdown has run. Deadline-driven reapers
+// use it to stop their timer chains: a timer that fires after the
+// connection died simply returns instead of re-arming.
+func (c *Conn) IsClosed() bool { return c.closed.Load() }
+
 // Message is the payload of an OnData event: bytes read from a
 // connection. Data is owned by the handler (freshly allocated per read).
 type Message struct {

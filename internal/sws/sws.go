@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"github.com/melyruntime/mely"
 	"github.com/melyruntime/mely/internal/netpoll"
@@ -38,6 +39,12 @@ type Config struct {
 	Files map[string][]byte
 	// MaxClients bounds simultaneous connections (0 = unlimited).
 	MaxClients int
+	// IdleTimeout reaps connections that stay silent for this long
+	// (0 = never). The reaper is a color-affine runtime timer per
+	// connection (PostAfter under the connection's color), so it reads
+	// the connection's parser state with no locks: the timeout handler
+	// is serialized with the request handlers by construction.
+	IdleTimeout time.Duration
 }
 
 // Server is a running SWS instance.
@@ -48,18 +55,25 @@ type Server struct {
 	badRequest []byte
 	maxClients int
 
-	hAccept, hRead, hParse, hCache, hWrite, hDec mely.Handler
+	hAccept, hRead, hParse, hCache, hWrite, hDec, hIdle mely.Handler
 
-	srv *netpoll.Server
+	srv         *netpoll.Server
+	idleTimeout time.Duration
 
-	accepted atomic.Int64 // bookkeeping under color 1; atomic for reads
-	served   atomic.Int64
+	accepted   atomic.Int64 // bookkeeping under color 1; atomic for reads
+	served     atomic.Int64
+	idleClosed atomic.Int64
 }
 
 // connState accumulates request bytes per connection (partial reads).
+// It is touched only by handlers of the connection's color, so the
+// fields — including the idle-reaper bookkeeping — need no locks.
 type connState struct {
 	conn *netpoll.Conn
 	buf  bytes.Buffer
+	// lastActivity is the last time request bytes arrived from the
+	// client; the idle reaper compares it against IdleTimeout.
+	lastActivity time.Time
 }
 
 // parseJob carries a message through the request pipeline.
@@ -92,19 +106,54 @@ func New(cfg Config) (*Server, error) {
 	s.notFound = buildResponse(404, "Not Found", []byte("not found\n"))
 	s.badRequest = buildResponse(400, "Bad Request", []byte("bad request\n"))
 
-	// Figure 6's handler graph.
+	// Figure 6's handler graph, plus the idle reaper.
 	s.hWrite = s.rt.Register("WriteResponse", s.writeResponse)
 	s.hCache = s.rt.Register("CheckInCache", s.checkInCache)
 	s.hParse = s.rt.Register("ParseRequest", s.parseRequest)
 	s.hRead = s.rt.Register("ReadRequest", s.readRequest)
+	s.hIdle = s.rt.Register("IdleTimeout", s.idleTimeoutFired)
 	s.hAccept = s.rt.Register("Accept", func(ctx *mely.Ctx) {
 		s.accepted.Add(1)
+		if s.idleTimeout > 0 {
+			// Arm the reaper under the connection's color: its firings
+			// serialize with this connection's request handlers. The
+			// handle is deliberately dropped — the chain terminates
+			// itself when it finds the connection closed, which costs at
+			// most one stale firing instead of a cross-color cancel
+			// registry.
+			conn := ctx.Data().(*netpoll.Conn)
+			_, _ = ctx.PostAfter(s.hIdle, conn.Color(), s.idleTimeout, conn)
+		}
 	})
 	s.hDec = s.rt.Register("DecClientAccepted", func(ctx *mely.Ctx) {
 		s.accepted.Add(-1)
 	})
 	s.maxClients = cfg.MaxClients
+	s.idleTimeout = cfg.IdleTimeout
 	return s, nil
+}
+
+// idleTimeoutFired runs under the connection's color. If the connection
+// produced no complete request for IdleTimeout it is reaped; otherwise
+// the reaper re-arms for the remaining budget. Reading lastActivity
+// needs no lock: this handler and parseRequest share the connection's
+// color, so they never run concurrently.
+func (s *Server) idleTimeoutFired(ctx *mely.Ctx) {
+	conn := ctx.Data().(*netpoll.Conn)
+	if conn.IsClosed() {
+		return // the chain dies with the connection
+	}
+	st := connStateOf(conn)
+	if !st.lastActivity.IsZero() {
+		if idle := time.Since(st.lastActivity); idle < s.idleTimeout {
+			_, _ = ctx.PostAfter(s.hIdle, ctx.Color(), s.idleTimeout-idle, conn)
+			return
+		}
+	}
+	// Silent since accept (or since its last request) for a full
+	// timeout: reap.
+	s.idleClosed.Add(1)
+	conn.Shutdown()
 }
 
 // Serve starts accepting on ln (non-blocking). Close shuts down.
@@ -151,6 +200,7 @@ func (s *Server) parseRequest(ctx *mely.Ctx) {
 	job := ctx.Data().(*parseJob)
 	st := job.state
 	st.buf.Write(job.data)
+	st.lastActivity = time.Now() // color-serialized with the idle reaper
 	for {
 		raw := st.buf.Bytes()
 		end := bytes.Index(raw, []byte("\r\n\r\n"))
@@ -209,6 +259,9 @@ func (s *Server) writeResponse(ctx *mely.Ctx) {
 
 // Served reports the number of responses written.
 func (s *Server) Served() int64 { return s.served.Load() }
+
+// IdleClosed reports the number of connections reaped by IdleTimeout.
+func (s *Server) IdleClosed() int64 { return s.idleClosed.Load() }
 
 // Accepted reports the number of currently admitted clients.
 func (s *Server) Accepted() int64 { return s.accepted.Load() }

@@ -336,3 +336,85 @@ func TestClientDisconnectMidRequest(t *testing.T) {
 		t.Fatalf("status after another client's abort: %q", status)
 	}
 }
+
+// startServerIdle is startServer with an idle timeout configured.
+func startServerIdle(t *testing.T, files map[string][]byte, idle time.Duration) *Server {
+	t.Helper()
+	rt, err := mely.New(mely.Config{Cores: 2, TimerTick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	srv, err := New(Config{Runtime: rt, Files: files, IdleTimeout: idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Drain(ctx)
+	})
+	return srv
+}
+
+func TestIdleTimeoutReapsSilentConnection(t *testing.T) {
+	srv := startServerIdle(t, map[string][]byte{"/f": []byte("z")}, 100*time.Millisecond)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing: the color-affine reaper must close the connection
+	// (observed as EOF on our side) without any request ever parsed.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection was not reaped")
+	}
+	if got := srv.IdleClosed(); got != 1 {
+		t.Fatalf("IdleClosed = %d, want 1", got)
+	}
+}
+
+func TestIdleTimeoutSparesActiveConnection(t *testing.T) {
+	srv := startServerIdle(t, map[string][]byte{"/f": []byte("z")}, 250*time.Millisecond)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	// Keep requesting at half the timeout: activity resets the budget,
+	// so the connection must survive several timeout periods.
+	deadline := time.Now().Add(4 * 250 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		status, _ := get(t, conn, br, "/f")
+		if !strings.Contains(status, "200") {
+			t.Fatalf("status = %q", status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got := srv.IdleClosed(); got != 0 {
+		t.Fatalf("active connection reaped (IdleClosed = %d)", got)
+	}
+	// Now fall silent; the reaper must take this one too.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("silent connection survived the idle timeout")
+	}
+	if got := srv.IdleClosed(); got != 1 {
+		t.Fatalf("IdleClosed = %d, want 1", got)
+	}
+}

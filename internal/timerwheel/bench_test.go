@@ -1,0 +1,83 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/melyruntime/mely/internal/equeue"
+)
+
+// BenchmarkTimerWheel arms one million timers with deadlines spread
+// over a ten-second window and harvests the whole window in tick-sized
+// steps — the deadline-heavy server shape (a million idle-connection
+// timeouts). It reports the p99 firing lag (harvest tick minus
+// deadline), which must stay bounded by the wheel granularity: the
+// wheel's lag is structural (one tick of rounding), not load-dependent.
+func BenchmarkTimerWheel(b *testing.B) {
+	const (
+		armed  = 1_000_000
+		window = int64(10 * time.Second)
+	)
+	step := DefaultTick.Nanoseconds()
+	lags := make([]int64, 0, armed)
+	var totalOps int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(7))
+		entries := make([]*Entry, armed)
+		for j := range entries {
+			entries[j] = NewEntry(equeue.Color(j), 0, nil, rng.Int63n(window), 0)
+		}
+		w := New(DefaultTick, DefaultLevels)
+		lags = lags[:0]
+		b.StartTimer()
+
+		for _, e := range entries {
+			w.Add(e)
+		}
+		buf := make([]*Entry, 0, 4096)
+		for now := int64(0); now <= window; now += step {
+			if w.NextDue() > now {
+				continue
+			}
+			buf = w.Advance(now, buf[:0])
+			for _, e := range buf {
+				lags = append(lags, now-e.When)
+				e.FinishFire()
+			}
+		}
+		if len(lags) != armed {
+			b.Fatalf("fired %d of %d", len(lags), armed)
+		}
+		totalOps += 2 * armed // one arm + one fire per timer
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	if lags[0] < 0 {
+		b.Fatalf("a timer fired %dns early", -lags[0])
+	}
+	p99 := lags[len(lags)*99/100]
+	b.ReportMetric(float64(p99), "p99-lag-ns")
+	b.ReportMetric(float64(totalOps)/b.Elapsed().Seconds(), "timer-ops/s")
+	if p99 > 2*step {
+		b.Fatalf("p99 firing lag %dns exceeds two ticks (%dns)", p99, 2*step)
+	}
+}
+
+// BenchmarkTimerWheelArmCancel measures the arm+cancel round trip (the
+// idle-timeout fast path: almost every connection timer is canceled or
+// rescheduled, almost none fires).
+func BenchmarkTimerWheelArmCancel(b *testing.B) {
+	w := New(DefaultTick, DefaultLevels)
+	when := int64(30 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEntry(equeue.Color(i&1023), 0, nil, when, 0)
+		w.Add(e)
+		e.Cancel()
+	}
+	if w.Len() != 0 {
+		b.Fatalf("leaked %d entries", w.Len())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/melyruntime/mely/internal/policy"
 	"github.com/melyruntime/mely/internal/profile"
 	"github.com/melyruntime/mely/internal/spinlock"
+	"github.com/melyruntime/mely/internal/timerwheel"
 	"github.com/melyruntime/mely/internal/topology"
 )
 
@@ -86,6 +87,8 @@ type rstats struct {
 	batchedEvents    atomic.Int64
 	colorQueueChurns atomic.Int64
 	panics           atomic.Int64
+	timersFired      atomic.Int64
+	timerLagHist     [TimerLagBuckets]atomic.Int64
 }
 
 type rcore struct {
@@ -108,12 +111,22 @@ type rcore struct {
 
 	wake chan struct{}
 
+	// wheel is the core's timing wheel: timers for colors owned here are
+	// armed here, harvested by this worker, and migrate with their color.
+	wheel *timerwheel.Wheel
+	// parkTimer is the reusable park sleep timer (one per core instead
+	// of a time.NewTimer allocation per park).
+	parkTimer *time.Timer
+
 	victimBuf []int
 	lenBuf    []int
 	// Batch-steal scratch, reused across attempts (worker-owned).
 	stealBuf []*equeue.ColorQueue
 	colorBuf []equeue.Color
 	setBuf   []equeue.EventSet
+	// Timer scratch (worker-owned): harvest and steal-migration buffers.
+	timerBuf []*timerwheel.Entry
+	entryBuf []*timerwheel.Entry
 	stats    rstats
 }
 
@@ -158,6 +171,11 @@ type Runtime struct {
 	evPool sync.Pool
 	// scratch pools PostBatch working memory (see batchScratch).
 	scratch sync.Pool
+
+	// epoch anchors the monotonic timer clock (see Runtime.now);
+	// timersCanceled counts averted firings runtime-wide.
+	epoch          time.Time
+	timersCanceled atomic.Int64
 }
 
 // New builds a runtime; call Start to launch the workers.
@@ -182,6 +200,7 @@ func New(cfg Config) (*Runtime, error) {
 		table:    equeue.NewColorTable(cfg.Cores),
 		profiles: profile.NewTable(0),
 		stealMon: profile.NewStealCostMonitor(cfg.StealCostSeed.Nanoseconds()),
+		epoch:    time.Now(),
 	}
 	r.evPool.New = func() any { return &equeue.Event{} }
 	r.scratch.New = func() any { return &batchScratch{} }
@@ -196,12 +215,14 @@ func New(cfg Config) (*Runtime, error) {
 		c := &rcore{
 			id:        i,
 			wake:      make(chan struct{}, 1),
+			wheel:     timerwheel.New(cfg.TimerTick, cfg.TimerWheelLevels),
 			victimBuf: make([]int, 0, cfg.Cores),
 			lenBuf:    make([]int, cfg.Cores),
 			stealBuf:  make([]*equeue.ColorQueue, 0, stealCap),
 			colorBuf:  make([]equeue.Color, 0, stealCap),
 			setBuf:    make([]equeue.EventSet, 0, stealCap),
 		}
+		c.wheel.Owner = i
 		if pol.Layout == policy.ListLayout {
 			c.list = equeue.NewListQueue()
 		} else {
@@ -500,8 +521,11 @@ func (r *Runtime) deliverLocked(c *rcore, owner int, ev *equeue.Event) (*equeue.
 			}
 		}
 		if !live {
-			// Lease expired: re-home; the caller retries at home.
+			// Lease expired: re-home; the caller retries at home. The
+			// color's pending timers follow its lease (the re-home half
+			// of timer color-affinity).
 			r.table.SetOwner(ev.Color, home)
+			r.migrateTimersOnReHome(c, ev.Color, home)
 			return nil, false
 		}
 		if c.list != nil {
@@ -533,6 +557,13 @@ func (r *Runtime) worker(c *rcore) {
 	// probes back off exponentially (see below) until any success.
 	idle := 0
 	for !r.stopped.Load() {
+		// Expire due timers first so deadline work cannot starve behind
+		// a deep event backlog; the check is one atomic load when
+		// nothing is due.
+		if r.harvestTimers(c) > 0 {
+			idle = 0
+			continue
+		}
 		if ev := r.popLocal(c); ev != nil {
 			r.execute(c, ev)
 			idle = 0
@@ -567,6 +598,11 @@ func (r *Runtime) worker(c *rcore) {
 				d = bd
 				c.stats.backoffParks.Add(1)
 			}
+		}
+		// Sleep no longer than the wheel's next expiry: the park is the
+		// timer resolution floor for an otherwise-idle core.
+		if d = r.timerParkBound(c, d); d <= 0 {
+			continue // a timer is already due; harvest instead of parking
 		}
 		c.stats.parks.Add(1)
 		c.park(d)
@@ -665,11 +701,26 @@ func (c *rcore) park(d time.Duration) {
 		return
 	default:
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	// One reusable timer per core: parks are the worker's steady idle
+	// state and a fresh time.NewTimer per park was a measurable
+	// allocation on the idle path. The stop-and-drain before Reset
+	// clears a stale expiry from a wake-interrupted park; a value that
+	// slips through at worst ends one future park early, which is always
+	// safe here (the loop just re-scans).
+	if c.parkTimer == nil {
+		c.parkTimer = time.NewTimer(d)
+	} else {
+		if !c.parkTimer.Stop() {
+			select {
+			case <-c.parkTimer.C:
+			default:
+			}
+		}
+		c.parkTimer.Reset(d)
+	}
 	select {
 	case <-c.wake:
-	case <-t.C:
+	case <-c.parkTimer.C:
 	}
 }
 
@@ -832,6 +883,13 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 			c.stealLen.Store(int32(c.mely.Stealing().Len()))
 		}
 		c.lock.Unlock()
+
+		// The stolen colors' pending timers migrate with them (the
+		// steal half of timer color-affinity): harvest stays local to
+		// the new owner. Entries cut loose here and re-armed against
+		// the victim by a racing poster still fire correctly — delivery
+		// re-resolves ownership — they just cost a remote post.
+		r.migrateTimersOnSteal(c, v, colors)
 
 		dt := time.Since(start).Nanoseconds()
 		c.stats.steals.Add(1)

@@ -25,6 +25,29 @@ func stealBatchBucket(n int) int {
 	}
 }
 
+// TimerLagBuckets is the length of the firing-lag histogram in
+// CoreStats.TimerLagHist; see that field for the bucket boundaries.
+const TimerLagBuckets = 6
+
+// timerLagBucket maps a firing lag (harvest time minus deadline) to its
+// histogram bucket: ≤100µs, ≤1ms, ≤2ms, ≤10ms, ≤100ms, >100ms.
+func timerLagBucket(lagNanos int64) int {
+	switch {
+	case lagNanos <= 100_000:
+		return 0
+	case lagNanos <= 1_000_000:
+		return 1
+	case lagNanos <= 2_000_000:
+		return 2
+	case lagNanos <= 10_000_000:
+		return 3
+	case lagNanos <= 100_000_000:
+		return 4
+	default:
+		return 5
+	}
+}
+
 // CoreStats is a snapshot of one worker's counters.
 type CoreStats struct {
 	// Events executed on this core and their total handler time.
@@ -65,6 +88,15 @@ type CoreStats struct {
 	Panics int64
 	// Queued is the instantaneous queue length.
 	Queued int
+	// TimersFired counts timers this core's wheel expired; TimerLagHist
+	// is the firing-lag histogram (harvest time minus deadline) with
+	// buckets ≤100µs, ≤1ms, ≤2ms, ≤10ms, ≤100ms, >100ms — the structural
+	// floor is Config.TimerTick plus the park latency of an idle core.
+	TimersFired  int64
+	TimerLagHist [TimerLagBuckets]int64
+	// TimersPending is the instantaneous number of armed timers on this
+	// core's wheel.
+	TimersPending int
 }
 
 // MeanStealBatch is the average number of colors migrated per
@@ -84,6 +116,10 @@ type Stats struct {
 	StealCostEstimate time.Duration
 	// Pending counts posted-but-not-completed events.
 	Pending int64
+	// TimersCanceled counts timer firings averted by Cancel, runtime
+	// wide (a cancel is not attributable to one core: the entry may
+	// have migrated between wheels since it was armed).
+	TimersCanceled int64
 }
 
 // Stats snapshots the runtime's counters. It is safe while running;
@@ -93,6 +129,7 @@ func (r *Runtime) Stats() Stats {
 		Cores:             make([]CoreStats, len(r.cores)),
 		StealCostEstimate: time.Duration(r.stealMon.Estimate()),
 		Pending:           r.pending.Load(),
+		TimersCanceled:    r.timersCanceled.Load(),
 	}
 	for i, c := range r.cores {
 		cs := CoreStats{
@@ -113,9 +150,14 @@ func (r *Runtime) Stats() Stats {
 			ColorQueueChurns: c.stats.colorQueueChurns.Load(),
 			Panics:           c.stats.panics.Load(),
 			Queued:           int(c.qlen.Load()),
+			TimersFired:      c.stats.timersFired.Load(),
+			TimersPending:    c.wheel.Len(),
 		}
 		for b := range cs.StealBatchHist {
 			cs.StealBatchHist[b] = c.stats.batchHist[b].Load()
+		}
+		for b := range cs.TimerLagHist {
+			cs.TimerLagHist[b] = c.stats.timerLagHist[b].Load()
 		}
 		s.Cores[i] = cs
 	}
@@ -146,6 +188,11 @@ func (s Stats) Total() CoreStats {
 		t.ColorQueueChurns += c.ColorQueueChurns
 		t.Panics += c.Panics
 		t.Queued += c.Queued
+		t.TimersFired += c.TimersFired
+		for b := range c.TimerLagHist {
+			t.TimerLagHist[b] += c.TimerLagHist[b]
+		}
+		t.TimersPending += c.TimersPending
 	}
 	return t
 }

@@ -1,0 +1,412 @@
+package mely
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/melyruntime/mely/internal/equeue"
+)
+
+// waitFor polls cond (with a parked sleep) until it holds or the
+// deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPostAfterFires(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 2})
+	var (
+		fired atomic.Int64
+		got   atomic.Value
+	)
+	h := r.Register("expire", func(ctx *Ctx) {
+		got.Store([2]any{ctx.Color(), ctx.Data()})
+		fired.Add(1)
+	})
+	start := time.Now()
+	tm, err := r.PostAfter(h, Color(42), 20*time.Millisecond, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "timer to fire", func() bool { return fired.Load() == 1 })
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("timer fired %v early", 20*time.Millisecond-elapsed)
+	}
+	pair := got.Load().([2]any)
+	if pair[0].(Color) != 42 || pair[1].(string) != "payload" {
+		t.Fatalf("expiry saw color=%v data=%v", pair[0], pair[1])
+	}
+	waitFor(t, 10*time.Second, "handle to retire", tm.Fired)
+	if tm.Cancel() {
+		t.Fatal("Cancel after firing must report false")
+	}
+	st := r.Stats()
+	if st.Total().TimersFired != 1 {
+		t.Fatalf("TimersFired = %d, want 1", st.Total().TimersFired)
+	}
+	var hist int64
+	for _, n := range st.Total().TimerLagHist {
+		hist += n
+	}
+	if hist != 1 {
+		t.Fatalf("lag histogram holds %d entries, want 1", hist)
+	}
+}
+
+func TestPostAtAndValidation(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 1})
+	var fired atomic.Int64
+	h := r.Register("at", func(ctx *Ctx) { fired.Add(1) })
+	if _, err := r.PostAt(h, 1, time.Now().Add(10*time.Millisecond), nil); err != nil {
+		t.Fatal(err)
+	}
+	// A past deadline clamps to "now" rather than failing.
+	if _, err := r.PostAt(h, 1, time.Now().Add(-time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "both PostAt timers", func() bool { return fired.Load() == 2 })
+
+	if _, err := r.PostEvery(h, 1, 0, nil); err == nil {
+		t.Fatal("PostEvery with zero interval must fail")
+	}
+	if _, err := r.PostAfter(Handler{}, 1, time.Millisecond, nil); err == nil {
+		t.Fatal("PostAfter with the zero handler must fail")
+	}
+}
+
+func TestPostAfterAfterStop(t *testing.T) {
+	r := newRuntime(t, Config{Cores: 1})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Register("never", func(ctx *Ctx) {})
+	r.Stop()
+	if _, err := r.PostAfter(h, 1, time.Millisecond, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("PostAfter after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestPostEveryPeriodicAndCancel(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 2})
+	var ticks atomic.Int64
+	h := r.Register("tick", func(ctx *Ctx) { ticks.Add(1) })
+	tm, err := r.PostEvery(h, Color(9), 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "at least 5 periodic firings", func() bool { return ticks.Load() >= 5 })
+	if !tm.Cancel() {
+		t.Fatal("Cancel of a live periodic timer must succeed")
+	}
+	after := ticks.Load()
+	time.Sleep(60 * time.Millisecond)
+	// One occurrence may have been mid-flight at cancel time; none after.
+	if got := ticks.Load(); got > after+1 {
+		t.Fatalf("periodic fired %d times after cancel", got-after)
+	}
+	if r.Stats().TimersCanceled != 1 {
+		t.Fatalf("TimersCanceled = %d, want 1", r.Stats().TimersCanceled)
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 1})
+	var fired atomic.Int64
+	h := r.Register("reset", func(ctx *Ctx) { fired.Add(1) })
+	tm, err := r.PostAfter(h, 3, 30*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep-alive: push the deadline out a few times, then let it fire.
+	for i := 0; i < 3; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if !tm.Reset(30 * time.Millisecond) {
+			t.Fatalf("Reset %d of an armed timer failed", i)
+		}
+	}
+	if fired.Load() != 0 {
+		t.Fatal("timer fired despite keep-alive resets")
+	}
+	waitFor(t, 10*time.Second, "reset timer to fire", func() bool { return fired.Load() == 1 })
+	if tm.Reset(time.Millisecond) {
+		t.Fatal("Reset of a fired one-shot must report false")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatal("failed Reset still re-armed the timer")
+	}
+}
+
+// TestTimerCancelRacingExpiry is the exact-once contract under fire:
+// for every timer, exactly one of {handler ran, Cancel returned true}.
+func TestTimerCancelRacingExpiry(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 4, TimerTick: time.Millisecond})
+	const n = 2000
+	ran := make([]atomic.Int32, n)
+	h := r.Register("race", func(ctx *Ctx) {
+		if ran[ctx.Data().(int)].Add(1) != 1 {
+			t.Error("timer handler ran twice")
+		}
+	})
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		tm, err := r.PostAfter(h, Color(i%37+1), time.Duration(i%4)*time.Millisecond, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timers[i] = tm
+	}
+	canceled := make([]bool, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 4 {
+				canceled[i] = timers[i].Cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	drain(t, r)
+	// Let any in-flight deliveries land before the final audit.
+	waitFor(t, 10*time.Second, "all survivors to run", func() bool {
+		for i := range timers {
+			if !canceled[i] && ran[i].Load() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for i := range timers {
+		if canceled[i] && ran[i].Load() != 0 {
+			t.Fatalf("timer %d both canceled and ran", i)
+		}
+	}
+	st := r.Stats()
+	total := st.Total().TimersFired + st.TimersCanceled
+	if total != n {
+		t.Fatalf("fired %d + canceled %d != %d", st.Total().TimersFired, st.TimersCanceled, n)
+	}
+}
+
+// TestTimerCallbackSerializedWithEvents is the tentpole invariant: a
+// timer callback for color C never runs concurrently with an event of
+// color C — no user locking, ever. Run with -race; steal-heavy config.
+func TestTimerCallbackSerializedWithEvents(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 4, Policy: PolicyMelyWS, TimerTick: time.Millisecond})
+	const colors = 8
+	var (
+		inFlight [colors]atomic.Int32
+		state    [colors]int // unsynchronized: the serialization IS the lock
+		events   atomic.Int64
+	)
+	body := func(ctx *Ctx) {
+		idx := ctx.Data().(int)
+		if inFlight[idx].Add(1) != 1 {
+			t.Error("same-color timer callback and event ran concurrently")
+		}
+		state[idx]++
+		inFlight[idx].Add(-1)
+		events.Add(1)
+	}
+	hEvent := r.Register("event", body)
+	hTimer := r.Register("timer", body)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := (p + i) % colors
+				if err := r.Post(hEvent, Color(idx+1), idx); err != nil {
+					return
+				}
+				if i%8 == 0 {
+					if _, err := r.PostAfter(hTimer, Color(idx+1), time.Duration(i%3)*time.Millisecond, idx); err != nil {
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	drain(t, r)
+	if events.Load() == 0 {
+		t.Fatal("workload executed nothing")
+	}
+}
+
+// TestTimersSurviveStealMigration pins a color-affine timer behind a
+// steal: core 0's worker is blocked on one color while a backlog of
+// other colors (with pending timers) accumulates there; the idle core
+// steals the backlog — and the timers must migrate with their colors
+// and still fire exactly once.
+func TestTimersSurviveStealMigration(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 2, Policy: PolicyMelyWS, TimerTick: time.Millisecond})
+	release := make(chan struct{})
+	hBlock := r.Register("block", func(ctx *Ctx) { <-release })
+	var fired atomic.Int64
+	ran := make(map[int]*atomic.Int32)
+	hWork := r.Register("work", func(ctx *Ctx) { time.Sleep(200 * time.Microsecond) },
+		WithCostEstimate(5*time.Millisecond))
+	hTimer := r.Register("timer", func(ctx *Ctx) {
+		ran[ctx.Data().(int)].Add(1)
+		fired.Add(1)
+	})
+
+	cols := colorsOn(r, 0, 5)
+	blocker := cols[0]
+	victims := cols[1:]
+	if err := r.Post(hBlock, blocker, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "blocker to occupy core 0", func() bool {
+		c := r.cores[0]
+		c.lock.Lock()
+		running := c.hasRunning && c.running == equeue.Color(blocker)
+		c.lock.Unlock()
+		return running
+	})
+	// Backlog plus timers on the victim colors, all homed on core 0.
+	for i := range victims {
+		ran[i] = new(atomic.Int32) // complete the map before any timer can fire
+	}
+	for i, col := range victims {
+		for j := 0; j < 20; j++ {
+			if err := r.Post(hWork, col, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := r.PostAfter(hTimer, col, 40*time.Millisecond, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The idle core 1 must batch-steal the worthy victim colors.
+	waitFor(t, 10*time.Second, "a steal to happen", func() bool {
+		return r.Stats().Cores[1].Steals > 0
+	})
+	close(release)
+	waitFor(t, 10*time.Second, "all migrated timers to fire", func() bool {
+		return fired.Load() == int64(len(victims))
+	})
+	for i := range victims {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("timer %d fired %d times, want exactly 1", i, got)
+		}
+	}
+	if st := r.Stats().Cores[1]; st.StolenColors == 0 {
+		t.Fatalf("no colors migrated; steal stats: %+v", st)
+	}
+	drain(t, r)
+}
+
+// TestTimerMigrationWhitebox drives the two migration hooks directly
+// (no scheduling timing involved): a steal moves a set of colors'
+// entries between wheels, a re-home moves one color's entries back.
+func TestTimerMigrationWhitebox(t *testing.T) {
+	r := newRuntime(t, Config{Cores: 2}) // never started: wheels stay put
+	h := r.Register("noop", func(ctx *Ctx) {})
+	cols := colorsOn(r, 0, 3)
+	for _, col := range cols {
+		if _, err := r.PostAfter(h, col, time.Hour, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	home, thief := r.cores[0], r.cores[1]
+	if home.wheel.Len() != 3 || thief.wheel.Len() != 0 {
+		t.Fatalf("arming landed %d/%d, want 3/0", home.wheel.Len(), thief.wheel.Len())
+	}
+	ecols := []equeue.Color{equeue.Color(cols[0]), equeue.Color(cols[1])}
+	r.migrateTimersOnSteal(thief, home, ecols)
+	if home.wheel.Len() != 1 || thief.wheel.Len() != 2 {
+		t.Fatalf("steal migrated %d/%d, want 1/2", home.wheel.Len(), thief.wheel.Len())
+	}
+	if !thief.wheel.HasColor(ecols[0]) || !thief.wheel.HasColor(ecols[1]) {
+		t.Fatal("thief wheel missing migrated colors")
+	}
+	r.migrateTimersOnReHome(thief, ecols[0], 0)
+	if !home.wheel.HasColor(ecols[0]) || thief.wheel.HasColor(ecols[0]) {
+		t.Fatal("re-home did not move the color's timers back")
+	}
+	if home.wheel.Len() != 2 || thief.wheel.Len() != 1 {
+		t.Fatalf("re-home left %d/%d, want 2/1", home.wheel.Len(), thief.wheel.Len())
+	}
+	// Stats gauge reflects armed entries across wheels.
+	if got := r.Stats().Total().TimersPending; got != 3 {
+		t.Fatalf("TimersPending = %d, want 3", got)
+	}
+}
+
+// TestTimersAcrossReHome exercises the full lease cycle end to end:
+// a color is stolen away, drains on the thief, and a later post
+// re-homes it — while it still has an armed timer, which must follow
+// the lease and fire exactly once.
+func TestTimersAcrossReHome(t *testing.T) {
+	r := startRuntime(t, Config{Cores: 2, Policy: PolicyMelyWS, TimerTick: time.Millisecond})
+	release := make(chan struct{})
+	hBlock := r.Register("block", func(ctx *Ctx) { <-release })
+	hWork := r.Register("work", func(ctx *Ctx) { time.Sleep(200 * time.Microsecond) },
+		WithCostEstimate(5*time.Millisecond))
+	var fired atomic.Int64
+	hTimer := r.Register("timer", func(ctx *Ctx) { fired.Add(1) })
+
+	cols := colorsOn(r, 0, 2)
+	blocker, migrant := cols[0], cols[1]
+	if err := r.Post(hBlock, blocker, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 30; j++ {
+		if err := r.Post(hWork, migrant, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.PostAfter(hTimer, migrant, 150*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "the migrant color to be stolen", func() bool {
+		return r.table.Owner(equeue.Color(migrant)) == 1
+	})
+	// Let the thief drain the color, then post again: the delivery sees
+	// the expired lease and re-homes color and timer together.
+	waitFor(t, 10*time.Second, "the migrant color to drain on the thief", func() bool {
+		c := r.cores[1]
+		c.lock.Lock()
+		live := c.hasRunning && c.running == equeue.Color(migrant)
+		c.lock.Unlock()
+		return !live && r.table.Queue(equeue.Color(migrant)) == nil
+	})
+	if err := r.Post(hWork, migrant, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "the color to re-home", func() bool {
+		return r.table.Owner(equeue.Color(migrant)) == 0
+	})
+	close(release)
+	waitFor(t, 10*time.Second, "the re-homed timer to fire", func() bool {
+		return fired.Load() == 1
+	})
+	drain(t, r)
+	if fired.Load() != 1 {
+		t.Fatalf("timer fired %d times across steal+re-home, want 1", fired.Load())
+	}
+}
