@@ -2,7 +2,7 @@
 // content, a subset of HTTP/1.1, prebuilt responses. Pair it with
 // cmd/swsload for a closed-loop load test.
 //
-//	sws -listen :8080 -files 150 -size 1024 -policy melyws
+//	sws -listen :8080 -files 150 -size 1024 -policy melyws -backend epoll
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/netpoll"
 	"github.com/melyruntime/mely/internal/sws"
 )
 
@@ -53,8 +54,15 @@ func run() error {
 		maxClients  = flag.Int("max-clients", 0, "simultaneous client limit (0 = unlimited)")
 		pin         = flag.Bool("pin", false, "pin workers to CPUs (Linux)")
 		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "reap connections idle this long (0 = never)")
+		backendName = flag.String("backend", "auto", "netpoll backend: auto (epoll on Linux, pumps elsewhere), epoll, pumps")
+		shards      = flag.Int("poller-shards", 0, "epoll reactor shards (0 = NumCPU)")
 	)
 	flag.Parse()
+
+	backend, err := netpoll.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
 
 	pol, err := parsePolicy(*policyName)
 	if err != nil {
@@ -74,7 +82,10 @@ func run() error {
 		}
 		files[fmt.Sprintf("/file%d.bin", i)] = body
 	}
-	srv, err := sws.New(sws.Config{Runtime: rt, Files: files, MaxClients: *maxClients, IdleTimeout: *idleTimeout})
+	srv, err := sws.New(sws.Config{
+		Runtime: rt, Files: files, MaxClients: *maxClients, IdleTimeout: *idleTimeout,
+		Backend: backend, PollerShards: *shards,
+	})
 	if err != nil {
 		return err
 	}
@@ -85,8 +96,8 @@ func run() error {
 	if err := srv.Serve(ln); err != nil {
 		return err
 	}
-	fmt.Printf("sws: serving %d files of %d bytes on %s (policy %s, %d cores)\n",
-		*nfiles, *size, srv.Addr(), pol, *cores)
+	fmt.Printf("sws: serving %d files of %d bytes on %s (policy %s, %d cores, %s backend)\n",
+		*nfiles, *size, srv.Addr(), pol, *cores, srv.NetBackend())
 
 	// Run ties the lifecycle to the interrupt signal: on ^C the server
 	// stops accepting, then the runtime drains and stops.
@@ -103,5 +114,11 @@ func run() error {
 	fmt.Printf("sws: steals=%d (remote %d) stolen-events=%d\n", st.Steals, st.RemoteSteals, st.StolenEvents)
 	fmt.Printf("sws: timers fired=%d canceled=%d pending=%d lag-hist(≤100µs,≤1ms,≤2ms,≤10ms,≤100ms,>100ms)=%v\n",
 		st.TimersFired, stats.TimersCanceled, st.TimersPending, st.TimerLagHist)
+	if stats.PollWakeups > 0 {
+		fmt.Printf("sws: poll wakeups=%d events=%d (%.1f events/wakeup) batch-hist(≤1,≤4,≤16,≤64,≤256,>256)=%v write-stalls=%d\n",
+			stats.PollWakeups, stats.PollEvents,
+			float64(stats.PollEvents)/float64(stats.PollWakeups),
+			stats.PollBatchHist, stats.WriteStalls)
+	}
 	return <-closed
 }

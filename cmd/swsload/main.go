@@ -31,6 +31,7 @@ func run() error {
 		duration = flag.Duration("duration", 30*time.Second, "run length")
 		think    = flag.Duration("think", 0, "client think time between requests (0 = closed-loop hammering)")
 		jitter   = flag.Duration("think-jitter", 0, "uniform random extra think time per pause")
+		idle     = flag.Int("idle-conns", 0, "extra silent connections held open the whole run (C10K shape; pairs with sws -backend epoll)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func run() error {
 		Duration:        *duration,
 		ThinkTime:       *think,
 		ThinkJitter:     *jitter,
+		IdleConns:       *idle,
 	})
 	if err != nil {
 		return err

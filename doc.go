@@ -112,6 +112,30 @@
 // TimersFired, TimersCanceled, the armed count (TimersPending), and a
 // firing-lag histogram (TimerLagHist).
 //
+// # Network backends
+//
+// internal/netpoll turns socket readiness into colored events, the
+// role the paper's runtime-owned Epoll handler plays. On Linux the
+// primary backend is a raw-epoll reactor (internal/epoller): one
+// reactor goroutine per poller shard (netpoll.Config.PollerShards,
+// default NumCPU) runs an edge-triggered EpollWait loop, harvests
+// readiness in batches, and delivers each batch through PostBatch —
+// the poll batch amortizes the syscall, the post batch amortizes
+// queue delivery. Accept readiness posts under the accept color and
+// read readiness under the connection's color, so handler code is
+// scheduled and serialized exactly as if the events came from
+// anywhere else, and connection count never drives goroutine count:
+// ten thousand idle connections cost O(shards) goroutines. Writes go
+// through Conn.Send, which gives real backpressure — bytes the kernel
+// buffer rejects are queued per connection (bounded by
+// MaxPendingWriteBytes) and drained on EPOLLOUT under the
+// connection's color, with WriteStalls counting the stalls. On other
+// platforms (or with Backend: BackendPumps) the portable pump backend
+// substitutes one goroutine per listener and per connection; event
+// semantics are identical — the sws parity suite asserts equal
+// handler-event traces — only the scaling differs. Stats exposes the
+// harvest efficiency as PollWakeups, PollEvents, and PollBatchHist.
+//
 // Idle workers whose steal probes keep failing back off exponentially:
 // after Config.IdleSpins fruitless rounds a worker parks for
 // Config.StealBackoff (default 10µs), doubling per further fruitless

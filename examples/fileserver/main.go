@@ -82,7 +82,15 @@ func main() {
 	mb := float64(clients*len(content)) / (1 << 20)
 	fmt.Printf("aggregate: %.0f MiB in %v = %.1f MB/s\n",
 		mb, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
-	st := rt.Stats().Total()
+	stats := rt.Stats()
+	st := stats.Total()
 	fmt.Printf("runtime: events=%d steals=%d stolen-events=%d\n",
 		st.Events, st.Steals, st.StolenEvents)
+	if stats.PollWakeups > 0 {
+		// The epoll backend was active (Linux): frames arrived through
+		// reactor shards, and response frames the kernel would not take
+		// were queued and drained on EPOLLOUT.
+		fmt.Printf("poller: wakeups=%d events=%d write-stalls=%d\n",
+			stats.PollWakeups, stats.PollEvents, stats.WriteStalls)
+	}
 }

@@ -51,7 +51,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("serving %d files on %s\n", len(files), srv.Addr())
+	// On Linux this runs the raw-epoll backend: reactor shards harvest
+	// readiness and post colored events, no goroutine per connection.
+	fmt.Printf("serving %d files on %s (%s backend)\n", len(files), srv.Addr(), srv.NetBackend())
 
 	// Closed-loop burst: 50 virtual clients for 3 seconds.
 	paths := make([]string, 0, len(files))
@@ -82,4 +84,9 @@ func main() {
 		st.Events, st.Steals, st.RemoteSteals, st.StolenTime.Round(time.Microsecond))
 	fmt.Printf("timers: fired=%d canceled=%d idle-reaped=%d\n",
 		st.TimersFired, stats.TimersCanceled, srv.IdleClosed())
+	if stats.PollWakeups > 0 {
+		fmt.Printf("poller: wakeups=%d events=%d (%.1f events/wakeup) write-stalls=%d\n",
+			stats.PollWakeups, stats.PollEvents,
+			float64(stats.PollEvents)/float64(stats.PollWakeups), stats.WriteStalls)
+	}
 }

@@ -66,6 +66,7 @@ func All() []Experiment {
 		{"fig8", "Performance of SFS across runtimes", Fig8},
 		{"amd16", "Extension: locality-aware stealing on the 16-core AMD topology", AMD16Locality},
 		{"timer", "Extension: deadline-driven workload (closed-loop clients with think times)", TimerScenario},
+		{"connscale", "Extension: C10K-style connection scaling (10k mostly-idle colors)", ConnScaleScenario},
 		{"ablate-batch", "Ablation: Mely batch threshold", AblateBatch},
 		{"ablate-batchsteal", "Ablation: batched vs single-color steals", AblateBatchSteal},
 		{"ablate-intervals", "Ablation: stealing-queue interval count", AblateIntervals},

@@ -42,8 +42,10 @@ type GateResult struct {
 
 // gateConfigs are the tracked configurations: the steal-relevant rows
 // of the unbalanced and penalty microbenchmarks, the batched steal
-// protocol the paper tables deliberately exclude, and the
-// deadline-driven timer workload (all load arriving as timed events).
+// protocol the paper tables deliberately exclude, the deadline-driven
+// timer workload (all load arriving as timed events), and the
+// C10K-style connscale workload (10k mostly-idle colors — the regime
+// the epoll netpoll backend opens).
 func gateConfigs() []struct {
 	experiment string
 	pol        policy.Config
@@ -62,6 +64,8 @@ func gateConfigs() []struct {
 		{"penalty", policy.MelyPenaltyWS()},
 		{"timer", policy.Mely()},
 		{"timer", policy.MelyTimeLeftWS()},
+		{"connscale", policy.Mely()},
+		{"connscale", policy.MelyTimeLeftWS()},
 	}
 }
 
@@ -94,6 +98,8 @@ func GateSuite(opt Options) (*GateResult, error) {
 			run, err = opt.measurePenalty(gc.pol)
 		case "timer":
 			run, err = opt.measureTimer(gc.pol)
+		case "connscale":
+			run, err = opt.measureConnScale(gc.pol)
 		default:
 			return nil, fmt.Errorf("bench: unknown gate experiment %q", gc.experiment)
 		}

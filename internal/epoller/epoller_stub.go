@@ -1,0 +1,45 @@
+//go:build !linux
+
+package epoller
+
+import (
+	"errors"
+	"syscall"
+)
+
+// Supported reports whether this platform has the raw epoll reactor.
+const Supported = false
+
+var errUnsupported = errors.New("epoller: raw epoll requires linux")
+
+// ErrWouldBlock mirrors the Linux build so shared code can reference it.
+var ErrWouldBlock = errors.New("epoller: operation would block")
+
+// ErrClosed mirrors the Linux build.
+var ErrClosed = errors.New("epoller: poller closed")
+
+// Event mirrors the Linux build.
+type Event struct {
+	Token    uint64
+	Readable bool
+	Writable bool
+	Closed   bool
+}
+
+// Poller is unavailable off Linux; New always fails and no method is
+// ever reachable.
+type Poller struct{}
+
+func New() (*Poller, error)                         { return nil, errUnsupported }
+func (p *Poller) Close() error                      { return errUnsupported }
+func (p *Poller) Release()                          {}
+func (p *Poller) Wake() error                       { return errUnsupported }
+func (p *Poller) Add(int, uint64, bool, bool) error { return errUnsupported }
+func (p *Poller) Mod(int, uint64, bool, bool) error { return errUnsupported }
+func (p *Poller) Del(int) error                     { return errUnsupported }
+func (p *Poller) Wait([]Event, int) (int, error)    { return 0, errUnsupported }
+func SetNonblock(int) error                         { return errUnsupported }
+func Accept(int) (int, syscall.Sockaddr, error)     { return -1, nil, errUnsupported }
+func Read(int, []byte) (int, error)                 { return 0, errUnsupported }
+func Write(int, []byte) (int, error)                { return 0, errUnsupported }
+func CloseFd(int)                                   {}

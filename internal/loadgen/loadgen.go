@@ -44,6 +44,13 @@ type HTTPConfig struct {
 	// pause, de-synchronizing the clients so think times don't beat in
 	// lockstep.
 	ThinkJitter time.Duration
+	// IdleConns opens this many extra connections that send nothing for
+	// the whole run — the C10K shape, where the vast majority of
+	// connections are idle at any instant and only readiness-driven
+	// backends stay cheap. Idle holders count toward Connects but issue
+	// no requests; a server that reaps or refuses them does not fail
+	// the run.
+	IdleConns int
 }
 
 func (c *HTTPConfig) defaults() error {
@@ -67,6 +74,9 @@ func (c *HTTPConfig) defaults() error {
 	}
 	if c.ThinkTime < 0 || c.ThinkJitter < 0 {
 		return errors.New("loadgen: negative think time")
+	}
+	if c.IdleConns < 0 {
+		return errors.New("loadgen: negative idle connection count")
 	}
 	return nil
 }
@@ -115,6 +125,18 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
 			}
 		}(i)
 	}
+	// Idle holders: one goroutine dials the silent connections in
+	// sequence (local dials are cheap; the point is the held-open
+	// population, not dial concurrency) and keeps them open until the
+	// deadline.
+	if cfg.IdleConns > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			holdIdleConns(runCtx, cfg, &connects)
+		}()
+	}
 	began := time.Now()
 	close(start)
 	wg.Wait()
@@ -131,6 +153,32 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
 		res.KRequestsPS = float64(res.Requests) / elapsed.Seconds() / 1000
 	}
 	return res, nil
+}
+
+// holdIdleConns opens cfg.IdleConns silent connections and keeps them
+// open until the context ends. Dial failures (e.g. the server's
+// MaxClients refusing us) are tolerated: the point is offered idle
+// load, not a guarantee.
+func holdIdleConns(ctx context.Context, cfg HTTPConfig, connects *atomic.Int64) {
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	conns := make([]net.Conn, 0, cfg.IdleConns)
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < cfg.IdleConns && ctx.Err() == nil; i++ {
+		conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		if err != nil {
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) // see runConnection: avoid TIME_WAIT pileup
+		}
+		conns = append(conns, conn)
+		connects.Add(1)
+	}
+	<-ctx.Done()
 }
 
 // runConnection performs up to RequestsPerConn requests on one

@@ -1,0 +1,69 @@
+package netpoll
+
+import "testing"
+
+func TestReadBufClassSelection(t *testing.T) {
+	for _, tt := range []struct {
+		size      int
+		wantCap   int
+		wantClass int
+	}{
+		{1, 4 << 10, 0},
+		{4 << 10, 4 << 10, 0},
+		{4<<10 + 1, 16 << 10, 1},
+		{16 << 10, 16 << 10, 1},
+		{64 << 10, 64 << 10, 2},
+		{256 << 10, 256 << 10, 3},
+	} {
+		if got := readBufClass(tt.size); got != tt.wantClass {
+			t.Errorf("readBufClass(%d) = %d, want %d", tt.size, got, tt.wantClass)
+		}
+		buf := getReadBuf(tt.size)
+		if len(buf) != tt.size || cap(buf) != tt.wantCap {
+			t.Errorf("getReadBuf(%d) len=%d cap=%d, want len=%d cap=%d",
+				tt.size, len(buf), cap(buf), tt.size, tt.wantCap)
+		}
+		putReadBuf(buf)
+	}
+}
+
+func TestReadBufOversizedFallsBack(t *testing.T) {
+	const huge = 1 << 20
+	if cls := readBufClass(huge); cls != -1 {
+		t.Fatalf("class for %d = %d, want -1", huge, cls)
+	}
+	buf := getReadBuf(huge)
+	if len(buf) != huge {
+		t.Fatalf("len = %d", len(buf))
+	}
+	putReadBuf(buf) // must not panic; dropped for the GC
+}
+
+func TestMessageReleaseIsIdempotentPerOwner(t *testing.T) {
+	buf := getReadBuf(16 << 10)
+	m := &Message{Data: buf[:5], raw: buf}
+	m.Release()
+	if m.Data != nil || m.raw != nil {
+		t.Fatal("Release must clear the message")
+	}
+	m.Release() // second release is a no-op, not a double-put
+}
+
+func TestMessageWithoutPoolBufferReleasesSafely(t *testing.T) {
+	m := &Message{Data: []byte("inline")}
+	m.Release() // raw == nil: nothing to do
+	if m.Data == nil {
+		t.Fatal("unpooled data must survive Release")
+	}
+}
+
+func BenchmarkReadBufPool(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			buf := getReadBuf(16 << 10)
+			buf[0] = 1
+			putReadBuf(buf)
+		}
+	})
+}

@@ -1,33 +1,112 @@
 // Package netpoll turns socket activity into colored events for the
 // mely runtime.
 //
-// The paper's runtime owns an epoll loop (an Epoll handler under color 0
-// dispatches readiness to Accept/ReadRequest handlers). A Go program
-// cannot take that role — the Go runtime owns the netpoller and exposes
-// readiness as blocking Read/Accept — so this package substitutes pump
-// goroutines: one accept pump per listener and one read pump per
-// connection, each translating readiness into posted events. The
-// scheduling-relevant property is preserved exactly: network activity
-// enters the system as events with controllable colors, and everything
-// downstream is handler code scheduled by the event-coloring runtime.
-// DESIGN.md documents this substitution.
+// The paper's runtime owns the epoll loop: an Epoll handler under
+// color 0 turns readiness into colored events dispatched to the
+// Accept/ReadRequest handlers. This package gives the mely runtime the
+// same position, with two interchangeable backends behind one Config:
+//
+//   - epoll (Linux, the primary backend): internal/epoller runs a raw
+//     edge-triggered EpollWait loop over non-blocking sockets — one
+//     reactor goroutine per poller shard (Config.PollerShards, default
+//     NumCPU), each harvesting readiness in batches and posting it as
+//     ordinary colored events. Connection count does not drive
+//     goroutine count: ten thousand idle connections cost zero
+//     goroutines beyond the shards. Writes get real backpressure — a
+//     Send that fills the kernel buffer parks its bytes in a
+//     per-connection pending queue drained on EPOLLOUT under the
+//     connection's color.
+//   - pumps (the portable fallback, and the former primary): one
+//     accept pump per listener and one read pump per connection, each
+//     a goroutine blocking in the Go netpoller and translating
+//     readiness into posted events. Identical event semantics, but
+//     goroutine count scales with connections.
+//
+// Either way the scheduling-relevant property holds: network activity
+// enters the system as events with controllable colors — accept
+// readiness under AcceptColor, read readiness under the connection's
+// color — and everything downstream is handler code scheduled by the
+// event-coloring runtime. Handler code cannot tell the backends apart
+// (the parity suite in the tests asserts identical event traces).
 package netpoll
 
 import (
 	"errors"
-	"io"
+	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/epoller"
 )
 
-// Conn is an accepted connection. The embedded net.Conn's Write may be
-// used directly from handlers (it blocks only on TCP backpressure).
-type Conn struct {
-	net.Conn
+// Backend selects how readiness is harvested.
+type Backend int
 
+const (
+	// BackendAuto picks epoll on Linux (for TCP listeners) and pumps
+	// everywhere else.
+	BackendAuto Backend = iota
+	// BackendPumps is the portable goroutine-per-connection fallback.
+	BackendPumps
+	// BackendEpoll is the Linux raw-epoll reactor.
+	BackendEpoll
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendPumps:
+		return "pumps"
+	case BackendEpoll:
+		return "epoll"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a backend name (auto|pumps|epoll).
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return BackendAuto, nil
+	case "pumps", "pump":
+		return BackendPumps, nil
+	case "epoll":
+		return BackendEpoll, nil
+	default:
+		return 0, fmt.Errorf("netpoll: unknown backend %q (auto|pumps|epoll)", s)
+	}
+}
+
+// EpollSupported reports whether the epoll backend exists on this
+// platform.
+func EpollSupported() bool { return epoller.Supported }
+
+// connBackend is the per-connection surface a backend provides.
+type connBackend interface {
+	// send writes with the backend's backpressure semantics.
+	send(p []byte) error
+	// beginShutdown initiates teardown; called exactly once (via
+	// Conn.closeOnce).
+	beginShutdown()
+	remoteAddr() net.Addr
+	localAddr() net.Addr
+}
+
+// serverBackend is the per-server surface a backend provides.
+type serverBackend interface {
+	addr() net.Addr
+	// close stops accepting, closes live connections, and waits until
+	// every connection's OnClose has been posted.
+	close() error
+}
+
+// Conn is an accepted connection.
+type Conn struct {
 	// ID is a dense connection identifier, usable as a color source
 	// (the paper colors request handlers with the descriptor number).
 	ID uint64
@@ -37,7 +116,7 @@ type Conn struct {
 	// colors serialize, so no further synchronization is needed.
 	UserData any
 
-	server    *Server
+	be        connBackend
 	closeOnce sync.Once
 	closed    atomic.Bool
 }
@@ -50,12 +129,37 @@ func (c *Conn) Color() mely.Color {
 	return mely.Color(2 + c.ID)
 }
 
-// Shutdown closes the connection once; the server's OnClose handler is
-// posted when the read pump exits.
+// Send writes through the backend. On the epoll backend the write is
+// non-blocking with real backpressure: bytes the kernel buffer cannot
+// take are queued per connection (bounded by
+// Config.MaxPendingWriteBytes) and drained on writability under the
+// connection's color. On the pump backend it is a plain blocking
+// net.Conn write.
+func (c *Conn) Send(p []byte) error {
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
+	return c.be.send(p)
+}
+
+// Write is Send in io.Writer shape, for code written against the old
+// embedded-net.Conn API.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.Send(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Shutdown closes the connection once. The server's OnClose handler is
+// posted strictly after every already-posted OnData for this
+// connection has executed (teardown is relayed through the
+// connection's data color), so handler code never sees data events on
+// a connection it has watched die.
 func (c *Conn) Shutdown() {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
-		_ = c.Conn.Close()
+		c.be.beginShutdown()
 	})
 }
 
@@ -64,11 +168,37 @@ func (c *Conn) Shutdown() {
 // connection died simply returns instead of re-arming.
 func (c *Conn) IsClosed() bool { return c.closed.Load() }
 
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.be.remoteAddr() }
+
+// LocalAddr reports the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.be.localAddr() }
+
 // Message is the payload of an OnData event: bytes read from a
-// connection. Data is owned by the handler (freshly allocated per read).
+// connection. Data is owned by the receiving handler. Its backing
+// array comes from the per-core read-buffer pool — call Release once
+// the bytes have been consumed (copied or parsed) to recycle it;
+// dropping the message without Release is safe but allocates afresh
+// on a later read.
 type Message struct {
 	Conn *Conn
 	Data []byte
+
+	raw []byte // pooled backing array; nil once released
+}
+
+// Release returns the message's buffer to the read-buffer pool. Data
+// (and any slice of it) must not be touched afterwards; the Conn field
+// stays valid — handlers routinely Release after copying the bytes and
+// keep using the connection. Release belongs to the single handler
+// that owns the message (color serialization makes that ownership
+// unambiguous); it is not safe to race from other goroutines.
+func (m *Message) Release() {
+	if m.raw != nil {
+		putReadBuf(m.raw)
+		m.raw = nil
+		m.Data = nil
+	}
 }
 
 // Config wires a listener to runtime handlers.
@@ -87,11 +217,14 @@ type Config struct {
 
 	// DataColor, when non-nil, picks the color OnData is posted under
 	// (e.g. SFS decodes all protocol input under the default color,
-	// coloring only the CPU-intensive crypto per connection).
+	// coloring only the CPU-intensive crypto per connection). It must
+	// be a pure function of the connection: the close relay uses the
+	// same color to order OnClose after the last OnData.
 	DataColor func(*Conn) mely.Color
 
-	// OnClose is posted once per connection (Data *Conn) when its read
-	// pump exits, under AcceptColor (like DecClientAccepted).
+	// OnClose is posted once per connection (Data *Conn) when it dies,
+	// under AcceptColor (like DecClientAccepted) — always after the
+	// connection's last OnData handler has executed.
 	OnClose mely.Handler
 
 	// ReadBufBytes caps one read (default 16 KiB).
@@ -101,24 +234,39 @@ type Config struct {
 	// closed immediately (the paper's "maximum number of simultaneous
 	// clients"). Zero means unlimited.
 	MaxConns int
+
+	// Backend picks the readiness backend (default BackendAuto).
+	Backend Backend
+
+	// PollerShards is the number of epoll reactor shards (default
+	// NumCPU). Each shard is one goroutine owning one epoll instance;
+	// connections are spread across shards round-robin. Ignored by the
+	// pump backend.
+	PollerShards int
+
+	// MaxPendingWriteBytes bounds one connection's pending-write queue
+	// on the epoll backend (default 4 MiB). A connection whose peer
+	// stops reading past this budget is shut down rather than buffered
+	// without bound. Ignored by the pump backend (writes block there).
+	MaxPendingWriteBytes int
 }
 
-// Server accepts connections and pumps their reads into the runtime.
+// Server accepts connections and feeds their activity into the runtime.
 type Server struct {
-	cfg    Config
-	ln     net.Listener
+	cfg     Config
+	backend serverBackend
+	actual  Backend
+
 	nextID atomic.Uint64
 	live   atomic.Int64
 
-	mu     sync.Mutex
-	conns  map[*Conn]struct{}
-	closed bool
-
-	wg sync.WaitGroup
+	// hCloseRelay runs under a connection's data color after its last
+	// OnData and forwards the user-visible OnClose to AcceptColor.
+	hCloseRelay mely.Handler
 }
 
 // Serve starts accepting on ln. It returns immediately; Close stops
-// accepting, closes live connections, and waits for the pumps.
+// accepting, closes live connections, and waits for teardown.
 func Serve(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.Runtime == nil {
 		return nil, errors.New("netpoll: nil runtime")
@@ -126,109 +274,117 @@ func Serve(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.ReadBufBytes <= 0 {
 		cfg.ReadBufBytes = 16 << 10
 	}
-	s := &Server{cfg: cfg, ln: ln, conns: make(map[*Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptPump()
+	if cfg.PollerShards <= 0 {
+		cfg.PollerShards = defaultPollerShards()
+	}
+	if cfg.MaxPendingWriteBytes <= 0 {
+		cfg.MaxPendingWriteBytes = 4 << 20
+	}
+	backend := cfg.Backend
+	if backend == BackendAuto {
+		if epoller.Supported && isTCP(ln) {
+			backend = BackendEpoll
+		} else {
+			backend = BackendPumps
+		}
+	}
+	switch backend {
+	case BackendPumps:
+	case BackendEpoll:
+		if !epoller.Supported {
+			return nil, errors.New("netpoll: epoll backend requires linux")
+		}
+		if !isTCP(ln) {
+			return nil, fmt.Errorf("netpoll: epoll backend needs a *net.TCPListener, have %T", ln)
+		}
+	default:
+		return nil, fmt.Errorf("netpoll: unknown backend %v", cfg.Backend)
+	}
+
+	// Handler registrations are permanent (no unregister), so they
+	// happen only after every fallible step: config validation above,
+	// and the epoll backend's descriptor/poller setup below.
+	s := &Server{cfg: cfg, actual: backend}
+	if backend == BackendEpoll {
+		be, err := newEpollBackend(s, ln.(*net.TCPListener))
+		if err != nil {
+			return nil, err
+		}
+		s.hCloseRelay = cfg.Runtime.Register("netpoll.CloseRelay", s.closeRelay)
+		be.start()
+		s.backend = be
+	} else {
+		s.hCloseRelay = cfg.Runtime.Register("netpoll.CloseRelay", s.closeRelay)
+		s.backend = newPumpBackend(s, ln)
+	}
 	return s, nil
 }
 
+func isTCP(ln net.Listener) bool {
+	_, ok := ln.(*net.TCPListener)
+	return ok
+}
+
 // Addr reports the listener address.
-func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+func (s *Server) Addr() net.Addr { return s.backend.addr() }
 
 // Live reports the number of open connections.
 func (s *Server) Live() int { return int(s.live.Load()) }
 
-// Close stops the server and waits for all pumps to exit.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return nil
-	}
-	s.closed = true
-	conns := make([]*Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
+// Backend reports the backend actually serving (never BackendAuto).
+func (s *Server) Backend() Backend { return s.actual }
 
-	err := s.ln.Close()
-	for _, c := range conns {
-		c.Shutdown()
+// Close stops the server and waits for all connections to tear down.
+func (s *Server) Close() error { return s.backend.close() }
+
+// dataColor is the color OnData (and the close relay) is posted under.
+func (s *Server) dataColor(c *Conn) mely.Color {
+	if s.cfg.DataColor != nil {
+		return s.cfg.DataColor(c)
 	}
-	s.wg.Wait()
-	return err
+	return c.Color()
 }
 
-func (s *Server) acceptPump() {
-	defer s.wg.Done()
-	for {
-		nc, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		if s.cfg.MaxConns > 0 && int(s.live.Load()) >= s.cfg.MaxConns {
-			_ = nc.Close()
-			continue
-		}
-		conn := &Conn{Conn: nc, ID: s.nextID.Add(1) - 1, server: s}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = nc.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.live.Add(1)
-
-		if err := s.cfg.Runtime.Post(s.cfg.OnAccept, s.cfg.AcceptColor, conn); err != nil {
-			s.dropConn(conn)
-			continue
-		}
-		s.wg.Add(1)
-		go s.readPump(conn)
-	}
+// admit applies MaxConns.
+func (s *Server) admit() bool {
+	return s.cfg.MaxConns <= 0 || int(s.live.Load()) < s.cfg.MaxConns
 }
 
-func (s *Server) readPump(conn *Conn) {
-	defer s.wg.Done()
-	defer s.dropConn(conn)
-	for {
-		buf := make([]byte, s.cfg.ReadBufBytes)
-		n, err := conn.Read(buf)
-		if n > 0 {
-			color := conn.Color()
-			if s.cfg.DataColor != nil {
-				color = s.cfg.DataColor(conn)
-			}
-			msg := &Message{Conn: conn, Data: buf[:n]}
-			if perr := s.cfg.Runtime.Post(s.cfg.OnData, color, msg); perr != nil {
-				return
-			}
-		}
-		if err != nil {
-			if !conn.closed.Load() && err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				// Abnormal close: nothing more to do than drop.
-				_ = err
-			}
-			return
-		}
-	}
+// newConn allocates the shared connection shell.
+func (s *Server) newConn(be connBackend) *Conn {
+	return &Conn{ID: s.nextID.Add(1) - 1, be: be}
 }
 
-func (s *Server) dropConn(conn *Conn) {
-	conn.Shutdown()
-	s.mu.Lock()
-	_, present := s.conns[conn]
-	delete(s.conns, conn)
-	s.mu.Unlock()
-	if !present {
-		return
-	}
+// finishConn is called exactly once per admitted connection when it is
+// fully dead (its backend will post no further OnData). It decrements
+// the live count and routes the user-visible OnClose through the
+// connection's data color so it executes after every posted OnData.
+func (s *Server) finishConn(conn *Conn) {
 	s.live.Add(-1)
+	if err := s.cfg.Runtime.Post(s.hCloseRelay, s.dataColor(conn), conn); err != nil {
+		// Runtime stopping: try the direct post so shutdown-time
+		// bookkeeping has a chance; ordering no longer matters.
+		s.postOnClose(conn)
+	}
+}
+
+func (s *Server) closeRelay(ctx *mely.Ctx) {
+	s.postOnClose(ctx.Data().(*Conn))
+}
+
+func (s *Server) postOnClose(conn *Conn) {
 	if s.cfg.OnClose != (mely.Handler{}) {
 		_ = s.cfg.Runtime.Post(s.cfg.OnClose, s.cfg.AcceptColor, conn)
 	}
+}
+
+// postData posts one read's bytes. The raw slice is the pooled backing
+// array (released back to the pool if the post fails).
+func (s *Server) postData(conn *Conn, data, raw []byte) error {
+	msg := &Message{Conn: conn, Data: data, raw: raw}
+	if err := s.cfg.Runtime.Post(s.cfg.OnData, s.dataColor(conn), msg); err != nil {
+		msg.Release()
+		return err
+	}
+	return nil
 }

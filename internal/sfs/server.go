@@ -77,7 +77,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 	s.hSend = s.rt.Register("sfs.Send", func(ctx *mely.Ctx) {
 		job := ctx.Data().(*sendJob)
-		if _, err := job.conn.Write(job.frame); err != nil {
+		if err := job.conn.Send(job.frame); err != nil {
 			job.conn.Shutdown()
 			return
 		}
@@ -127,6 +127,7 @@ func (s *Server) decode(ctx *mely.Ctx) {
 		msg.Conn.UserData = st
 	}
 	st.buf.Write(msg.Data)
+	msg.Release() // bytes copied into the frame buffer; recycle
 	frames, rest, err := SplitFrames(st.buf.Bytes())
 	if err != nil {
 		msg.Conn.Shutdown()

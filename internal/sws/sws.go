@@ -5,17 +5,23 @@
 //
 // The handler graph mirrors Figure 6 on the mely runtime:
 //
-//	accept pump  -> Accept        (color 1: admission bookkeeping)
-//	read pump    -> ParseRequest  (connection color)
+//	readiness    -> Accept        (color 1: admission bookkeeping)
+//	readiness    -> ReadRequest   (connection color)
+//	             -> ParseRequest  (connection color)
 //	             -> CheckInCache  (connection color)
 //	             -> WriteResponse (connection color)
 //	close        -> DecAccepted   (color 1)
 //
-// The Epoll and RegisterFdInEpoll handlers of Figure 6 are subsumed by
-// the netpoll pumps (see that package's documentation for the
-// substitution rationale). Requests from distinct clients are colored
-// by connection, so they are served concurrently; the Accept-side
-// bookkeeping serializes under one color, exactly as in the paper.
+// Readiness comes from internal/netpoll: on Linux its epoll backend
+// plays exactly the role of Figure 6's Epoll/RegisterFdInEpoll
+// handlers — reactor shards harvest raw epoll events and post them as
+// colored events — and elsewhere the portable pump backend substitutes
+// goroutines (Config.Backend selects). Requests from distinct clients
+// are colored by connection, so they are served concurrently; the
+// Accept-side bookkeeping serializes under one color, exactly as in
+// the paper. Responses go out through Conn.Send, so a slow reader's
+// backpressure queues bytes per connection instead of blocking a
+// worker.
 package sws
 
 import (
@@ -45,6 +51,12 @@ type Config struct {
 	// the connection's parser state with no locks: the timeout handler
 	// is serialized with the request handlers by construction.
 	IdleTimeout time.Duration
+	// Backend picks the netpoll readiness backend (default auto: epoll
+	// on Linux, pumps elsewhere).
+	Backend netpoll.Backend
+	// PollerShards is the epoll backend's reactor count (default
+	// NumCPU).
+	PollerShards int
 }
 
 // Server is a running SWS instance.
@@ -57,12 +69,28 @@ type Server struct {
 
 	hAccept, hRead, hParse, hCache, hWrite, hDec, hIdle mely.Handler
 
-	srv         *netpoll.Server
-	idleTimeout time.Duration
+	srv          *netpoll.Server
+	idleTimeout  time.Duration
+	backend      netpoll.Backend
+	pollerShards int
 
 	accepted   atomic.Int64 // bookkeeping under color 1; atomic for reads
 	served     atomic.Int64
 	idleClosed atomic.Int64
+
+	// trace, when non-nil, observes each connection's logical handler
+	// events (accept, request, respond, idle-reap, dec). It is test
+	// instrumentation — the backend parity suite asserts that the pump
+	// and epoll backends produce identical traces — and must be set
+	// before Serve.
+	trace func(conn *netpoll.Conn, event string)
+}
+
+// traceEvent reports one logical event to the test trace hook.
+func (s *Server) traceEvent(conn *netpoll.Conn, event string) {
+	if s.trace != nil {
+		s.trace(conn, event)
+	}
 }
 
 // connState accumulates request bytes per connection (partial reads).
@@ -76,10 +104,12 @@ type connState struct {
 	lastActivity time.Time
 }
 
-// parseJob carries a message through the request pipeline.
+// parseJob carries a message through the request pipeline. The parser
+// releases the message's pooled buffer once its bytes are copied into
+// the connection's accumulation buffer.
 type parseJob struct {
 	state *connState
-	data  []byte
+	msg   *netpoll.Message
 }
 
 type respondJob struct {
@@ -114,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 	s.hIdle = s.rt.Register("IdleTimeout", s.idleTimeoutFired)
 	s.hAccept = s.rt.Register("Accept", func(ctx *mely.Ctx) {
 		s.accepted.Add(1)
+		s.traceEvent(ctx.Data().(*netpoll.Conn), "accept")
 		if s.idleTimeout > 0 {
 			// Arm the reaper under the connection's color: its firings
 			// serialize with this connection's request handlers. The
@@ -127,9 +158,12 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.hDec = s.rt.Register("DecClientAccepted", func(ctx *mely.Ctx) {
 		s.accepted.Add(-1)
+		s.traceEvent(ctx.Data().(*netpoll.Conn), "dec")
 	})
 	s.maxClients = cfg.MaxClients
 	s.idleTimeout = cfg.IdleTimeout
+	s.backend = cfg.Backend
+	s.pollerShards = cfg.PollerShards
 	return s, nil
 }
 
@@ -153,18 +187,21 @@ func (s *Server) idleTimeoutFired(ctx *mely.Ctx) {
 	// Silent since accept (or since its last request) for a full
 	// timeout: reap.
 	s.idleClosed.Add(1)
+	s.traceEvent(conn, "idle-reap")
 	conn.Shutdown()
 }
 
 // Serve starts accepting on ln (non-blocking). Close shuts down.
 func (s *Server) Serve(ln net.Listener) error {
 	srv, err := netpoll.Serve(ln, netpoll.Config{
-		Runtime:     s.rt,
-		OnAccept:    s.hAccept,
-		AcceptColor: 1,
-		OnData:      s.hRead,
-		OnClose:     s.hDec,
-		MaxConns:    s.maxClients,
+		Runtime:      s.rt,
+		OnAccept:     s.hAccept,
+		AcceptColor:  1,
+		OnData:       s.hRead,
+		OnClose:      s.hDec,
+		MaxConns:     s.maxClients,
+		Backend:      s.backend,
+		PollerShards: s.pollerShards,
 	})
 	if err != nil {
 		return err
@@ -178,7 +215,8 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) readRequest(ctx *mely.Ctx) {
 	msg := ctx.Data().(*netpoll.Message)
 	st := connStateOf(msg.Conn)
-	if err := ctx.Post(s.hParse, msg.Conn.Color(), &parseJob{state: st, data: msg.Data}); err != nil {
+	if err := ctx.Post(s.hParse, msg.Conn.Color(), &parseJob{state: st, msg: msg}); err != nil {
+		msg.Release()
 		msg.Conn.Shutdown()
 	}
 }
@@ -199,7 +237,8 @@ func connStateOf(c *netpoll.Conn) *connState {
 func (s *Server) parseRequest(ctx *mely.Ctx) {
 	job := ctx.Data().(*parseJob)
 	st := job.state
-	st.buf.Write(job.data)
+	st.buf.Write(job.msg.Data)
+	job.msg.Release()            // bytes copied; recycle the read buffer
 	st.lastActivity = time.Now() // color-serialized with the idle reaper
 	for {
 		raw := st.buf.Bytes()
@@ -215,8 +254,12 @@ func (s *Server) parseRequest(ctx *mely.Ctx) {
 
 		path, keepAlive, ok := parseHead(head)
 		if !ok {
+			s.traceEvent(st.conn, "bad-request")
 			_ = ctx.Post(s.hWrite, ctx.Color(), &respondJob{state: st, path: "", close: true})
 			return
+		}
+		if s.trace != nil { // guard: the concatenation must not cost the hot path
+			s.trace(st.conn, "request "+path)
 		}
 		if err := ctx.Post(s.hCache, ctx.Color(), &respondJob{state: st, path: path, close: !keepAlive}); err != nil {
 			st.conn.Shutdown()
@@ -237,17 +280,27 @@ func (s *Server) checkInCache(ctx *mely.Ctx) {
 func (s *Server) writeResponse(ctx *mely.Ctx) {
 	job := ctx.Data().(*respondJob)
 	var resp []byte
+	status := "200"
 	switch {
 	case job.path == "":
 		resp = s.badRequest
+		status = "400"
 	default:
 		if built, ok := s.built[job.path]; ok {
 			resp = built
 		} else {
 			resp = s.notFound
+			status = "404"
 		}
 	}
-	if _, err := job.state.conn.Write(resp); err != nil {
+	if s.trace != nil { // guard: the concatenation must not cost the hot path
+		s.trace(job.state.conn, "respond "+status)
+	}
+	// Send writes through the netpoll backend: on epoll, bytes the
+	// kernel buffer rejects queue per connection and drain on EPOLLOUT
+	// under this same color — a slow reader exerts backpressure without
+	// blocking the worker.
+	if err := job.state.conn.Send(resp); err != nil {
 		job.state.conn.Shutdown()
 		return
 	}
@@ -268,6 +321,10 @@ func (s *Server) Accepted() int64 { return s.accepted.Load() }
 
 // Addr reports the listen address (valid after Serve).
 func (s *Server) Addr() net.Addr { return s.srv.Addr() }
+
+// NetBackend reports the netpoll backend actually serving (valid after
+// Serve; never BackendAuto).
+func (s *Server) NetBackend() netpoll.Backend { return s.srv.Backend() }
 
 // Close stops accepting and closes all connections.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -4,20 +4,49 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"net"
+	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/netpoll"
 )
+
+// backendFlag restricts the suite to one netpoll backend; CI's epoll
+// job runs
+//
+//	go test ./internal/sws -args -backend=epoll
+var backendFlag = flag.String("backend", "", "restrict netpoll backend under test (pumps|epoll)")
+
+func testBackend(t *testing.T) netpoll.Backend {
+	t.Helper()
+	backend, err := netpoll.ParseBackend(*backendFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend == netpoll.BackendEpoll && !netpoll.EpollSupported() {
+		t.Skip("epoll backend not supported on this platform")
+	}
+	return backend
+}
 
 func startServer(t *testing.T, files map[string][]byte, maxClients int) *Server {
 	t.Helper()
-	rt, err := mely.New(mely.Config{Cores: 2})
+	return startServerCfg(t, Config{Files: files, MaxClients: maxClients, Backend: testBackend(t)}, nil)
+}
+
+// startServerCfg builds a runtime and server from cfg (Runtime is
+// filled in); trace, when non-nil, is installed before Serve.
+func startServerCfg(t *testing.T, cfg Config, trace func(*netpoll.Conn, string)) *Server {
+	t.Helper()
+	rt, err := mely.New(mely.Config{Cores: 2, TimerTick: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,10 +54,12 @@ func startServer(t *testing.T, files map[string][]byte, maxClients int) *Server 
 		t.Fatal(err)
 	}
 	t.Cleanup(rt.Stop)
-	srv, err := New(Config{Runtime: rt, Files: files, MaxClients: maxClients})
+	cfg.Runtime = rt
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv.trace = trace
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -340,32 +371,7 @@ func TestClientDisconnectMidRequest(t *testing.T) {
 // startServerIdle is startServer with an idle timeout configured.
 func startServerIdle(t *testing.T, files map[string][]byte, idle time.Duration) *Server {
 	t.Helper()
-	rt, err := mely.New(mely.Config{Cores: 2, TimerTick: time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := rt.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(rt.Stop)
-	srv, err := New(Config{Runtime: rt, Files: files, IdleTimeout: idle})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := srv.Serve(ln); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		_ = srv.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = rt.Drain(ctx)
-	})
-	return srv
+	return startServerCfg(t, Config{Files: files, IdleTimeout: idle, Backend: testBackend(t)}, nil)
 }
 
 func TestIdleTimeoutReapsSilentConnection(t *testing.T) {
@@ -416,5 +422,232 @@ func TestIdleTimeoutSparesActiveConnection(t *testing.T) {
 	}
 	if got := srv.IdleClosed(); got != 1 {
 		t.Fatalf("IdleClosed = %d, want 1", got)
+	}
+}
+
+// goldenTrace runs the full request/idle-reap/close flow against one
+// backend and returns each connection's logical handler-event trace,
+// keyed by accept order. The flow covers every edge of the server:
+// keep-alive requests, a 404, an idle reap, pipelined requests with a
+// client-side close, and a bad request with a server-side close.
+func goldenTrace(t *testing.T, backend netpoll.Backend) (traces [][]string, served int64) {
+	t.Helper()
+	var (
+		mu    sync.Mutex
+		byID  = map[uint64][]string{}
+		order []uint64
+	)
+	record := func(conn *netpoll.Conn, event string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, seen := byID[conn.ID]; !seen {
+			order = append(order, conn.ID)
+		}
+		byID[conn.ID] = append(byID[conn.ID], event)
+	}
+	// waitAccepts blocks until n connections have run their Accept
+	// handler. OnAccept runs under color 1 and OnData under the
+	// connection's color, so without this barrier their relative order
+	// would be a cross-color scheduling accident, not a backend
+	// property.
+	waitAccepts := func(n int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			accepts := 0
+			for _, events := range byID {
+				for _, e := range events {
+					if e == "accept" {
+						accepts++
+					}
+				}
+			}
+			mu.Unlock()
+			if accepts >= n {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("accept %d not observed", n)
+	}
+	srv := startServerCfg(t, Config{
+		Files:       map[string][]byte{"/a": []byte("A"), "/b": []byte("B")},
+		IdleTimeout: 250 * time.Millisecond,
+		Backend:     backend,
+	}, record)
+
+	// Connection 1: two keep-alive requests (one a 404), then silence —
+	// the reaper must take it.
+	c1, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	waitAccepts(1)
+	br1 := bufio.NewReader(c1)
+	if status, body := get(t, c1, br1, "/a"); !strings.Contains(status, "200") || string(body) != "A" {
+		t.Fatalf("c1 /a: %q %q", status, body)
+	}
+	if status, _ := get(t, c1, br1, "/nope"); !strings.Contains(status, "404") {
+		t.Fatalf("c1 /nope: %q", status)
+	}
+
+	// Connection 2: two keep-alive requests (strictly sequential, so
+	// the trace is independent of read chunking), then the client
+	// closes. (Pipelined segments are deliberately not in the golden
+	// flow: how many request heads share one read event is a TCP
+	// chunking accident on either backend, not a backend property.)
+	c2, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAccepts(2)
+	br2 := bufio.NewReader(c2)
+	for i := 0; i < 2; i++ {
+		if status, body := get(t, c2, br2, "/b"); !strings.Contains(status, "200") || string(body) != "B" {
+			t.Fatalf("c2 request %d: %q %q", i, status, body)
+		}
+	}
+	_ = c2.Close()
+
+	// Connection 3: malformed request; the server responds 400 and
+	// closes.
+	c3, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	waitAccepts(3)
+	if _, err := fmt.Fprintf(c3, "BREW /coffee HTCPCP/1.0\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	if reply, _ := io.ReadAll(c3); !strings.Contains(string(reply), "400") {
+		t.Fatalf("c3 reply: %q", reply)
+	}
+
+	// c1 goes silent: wait for the reaper, then for all three
+	// connections to be fully torn down.
+	_ = c1.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := c1.Read(make([]byte, 1)); err == nil {
+		t.Fatal("c1 was not reaped")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		decs := 0
+		for _, events := range byID {
+			if events[len(events)-1] == "dec" {
+				decs++
+			}
+		}
+		mu.Unlock()
+		if decs == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 {
+		t.Fatalf("%d connections traced, want 3", len(order))
+	}
+	for _, id := range order {
+		traces = append(traces, byID[id])
+	}
+	return traces, srv.Served()
+}
+
+// TestBackendParityGoldenTraces asserts the pump and epoll backends
+// produce identical logical handler-event traces for the full sws
+// request/idle-reap/close flow: handler code cannot tell the backends
+// apart.
+func TestBackendParityGoldenTraces(t *testing.T) {
+	if !netpoll.EpollSupported() {
+		t.Skip("epoll backend not supported on this platform; nothing to compare")
+	}
+	want := [][]string{
+		{"accept", "request /a", "respond 200", "request /nope", "respond 404", "idle-reap", "dec"},
+		{"accept", "request /b", "respond 200", "request /b", "respond 200", "dec"},
+		{"accept", "bad-request", "respond 400", "dec"},
+	}
+	pumps, pumpsServed := goldenTrace(t, netpoll.BackendPumps)
+	epoll, epollServed := goldenTrace(t, netpoll.BackendEpoll)
+	if !reflect.DeepEqual(pumps, epoll) {
+		t.Fatalf("backend traces diverge:\npumps: %v\nepoll: %v", pumps, epoll)
+	}
+	if !reflect.DeepEqual(pumps, want) {
+		t.Fatalf("golden trace mismatch:\ngot:  %v\nwant: %v", pumps, want)
+	}
+	if pumpsServed != epollServed {
+		t.Fatalf("served diverges: pumps %d, epoll %d", pumpsServed, epollServed)
+	}
+}
+
+// benchServer is startServerCfg without *testing.T plumbing, for
+// benchmarks.
+func benchServer(b *testing.B, backend netpoll.Backend) *Server {
+	b.Helper()
+	rt, err := mely.New(mely.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Stop)
+	body := bytes.Repeat([]byte("x"), 1024)
+	srv, err := New(Config{Runtime: rt, Files: map[string][]byte{"/f": body}, Backend: backend})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Serve(ln); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// BenchmarkSWSThroughput measures end-to-end request throughput with
+// 64 concurrent keep-alive connections, per backend — the acceptance
+// comparison for the epoll reactor (it must be at least as fast as the
+// pump backend at this concurrency).
+func BenchmarkSWSThroughput(b *testing.B) {
+	backends := []netpoll.Backend{netpoll.BackendPumps}
+	if netpoll.EpollSupported() {
+		backends = append(backends, netpoll.BackendEpoll)
+	}
+	for _, backend := range backends {
+		b.Run(backend.String(), func(b *testing.B) {
+			srv := benchServer(b, backend)
+			const conns = 64
+			// RunParallel spawns parallelism*GOMAXPROCS goroutines; size
+			// it for 64 concurrent client connections.
+			b.SetParallelism((conns + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				conn, err := net.Dial("tcp", srv.Addr().String())
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for pb.Next() {
+					if _, err := fmt.Fprintf(conn, "GET /f HTTP/1.1\r\nHost: b\r\n\r\n"); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := skipResponse(br, 1024); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }

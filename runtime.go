@@ -176,6 +176,43 @@ type Runtime struct {
 	// timersCanceled counts averted firings runtime-wide.
 	epoch          time.Time
 	timersCanceled atomic.Int64
+
+	// pollSources are readiness-event sources (e.g. netpoll's epoll
+	// backend) whose counters Stats folds into its Poll* fields;
+	// pollRetired accumulates the final totals of retired sources so
+	// Stats stays monotonic after a source shuts down.
+	pollMu      sync.Mutex
+	pollSources map[uint64]func() PollSample
+	pollNextID  uint64
+	pollRetired PollSample
+}
+
+// AddPollSource registers a readiness-event source whose sample is
+// summed into Stats' PollWakeups/PollEvents/PollBatchHist/WriteStalls.
+// The returned retire function (idempotent) takes one final sample,
+// folds it into the runtime's frozen totals, and drops the live
+// source — call it when the source shuts down, after its counters
+// have gone quiet, so a long-lived runtime cycling many sources does
+// not accumulate dead closures while Stats keeps reporting their
+// lifetime totals.
+func (r *Runtime) AddPollSource(sample func() PollSample) (retire func()) {
+	r.pollMu.Lock()
+	defer r.pollMu.Unlock()
+	if r.pollSources == nil {
+		r.pollSources = make(map[uint64]func() PollSample)
+	}
+	id := r.pollNextID
+	r.pollNextID++
+	r.pollSources[id] = sample
+	return func() {
+		r.pollMu.Lock()
+		defer r.pollMu.Unlock()
+		if _, live := r.pollSources[id]; !live {
+			return
+		}
+		delete(r.pollSources, id)
+		r.pollRetired.add(sample())
+	}
 }
 
 // New builds a runtime; call Start to launch the workers.

@@ -48,6 +48,60 @@ func timerLagBucket(lagNanos int64) int {
 	}
 }
 
+// PollBatchBuckets is the length of the poll batch-size histogram in
+// Stats.PollBatchHist; see that field for the bucket boundaries.
+const PollBatchBuckets = 6
+
+// PollBatchBucket maps a poll wakeup's harvested-event count to its
+// histogram bucket: ≤1, 2–4, 5–16, 17–64, 65–256, >256. Exported so
+// readiness backends (internal/netpoll) bin with the same boundaries
+// Stats reports.
+func PollBatchBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 4:
+		return 1
+	case n <= 16:
+		return 2
+	case n <= 64:
+		return 3
+	case n <= 256:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// PollSample is one readiness-event source's counter snapshot (see
+// Runtime.AddPollSource). Network backends that own their poll loop —
+// netpoll's epoll reactor shards — report through this so Stats shows
+// how efficiently readiness is being harvested.
+type PollSample struct {
+	// Wakeups counts returns from the poll wait; Events counts
+	// readiness events harvested across them. Events/Wakeups is the
+	// amortization factor of the batch harvest.
+	Wakeups int64
+	Events  int64
+	// BatchHist bins the events-per-wakeup batch sizes (see
+	// PollBatchBucket for the boundaries).
+	BatchHist [PollBatchBuckets]int64
+	// WriteStalls counts writes that filled the kernel buffer and fell
+	// back to the pending-write queue (drained on writability under the
+	// connection's color).
+	WriteStalls int64
+}
+
+// add folds another sample into s.
+func (s *PollSample) add(o PollSample) {
+	s.Wakeups += o.Wakeups
+	s.Events += o.Events
+	for b := range s.BatchHist {
+		s.BatchHist[b] += o.BatchHist[b]
+	}
+	s.WriteStalls += o.WriteStalls
+}
+
 // CoreStats is a snapshot of one worker's counters.
 type CoreStats struct {
 	// Events executed on this core and their total handler time.
@@ -120,6 +174,16 @@ type Stats struct {
 	// wide (a cancel is not attributable to one core: the entry may
 	// have migrated between wheels since it was armed).
 	TimersCanceled int64
+	// PollWakeups, PollEvents, PollBatchHist, and WriteStalls aggregate
+	// every registered readiness source (Runtime.AddPollSource): poll
+	// wait returns, events harvested, the events-per-wakeup histogram
+	// (buckets ≤1, 2–4, 5–16, 17–64, 65–256, >256), and writes that hit
+	// kernel backpressure and were queued for EPOLLOUT-driven draining.
+	// All zero when no source is registered (e.g. the pump backend).
+	PollWakeups   int64
+	PollEvents    int64
+	PollBatchHist [PollBatchBuckets]int64
+	WriteStalls   int64
 }
 
 // Stats snapshots the runtime's counters. It is safe while running;
@@ -131,6 +195,20 @@ func (r *Runtime) Stats() Stats {
 		Pending:           r.pending.Load(),
 		TimersCanceled:    r.timersCanceled.Load(),
 	}
+	r.pollMu.Lock()
+	poll := r.pollRetired
+	sources := make([]func() PollSample, 0, len(r.pollSources))
+	for _, sample := range r.pollSources {
+		sources = append(sources, sample)
+	}
+	r.pollMu.Unlock()
+	for _, sample := range sources {
+		poll.add(sample())
+	}
+	s.PollWakeups = poll.Wakeups
+	s.PollEvents = poll.Events
+	s.PollBatchHist = poll.BatchHist
+	s.WriteStalls = poll.WriteStalls
 	for i, c := range r.cores {
 		cs := CoreStats{
 			Events:           c.stats.events.Load(),
