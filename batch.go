@@ -28,7 +28,19 @@ type BatchEvent struct {
 // between concurrent posters. If any entry names an unknown handler the
 // whole batch is rejected before anything is enqueued. After shutdown
 // PostBatch fails with ErrStopped.
+//
+// On a bounded runtime (Config.MaxQueuedEvents and friends) admission
+// applies per event: an ErrOverloaded rejection or a Block-policy wait
+// can therefore strike mid-batch, returning with the EARLIER entries
+// already posted — only the unknown-handler check stays all-or-nothing.
+// Batch producers that need atomicity against overload should check
+// Saturated first or use PostBatchEdge where the edge-backpressure
+// contract applies.
 func (r *Runtime) PostBatch(batch []BatchEvent) error {
+	return r.postBatch(batch, true)
+}
+
+func (r *Runtime) postBatch(batch []BatchEvent, external bool) error {
 	n := len(batch)
 	if n == 0 {
 		return nil
@@ -37,6 +49,27 @@ func (r *Runtime) PostBatch(batch []BatchEvent) error {
 		return ErrStopped
 	}
 	hs := *r.handlers.Load()
+	if r.adm != nil {
+		// Bounded runtimes take the per-event path: admission is a
+		// per-color decision (a spilling color's entries must hit the
+		// disk tail in batch order while its neighbors go to memory),
+		// so the one-lock-per-core delivery does not apply. Unknown
+		// handlers still reject the whole batch before anything is
+		// enqueued; an overload rejection mid-batch, however, returns
+		// with the earlier entries already posted — bounded producers
+		// that need all-or-nothing should check Saturated first.
+		for _, be := range batch {
+			if idx := int(be.Handler.id) - 1; idx < 0 || idx >= len(hs) {
+				return unknownHandlerError(be.Handler)
+			}
+		}
+		for _, be := range batch {
+			if err := r.post(nil, be.Handler, be.Color, be.Data, external); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	// One slab for the whole batch instead of n pool hits. Slab events
 	// are marked so execution never pools them (an interior pointer
@@ -282,6 +315,8 @@ func (r *Runtime) deliverGroup(owner int, slab []equeue.Event, next []int32, hea
 }
 
 // PostBatch posts a batch from inside a handler (see Runtime.PostBatch).
+// Like Ctx.Post, it is an internal continuation: never rejected or
+// blocked by an overload bound.
 func (ctx *Ctx) PostBatch(batch []BatchEvent) error {
-	return ctx.r.PostBatch(batch)
+	return ctx.r.postBatch(batch, false)
 }

@@ -56,6 +56,11 @@ func run() error {
 		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "reap connections idle this long (0 = never)")
 		backendName = flag.String("backend", "auto", "netpoll backend: auto (epoll on Linux, pumps elsewhere), epoll, pumps")
 		shards      = flag.Int("poller-shards", 0, "epoll reactor shards (0 = NumCPU)")
+		maxQueued   = flag.Int("max-queued", 0, "bound on in-memory queued events (0 = unlimited)")
+		maxPerColor = flag.Int("max-queued-color", 0, "per-color bound on queued events (0 = unlimited)")
+		overload    = flag.String("overload", "reject", "overload policy once a bound is hit: reject|block|spill")
+		spillDir    = flag.String("spill-dir", "", "spill segment directory (empty = private temp dir; used by -overload spill)")
+		shed        = flag.Bool("shed-overload", false, "answer 503 while the runtime is saturated (needs -max-queued)")
 	)
 	flag.Parse()
 
@@ -68,7 +73,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rt, err := mely.New(mely.Config{Cores: *cores, Policy: pol, Pin: *pin})
+	overloadPol, err := mely.ParseOverloadPolicy(*overload)
+	if err != nil {
+		return err
+	}
+	rt, err := mely.New(mely.Config{
+		Cores: *cores, Policy: pol, Pin: *pin,
+		MaxQueuedEvents:   *maxQueued,
+		MaxQueuedPerColor: *maxPerColor,
+		OverloadPolicy:    overloadPol,
+		SpillDir:          *spillDir,
+	})
 	if err != nil {
 		return err
 	}
@@ -84,7 +99,7 @@ func run() error {
 	}
 	srv, err := sws.New(sws.Config{
 		Runtime: rt, Files: files, MaxClients: *maxClients, IdleTimeout: *idleTimeout,
-		Backend: backend, PollerShards: *shards,
+		Backend: backend, PollerShards: *shards, ShedOverload: *shed,
 	})
 	if err != nil {
 		return err
@@ -119,6 +134,12 @@ func run() error {
 			stats.PollWakeups, stats.PollEvents,
 			float64(stats.PollEvents)/float64(stats.PollWakeups),
 			stats.PollBatchHist, stats.WriteStalls)
+	}
+	if rt.Bounded() {
+		fmt.Printf("sws: overload: rejected=%d blocked=%d spilled=%d reloaded=%d spill-errors=%d read-pauses=%d shed503=%d spill-depth-hist(≤16,≤64,≤256,≤1k,≤4k,>4k)=%v\n",
+			stats.RejectedPosts, stats.BlockedPosts, stats.SpilledEvents,
+			stats.ReloadedEvents, stats.SpillErrors, stats.ReadPauses,
+			srv.OverloadShed(), stats.SpillDepthHist)
 	}
 	return <-closed
 }

@@ -3,6 +3,13 @@
 // 150 files, with synchronized start and aggregated results.
 //
 //	swsload -addr localhost:8080 -clients 400 -duration 30s -files 150
+//
+// -burst switches the clients to open-loop bursts (offered load
+// decoupled from service rate), the reproducible way to drive a
+// bounded server (sws -max-queued ... -overload spill) past its queue
+// bounds from the CLI:
+//
+//	swsload -addr localhost:8080 -clients 50 -burst 64 -burst-pause 10ms
 package main
 
 import (
@@ -32,6 +39,8 @@ func run() error {
 		think    = flag.Duration("think", 0, "client think time between requests (0 = closed-loop hammering)")
 		jitter   = flag.Duration("think-jitter", 0, "uniform random extra think time per pause")
 		idle     = flag.Int("idle-conns", 0, "extra silent connections held open the whole run (C10K shape; pairs with sws -backend epoll)")
+		burst    = flag.Int("burst", 0, "open-loop burst mode: pipeline this many requests per gulp regardless of service rate (0 = closed loop; pairs with sws -max-queued)")
+		burstGap = flag.Duration("burst-pause", 0, "pause between one client's bursts")
 	)
 	flag.Parse()
 
@@ -48,6 +57,8 @@ func run() error {
 		ThinkTime:       *think,
 		ThinkJitter:     *jitter,
 		IdleConns:       *idle,
+		Burst:           *burst,
+		BurstPause:      *burstGap,
 	})
 	if err != nil {
 		return err

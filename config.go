@@ -129,6 +129,34 @@ type Config struct {
 	// of 1ms ticks cover ~4.7 hours before deadlines park in the top
 	// level and pay extra cascades (still correct, just costlier).
 	TimerWheelLevels int
+
+	// MaxQueuedEvents bounds the runtime-wide number of in-memory
+	// queued events (0 = unlimited, the pre-overload behavior). Once
+	// the bound is reached, posting follows OverloadPolicy. Unbounded
+	// runtimes pay nothing for this machinery — the admission layer is
+	// not even constructed.
+	MaxQueuedEvents int
+	// MaxQueuedPerColor bounds one color's in-memory queue depth
+	// (0 = unlimited). A single hot color — a popular connection, a
+	// runaway PostEvery — then saturates alone instead of starving the
+	// whole runtime's budget.
+	MaxQueuedPerColor int
+	// OverloadPolicy selects what posting does at a bound:
+	// OverloadReject (default; external posts fail with ErrOverloaded),
+	// OverloadBlock (external posts wait, PostContext-cancelable), or
+	// OverloadSpill (saturated colors' queue tails move to disk and
+	// reload on drain — posting never fails, memory stays bounded).
+	OverloadPolicy OverloadPolicy
+	// SpillDir is the directory OverloadSpill keeps its segment files
+	// in. Empty means a fresh private temp directory, removed at Stop.
+	// An explicit directory must be owned by exactly one runtime:
+	// leftover *.seg files in it are deleted as crash orphans at
+	// startup, and the runtime's own segments are deleted at Stop.
+	SpillDir string
+	// SpillSegmentBytes is the roll threshold of the spill segment
+	// files (default 256 KiB): also the granularity at which consumed
+	// disk space is returned.
+	SpillSegmentBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +216,17 @@ func (c Config) validate() error {
 	if c.TimerWheelLevels < 0 || c.TimerWheelLevels > timerwheel.MaxLevels {
 		return fmt.Errorf("mely: timer wheel levels %d out of range [1, %d]",
 			c.TimerWheelLevels, timerwheel.MaxLevels)
+	}
+	if c.MaxQueuedEvents < 0 || c.MaxQueuedPerColor < 0 {
+		return fmt.Errorf("mely: negative queue bound")
+	}
+	if c.SpillSegmentBytes < 0 {
+		return fmt.Errorf("mely: negative spill segment size")
+	}
+	switch c.OverloadPolicy {
+	case OverloadReject, OverloadBlock, OverloadSpill:
+	default:
+		return fmt.Errorf("mely: invalid overload policy %d", int(c.OverloadPolicy))
 	}
 	return nil
 }

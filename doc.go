@@ -136,6 +136,55 @@
 // handler-event traces — only the scaling differs. Stats exposes the
 // harvest efficiency as PollWakeups, PollEvents, and PollBatchHist.
 //
+// # Overload control: bounded queues and disk spill
+//
+// Unbounded event queues turn a burst, a hot PostEvery, or one slow
+// handler into unbounded memory growth. Config.MaxQueuedEvents bounds
+// the runtime-wide in-memory queue depth and Config.MaxQueuedPerColor
+// bounds one color's share; with both zero (the default) nothing
+// changes and nothing is paid — the admission layer is not even
+// constructed. Once a bound is hit, Config.OverloadPolicy decides:
+//
+//	policy          external Post            handler/timer posts
+//	--------------  -----------------------  ----------------------
+//	OverloadReject  ErrOverloaded            admitted (never fail)
+//	OverloadBlock   waits (ctx-cancelable)   admitted (never block)
+//	OverloadSpill   tail spills to disk      tail spills to disk
+//
+// Reject (the default) sheds at the edge: external posts fail with
+// ErrOverloaded (test with errors.Is) while handler continuations and
+// timer firings always land — failing those would wedge the pipeline
+// the bound is protecting. Block turns posters into backpressure:
+// Post waits for queue space, PostContext bounds the wait with a
+// context, and runtime stop releases every waiter with ErrStopped.
+//
+// Spill is the graceful-degradation mode, in the lineage of segmented
+// disk-backed queues like timeq: when a color saturates, its queue
+// TAIL moves to append-only segment files under Config.SpillDir
+// (internal/spillq — batch appends, whole-segment reclaim, crash
+// orphans deleted at startup and Stop), while the in-memory head keeps
+// executing. Every further post of that color goes to the tail until
+// the color drains below its low-water mark and the backlog reloads in
+// strict FIFO order — so per-color ordering holds across the disk
+// boundary and memory stays at the bound no matter how deep the
+// backlog runs. Spilled colors stay visible to workstealing (the
+// on-disk backlog counts toward steal worthiness) and a stolen color's
+// disk tail follows it to the thief, because reloads deliver through
+// the same ownership lease as any post. Payloads must be
+// self-contained values ([]byte, string, integers, bool, float64,
+// nil); events with pointerful payloads fall back to in-memory
+// delivery and count in SpillErrors.
+//
+// The edge cooperates instead of being policed: netpoll checks
+// Runtime.Saturated and pauses a saturated connection's read readiness
+// (resuming on drain, counted in ReadPauses), pushing overload into
+// the peer's TCP window; its own posts ride PostEdge/PostBatchEdge,
+// which bypass Reject and Block precisely because the pause is their
+// backpressure. Stats exposes the whole story: the QueuedEvents and
+// SpilledNow gauges, SpilledEvents/ReloadedEvents traffic,
+// RejectedPosts, BlockedPosts, SpillErrors, and the per-color
+// spill-depth histogram SpillDepthHist.
+//
 // Idle workers whose steal probes keep failing back off exponentially:
 // after Config.IdleSpins fruitless rounds a worker parks for
 // Config.StealBackoff (default 10µs), doubling per further fruitless

@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"amd16", "Extension: locality-aware stealing on the 16-core AMD topology", AMD16Locality},
 		{"timer", "Extension: deadline-driven workload (closed-loop clients with think times)", TimerScenario},
 		{"connscale", "Extension: C10K-style connection scaling (10k mostly-idle colors)", ConnScaleScenario},
+		{"overload", "Extension: bounded queues + disk spill under 2x open-loop overload (zero-loss asserted)", OverloadScenario},
 		{"ablate-batch", "Ablation: Mely batch threshold", AblateBatch},
 		{"ablate-batchsteal", "Ablation: batched vs single-color steals", AblateBatchSteal},
 		{"ablate-intervals", "Ablation: stealing-queue interval count", AblateIntervals},

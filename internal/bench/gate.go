@@ -43,9 +43,13 @@ type GateResult struct {
 // gateConfigs are the tracked configurations: the steal-relevant rows
 // of the unbalanced and penalty microbenchmarks, the batched steal
 // protocol the paper tables deliberately exclude, the deadline-driven
-// timer workload (all load arriving as timed events), and the
-// C10K-style connscale workload (10k mostly-idle colors — the regime
-// the epoll netpoll backend opens).
+// timer workload (all load arriving as timed events), the C10K-style
+// connscale workload (10k mostly-idle colors — the regime the epoll
+// netpoll backend opens), and the overload workload (a skewed
+// open-loop producer exceeding the MaxQueuedEvents bound at 2x the
+// service rate; its measurement additionally asserts zero event loss
+// through the spillq disk store, so the gate fails on a correctness
+// regression there, not just a throughput one).
 func gateConfigs() []struct {
 	experiment string
 	pol        policy.Config
@@ -66,6 +70,8 @@ func gateConfigs() []struct {
 		{"timer", policy.MelyTimeLeftWS()},
 		{"connscale", policy.Mely()},
 		{"connscale", policy.MelyTimeLeftWS()},
+		{"overload", policy.Mely()},
+		{"overload", policy.MelyTimeLeftWS()},
 	}
 }
 
@@ -100,6 +106,8 @@ func GateSuite(opt Options) (*GateResult, error) {
 			run, err = opt.measureTimer(gc.pol)
 		case "connscale":
 			run, err = opt.measureConnScale(gc.pol)
+		case "overload":
+			run, err = opt.measureOverload(gc.pol)
 		default:
 			return nil, fmt.Errorf("bench: unknown gate experiment %q", gc.experiment)
 		}

@@ -13,6 +13,16 @@ type ColorQueue struct {
 	// on insertion, decremented on removal).
 	cumCost int64
 
+	// spilled/spilledCost mirror the color's on-disk backlog (events the
+	// overload-control layer moved to the spill store). They contribute
+	// to CumCost — and so to steal worthiness — without counting toward
+	// Len: a victim whose fat tail lives on disk must not be misread as
+	// a cheap steal target just because its in-memory head is short.
+	// Maintained by the runtime (SetSpillBacklog); zero everywhere spill
+	// is not in use.
+	spilled     int
+	spilledCost int64
+
 	color Color
 
 	// CoreQueue links.
@@ -38,8 +48,12 @@ func (cq *ColorQueue) MarkStolen() {
 // Len reports the number of pending events.
 func (cq *ColorQueue) Len() int { return cq.count }
 
-// CumCost reports the cumulative penalty-weighted pending cost.
-func (cq *ColorQueue) CumCost() int64 { return cq.cumCost }
+// CumCost reports the cumulative penalty-weighted pending cost,
+// including the cost mirrored for the color's on-disk spill backlog.
+func (cq *ColorQueue) CumCost() int64 { return cq.cumCost + cq.spilledCost }
+
+// SpillBacklog reports the mirrored on-disk backlog (events, cost).
+func (cq *ColorQueue) SpillBacklog() (int, int64) { return cq.spilled, cq.spilledCost }
 
 // Drain removes and returns the head event, or nil.
 func (cq *ColorQueue) Drain() *Event { return cq.popFront() }
@@ -272,6 +286,21 @@ func (q *CoreQueue) capTake(n int, hasRunning bool) int {
 	return n
 }
 
+// SetSpillBacklog records cq's on-disk backlog mirror (events and
+// penalty-weighted cost the overload layer spilled for this color) and
+// reclassifies the color's steal worthiness: the time-left heuristic
+// then sees the whole color — memory head plus disk tail — so a victim
+// whose queues were spilled is not misread as empty. The mirror is
+// advisory (refreshed on every spill append and reload) and travels
+// with the ColorQueue on steals.
+func (q *CoreQueue) SetSpillBacklog(cq *ColorQueue, n int, cost int64) {
+	cq.spilled = n
+	cq.spilledCost = cost
+	if cq.inCore {
+		q.steal.reclassify(cq)
+	}
+}
+
 // Adopt links a stolen ColorQueue into this core's structures (migrate).
 func (q *CoreQueue) Adopt(cq *ColorQueue) {
 	if cq.inCore || cq.interval >= 0 {
@@ -389,7 +418,10 @@ func (q *CoreQueue) MergeFront(dst, src *ColorQueue) {
 	dst.head = src.head
 	dst.count += src.count
 	dst.cumCost += src.cumCost
+	dst.spilled += src.spilled
+	dst.spilledCost += src.spilledCost
 	q.nevents += src.count
 	q.steal.reclassify(dst)
 	src.head, src.tail, src.count, src.cumCost = nil, nil, 0, 0
+	src.spilled, src.spilledCost = 0, 0
 }

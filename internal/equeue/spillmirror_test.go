@@ -1,0 +1,124 @@
+package equeue
+
+import "testing"
+
+// TestSpillBacklogWorthiness: a color whose in-memory head is tiny but
+// whose spilled tail is huge must classify as worthy in the
+// StealingQueue — the "victim with spilled tails is not misread as
+// empty" half of the overload design.
+func TestSpillBacklogWorthiness(t *testing.T) {
+	q := NewCoreQueue(1000) // steal cost threshold: 1000
+	cq := q.NewColorQueue(7)
+	q.Push(cq, &Event{Color: 7, Cost: 10}) // cumCost 10: not worthy
+	if q.Stealing().Len() != 0 {
+		t.Fatalf("cheap color must not be worthy yet")
+	}
+	q.SetSpillBacklog(cq, 500, 50_000) // fat tail on disk
+	if q.Stealing().Len() != 1 {
+		t.Fatalf("spill backlog must make the color worthy")
+	}
+	if got := cq.CumCost(); got != 50_010 {
+		t.Fatalf("CumCost = %d, want 50010 (memory + spilled)", got)
+	}
+	if n, cost := cq.SpillBacklog(); n != 500 || cost != 50_000 {
+		t.Fatalf("SpillBacklog = (%d, %d), want (500, 50000)", n, cost)
+	}
+
+	// Clearing the mirror declassifies again.
+	q.SetSpillBacklog(cq, 0, 0)
+	if q.Stealing().Len() != 0 {
+		t.Fatalf("cleared backlog must declassify the color")
+	}
+}
+
+// TestSpillBacklogTravelsOnSteal: the mirror rides the ColorQueue
+// through detach/adopt (the steal protocol's migration unit) and
+// through MergeFront.
+func TestSpillBacklogTravelsOnSteal(t *testing.T) {
+	victim := NewCoreQueue(100)
+	cq := victim.NewColorQueue(5)
+	victim.Push(cq, &Event{Color: 5, Cost: 10})
+	victim.SetSpillBacklog(cq, 64, 6400)
+
+	stolen := victim.StealWorthy(0, false)
+	if stolen != cq {
+		t.Fatalf("expected the spill-backed color to be stolen")
+	}
+	thief := NewCoreQueue(100)
+	thief.Adopt(stolen)
+	if n, cost := stolen.SpillBacklog(); n != 64 || cost != 6400 {
+		t.Fatalf("mirror lost in migration: (%d, %d)", n, cost)
+	}
+	if thief.Stealing().Len() != 1 {
+		t.Fatalf("adopted spill-backed color must stay worthy on the thief")
+	}
+
+	// MergeFront folds the mirror of an in-transit duplicate.
+	dup := thief.NewColorQueue(5)
+	dup.pushBack(&Event{Color: 5, Cost: 1})
+	dup.spilled, dup.spilledCost = 6, 600
+	thief.detach(stolen)
+	thief.Adopt(dup)
+	thief.MergeFront(dup, stolen)
+	if n, cost := dup.SpillBacklog(); n != 70 || cost != 7000 {
+		t.Fatalf("MergeFront mirror = (%d, %d), want (70, 7000)", n, cost)
+	}
+	if n, cost := stolen.SpillBacklog(); n != 0 || cost != 0 {
+		t.Fatalf("merge source mirror must zero, got (%d, %d)", n, cost)
+	}
+}
+
+// TestListQueueSpillWeighting: the base steal choice weighs colors by
+// effective size (memory + spilled tail), so a color that spilled its
+// bulk is not handed to a thief as if it were trivial.
+func TestListQueueSpillWeighting(t *testing.T) {
+	q := NewListQueue()
+	// Color 1: 3 in memory + 100 spilled. Color 2: 2 in memory.
+	for i := 0; i < 3; i++ {
+		q.PushBack(&Event{Color: 1, Cost: 1})
+	}
+	for i := 0; i < 2; i++ {
+		q.PushBack(&Event{Color: 2, Cost: 1})
+	}
+
+	// Without spill accounting color 1 (3 of 5 events > half) is
+	// skipped and color 2 chosen — the pre-spill behavior.
+	c, ok, _ := q.ChooseColorToSteal(0, false)
+	if !ok || c != 2 {
+		t.Fatalf("pre-spill choice = (%v, %v), want color 2", c, ok)
+	}
+
+	q.SetSpillBacklog(1, 100)
+	if q.SpillBacklog(1) != 100 {
+		t.Fatalf("SpillBacklog not recorded")
+	}
+	// Effective: color 1 holds 103 of 105 (> half, skipped), color 2
+	// holds 2 — still color 2, but now for the effective-size reason;
+	// and with color 2 gone, color 1 must still be refusable.
+	c, ok, _ = q.ChooseColorToSteal(0, false)
+	if !ok || c != 2 {
+		t.Fatalf("spill-weighted choice = (%v, %v), want color 2", c, ok)
+	}
+
+	// Move the backlog to color 2: now color 2 is the giant (2+100 of
+	// 105 > half) and color 1's effective share (3 of 105) makes it
+	// stealable in queue order.
+	q.SetSpillBacklog(1, 0)
+	q.SetSpillBacklog(2, 100)
+	c, ok, _ = q.ChooseColorToSteal(0, false)
+	if !ok || c != 1 {
+		t.Fatalf("rebalanced choice = (%v, %v), want color 1", c, ok)
+	}
+
+	// Batch form agrees: only color 1 qualifies.
+	colors, _ := q.ChooseColorsToSteal(0, false, 4, nil)
+	if len(colors) != 1 || colors[0] != 1 {
+		t.Fatalf("batch choice = %v, want [1]", colors)
+	}
+
+	// Clearing restores the nil-map fast path invariants.
+	q.SetSpillBacklog(2, 0)
+	if q.spilledTotal != 0 || len(q.spilled) != 0 {
+		t.Fatalf("cleared mirror must leave no residue: total=%d map=%v", q.spilledTotal, q.spilled)
+	}
+}

@@ -8,6 +8,7 @@ package loadgen
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -51,6 +52,18 @@ type HTTPConfig struct {
 	// no requests; a server that reaps or refuses them does not fail
 	// the run.
 	IdleConns int
+	// Burst switches each client into open-loop burst mode: instead of
+	// the classic one-request-await-response closed loop, the client
+	// writes Burst pipelined requests in one gulp (offered load is not
+	// gated on the server keeping up — the overload shape), then reads
+	// the responses, pauses BurstPause, and repeats. This is how the
+	// runtime's queue bounds are exercised from the CLI: a burst of B
+	// requests from C clients lands B*C events on the server at once,
+	// regardless of service rate. 0 keeps the closed loop.
+	Burst int
+	// BurstPause is the pause between one client's bursts (0 =
+	// back-to-back bursts).
+	BurstPause time.Duration
 }
 
 func (c *HTTPConfig) defaults() error {
@@ -77,6 +90,9 @@ func (c *HTTPConfig) defaults() error {
 	}
 	if c.IdleConns < 0 {
 		return errors.New("loadgen: negative idle connection count")
+	}
+	if c.Burst < 0 || c.BurstPause < 0 {
+		return errors.New("loadgen: negative burst parameters")
 	}
 	return nil
 }
@@ -201,6 +217,9 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 		_ = conn.SetDeadline(deadline)
 	}
 	br := bufio.NewReader(conn)
+	if cfg.Burst > 0 {
+		return runBurstConnection(ctx, cfg, conn, br, id)
+	}
 	var done, read int64
 	for i := 0; i < cfg.RequestsPerConn; i++ {
 		if ctx.Err() != nil {
@@ -226,6 +245,54 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 				}
 			}
 			time.Sleep(pause)
+		}
+	}
+	return done, read, nil
+}
+
+// runBurstConnection is the open-loop leg of runConnection: write a
+// whole burst of pipelined requests at once (offered load decoupled
+// from service rate), then collect the responses, pause, repeat until
+// RequestsPerConn requests have been issued. A server shedding load
+// (503) still answers each request, so the response loop stays in
+// lockstep with the burst size.
+func runBurstConnection(ctx context.Context, cfg HTTPConfig, conn net.Conn, br *bufio.Reader, id int) (int64, int64, error) {
+	var done, read int64
+	issued := 0
+	var req bytes.Buffer
+	for issued < cfg.RequestsPerConn {
+		if ctx.Err() != nil {
+			return done, read, nil
+		}
+		burst := cfg.Burst
+		if rem := cfg.RequestsPerConn - issued; burst > rem {
+			burst = rem
+		}
+		req.Reset()
+		for i := 0; i < burst; i++ {
+			path := cfg.Paths[(id+issued+i)%len(cfg.Paths)]
+			fmt.Fprintf(&req, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", path)
+		}
+		if _, err := conn.Write(req.Bytes()); err != nil {
+			return done, read, err
+		}
+		issued += burst
+		for i := 0; i < burst; i++ {
+			n, err := readResponse(br)
+			read += n
+			if err != nil {
+				return done, read, err
+			}
+			done++
+		}
+		if cfg.BurstPause > 0 && issued < cfg.RequestsPerConn {
+			if deadline, ok := ctx.Deadline(); ok {
+				if remain := time.Until(deadline); cfg.BurstPause >= remain {
+					time.Sleep(max(remain, 0))
+					return done, read, nil
+				}
+			}
+			time.Sleep(cfg.BurstPause)
 		}
 	}
 	return done, read, nil

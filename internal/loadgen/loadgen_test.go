@@ -162,3 +162,37 @@ func TestThinkValidation(t *testing.T) {
 		t.Fatal("negative think time must fail")
 	}
 }
+
+func TestBurstInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test (loopback listener + timed injection); run without -short")
+	}
+	addr, stop := fakeHTTP(t, "hello")
+	defer stop()
+	res, err := RunHTTP(context.Background(), HTTPConfig{
+		Addr:            addr,
+		Clients:         2,
+		RequestsPerConn: 20,
+		Duration:        300 * time.Millisecond,
+		Burst:           8,
+		BurstPause:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if _, err := RunHTTP(context.Background(), HTTPConfig{Addr: "x", Burst: -1}); err == nil {
+		t.Fatal("negative burst must fail")
+	}
+	if _, err := RunHTTP(context.Background(), HTTPConfig{Addr: "x", BurstPause: -time.Second}); err == nil {
+		t.Fatal("negative burst pause must fail")
+	}
+}

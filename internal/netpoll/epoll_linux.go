@@ -47,7 +47,14 @@ type epollBackend struct {
 	retire func()
 
 	writeStalls atomic.Int64
+	readPauses  atomic.Int64
 }
+
+// pausedPollMsec bounds the reactor's wait while any connection is
+// read-paused: paused connections are re-checked against their data
+// color's saturation at least this often, so a drain resumes reads
+// even when no new readiness arrives to wake the reactor.
+const pausedPollMsec = 2
 
 // pollShard is one reactor: an epoll instance, its goroutine, and the
 // connections registered on it.
@@ -76,6 +83,15 @@ type pollShard struct {
 	// batch-oriented readiness harvesting of the design: the poll batch
 	// amortizes the syscall, the post batch amortizes delivery.
 	batch []mely.BatchEvent
+
+	// paused holds connections whose read readiness is withheld
+	// because their data color is saturated (Runtime.Saturated): the
+	// overload layer's read backpressure. Reactor-owned — only this
+	// shard's goroutine touches it. While non-empty the reactor polls
+	// with a bounded timeout and re-checks for resumption each round;
+	// the unread bytes sit in the kernel buffer, closing the peer's
+	// TCP window instead of growing the runtime's queues.
+	paused map[uint64]*epollConn
 
 	wakeups   atomic.Int64
 	harvested atomic.Int64
@@ -168,6 +184,7 @@ func (be *epollBackend) sample() mely.PollSample {
 		}
 	}
 	s.WriteStalls = be.writeStalls.Load()
+	s.ReadPauses = be.readPauses.Load()
 	return s
 }
 
@@ -211,7 +228,11 @@ func (sh *pollShard) run() {
 	// harvest buffer would silently clip the distribution it reports).
 	events := make([]epoller.Event, 512)
 	for {
-		n, err := sh.p.Wait(events, -1)
+		msec := -1
+		if len(sh.paused) > 0 {
+			msec = pausedPollMsec
+		}
+		n, err := sh.p.Wait(events, msec)
 		if err != nil {
 			// ErrClosed (or the epfd died): tear down every remaining
 			// connection so their OnClose relays are posted before the
@@ -231,6 +252,7 @@ func (sh *pollShard) run() {
 		// batch-posted before the next round's teardowns run, so the
 		// relay always trails every OnData of its connection.)
 		sh.processCloseOps()
+		sh.resumePaused()
 
 		for i := 0; i < n; i++ {
 			ev := events[i]
@@ -248,6 +270,13 @@ func (sh *pollShard) run() {
 				sh.kickWriter(ec)
 			}
 			if ev.Readable || ev.Closed {
+				// Read backpressure: a saturated data color pauses the
+				// drain (the bytes wait in the kernel buffer) — except
+				// on hangup, where teardown must proceed regardless.
+				if !ev.Closed && sh.be.saturatedConn(ec) {
+					sh.pauseConn(ec)
+					continue
+				}
 				sh.readReady(ec, ev.Closed)
 			}
 		}
@@ -255,12 +284,53 @@ func (sh *pollShard) run() {
 	}
 }
 
-// flushBatch delivers the round's accumulated OnData events.
+// saturatedConn reports whether ec's data color is saturated.
+func (be *epollBackend) saturatedConn(ec *epollConn) bool {
+	return be.s.cfg.Runtime.Saturated(be.s.dataColor(ec.conn))
+}
+
+// pauseConn withholds ec's read readiness until its data color drains.
+// Counted once per pause episode.
+func (sh *pollShard) pauseConn(ec *epollConn) {
+	if sh.paused == nil {
+		sh.paused = make(map[uint64]*epollConn)
+	}
+	if _, already := sh.paused[ec.token]; !already {
+		sh.paused[ec.token] = ec
+		sh.be.readPauses.Add(1)
+	}
+}
+
+// resumePaused re-checks paused connections and resumes (drains) the
+// ones whose data color is no longer saturated. Under edge triggering
+// the withheld event will not repeat, so the resume read happens here,
+// not by re-arming.
+func (sh *pollShard) resumePaused() {
+	if len(sh.paused) == 0 {
+		return
+	}
+	for token, ec := range sh.paused {
+		if ec.closeReq.Load() {
+			delete(sh.paused, token)
+			continue
+		}
+		if sh.be.saturatedConn(ec) {
+			continue
+		}
+		delete(sh.paused, token)
+		sh.readReady(ec, false)
+	}
+}
+
+// flushBatch delivers the round's accumulated OnData events. Edge
+// posting: the reactor must never be blocked or rejected by an
+// overload bound — its backpressure mechanism is pausing reads, and a
+// blocked reactor would stall every connection on the shard.
 func (sh *pollShard) flushBatch() {
 	if len(sh.batch) == 0 {
 		return
 	}
-	if err := sh.be.s.cfg.Runtime.PostBatch(sh.batch); err != nil {
+	if err := sh.be.s.cfg.Runtime.PostBatchEdge(sh.batch); err != nil {
 		// Runtime stopping: release the buffers and fold the conns.
 		for _, be := range sh.batch {
 			msg := be.Data.(*Message)
@@ -328,19 +398,39 @@ func (sh *pollShard) accept() {
 			epoller.CloseFd(fd)
 			continue
 		}
-		if err := be.s.cfg.Runtime.Post(be.s.cfg.OnAccept, be.s.cfg.AcceptColor, conn); err != nil {
+		if err := be.s.cfg.Runtime.PostEdge(be.s.cfg.OnAccept, be.s.cfg.AcceptColor, conn); err != nil {
 			conn.Shutdown() // runtime stopping; tear the conn down
 		}
 	}
 }
 
+// boundedDrainFlush is the mid-drain batch flush threshold on bounded
+// runtimes: flushing every few reads keeps the queued-events gauge
+// live, so the per-chunk saturation check below can observe the
+// pressure this very drain is creating and pause within a few reads of
+// the bound instead of swallowing a whole socket buffer first.
+const boundedDrainFlush = 8
+
 // readReady drains one connection's socket (edge-triggered), queueing
 // each read on the round's OnData batch. closing is the event's Closed
 // flag: the peer hung up (FIN/RST), so this may be the last event the
-// descriptor ever delivers and the drain must run to EOF.
+// descriptor ever delivers and the drain must run to EOF. On a bounded
+// runtime the drain re-checks the data color's saturation every chunk
+// and pauses mid-socket (the rest of the bytes keep waiting in the
+// kernel) — hangups excepted, since their drain is the teardown path.
 func (sh *pollShard) readReady(ec *epollConn, closing bool) {
 	be := sh.be
+	bounded := be.s.cfg.Runtime.Bounded()
 	for {
+		if bounded && !closing {
+			if len(sh.batch) >= boundedDrainFlush {
+				sh.flushBatch()
+			}
+			if be.saturatedConn(ec) {
+				sh.pauseConn(ec)
+				return
+			}
+		}
 		buf := getReadBuf(be.s.cfg.ReadBufBytes)
 		n, err := epoller.Read(ec.fd, buf)
 		if n > 0 {
@@ -384,7 +474,7 @@ func (sh *pollShard) readReady(ec *epollConn, closing bool) {
 // that touches the connection).
 func (sh *pollShard) kickWriter(ec *epollConn) {
 	be := sh.be
-	if err := be.s.cfg.Runtime.Post(be.hWritable, be.s.dataColor(ec.conn), ec.conn); err != nil {
+	if err := be.s.cfg.Runtime.PostEdge(be.hWritable, be.s.dataColor(ec.conn), ec.conn); err != nil {
 		ec.conn.Shutdown()
 	}
 }

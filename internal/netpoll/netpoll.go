@@ -28,6 +28,15 @@
 // color — and everything downstream is handler code scheduled by the
 // event-coloring runtime. Handler code cannot tell the backends apart
 // (the parity suite in the tests asserts identical event traces).
+//
+// On a bounded runtime (mely.Config.MaxQueuedEvents and friends) both
+// backends propagate overload to the network edge as read
+// backpressure: a connection whose data color is saturated
+// (mely.Runtime.Saturated) has its read readiness paused — the epoll
+// reactor withholds the drain, the read pump sleeps — so unread bytes
+// accumulate in the kernel socket buffer and close the peer's TCP
+// window instead of growing the runtime's queues. Reads resume when
+// the color drains; pause episodes are counted in Stats.ReadPauses.
 package netpoll
 
 import (
@@ -361,7 +370,7 @@ func (s *Server) newConn(be connBackend) *Conn {
 // connection's data color so it executes after every posted OnData.
 func (s *Server) finishConn(conn *Conn) {
 	s.live.Add(-1)
-	if err := s.cfg.Runtime.Post(s.hCloseRelay, s.dataColor(conn), conn); err != nil {
+	if err := s.cfg.Runtime.PostEdge(s.hCloseRelay, s.dataColor(conn), conn); err != nil {
 		// Runtime stopping: try the direct post so shutdown-time
 		// bookkeeping has a chance; ordering no longer matters.
 		s.postOnClose(conn)
@@ -374,7 +383,7 @@ func (s *Server) closeRelay(ctx *mely.Ctx) {
 
 func (s *Server) postOnClose(conn *Conn) {
 	if s.cfg.OnClose != (mely.Handler{}) {
-		_ = s.cfg.Runtime.Post(s.cfg.OnClose, s.cfg.AcceptColor, conn)
+		_ = s.cfg.Runtime.PostEdge(s.cfg.OnClose, s.cfg.AcceptColor, conn)
 	}
 }
 
@@ -382,7 +391,7 @@ func (s *Server) postOnClose(conn *Conn) {
 // array (released back to the pool if the post fails).
 func (s *Server) postData(conn *Conn, data, raw []byte) error {
 	msg := &Message{Conn: conn, Data: data, raw: raw}
-	if err := s.cfg.Runtime.Post(s.cfg.OnData, s.dataColor(conn), msg); err != nil {
+	if err := s.cfg.Runtime.PostEdge(s.cfg.OnData, s.dataColor(conn), msg); err != nil {
 		msg.Release()
 		return err
 	}

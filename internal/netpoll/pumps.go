@@ -3,6 +3,10 @@ package netpoll
 import (
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/melyruntime/mely"
 )
 
 // pumpBackend is the portable backend: one accept pump per listener
@@ -18,11 +22,22 @@ type pumpBackend struct {
 	conns  map[*Conn]struct{}
 	closed bool
 
+	readPauses atomic.Int64
+	retire     func()
+
 	wg sync.WaitGroup
 }
 
+// pumpPauseRecheck is how often a paused read pump re-checks its data
+// color's saturation (the pump-world analogue of the epoll backend's
+// bounded poll timeout).
+const pumpPauseRecheck = 500 * time.Microsecond
+
 func newPumpBackend(s *Server, ln net.Listener) *pumpBackend {
 	b := &pumpBackend{s: s, ln: ln, conns: make(map[*Conn]struct{})}
+	b.retire = s.cfg.Runtime.AddPollSource(func() mely.PollSample {
+		return mely.PollSample{ReadPauses: b.readPauses.Load()}
+	})
 	b.wg.Add(1)
 	go b.acceptPump()
 	return b
@@ -68,6 +83,7 @@ func (b *pumpBackend) close() error {
 		c.Shutdown()
 	}
 	b.wg.Wait()
+	b.retire()
 	return err
 }
 
@@ -93,7 +109,7 @@ func (b *pumpBackend) acceptPump() {
 		b.mu.Unlock()
 		b.s.live.Add(1)
 
-		if err := b.s.cfg.Runtime.Post(b.s.cfg.OnAccept, b.s.cfg.AcceptColor, conn); err != nil {
+		if err := b.s.cfg.Runtime.PostEdge(b.s.cfg.OnAccept, b.s.cfg.AcceptColor, conn); err != nil {
 			b.dropConn(conn)
 			continue
 		}
@@ -106,7 +122,18 @@ func (b *pumpBackend) readPump(conn *Conn) {
 	defer b.wg.Done()
 	defer b.dropConn(conn)
 	nc := conn.be.(*pumpConn).nc
+	rt := b.s.cfg.Runtime
 	for {
+		// Read backpressure: while this connection's data color is
+		// saturated, leave the bytes in the kernel buffer (the peer's
+		// TCP window closes) instead of posting into a full queue.
+		// Counted once per pause episode, like the epoll backend.
+		if rt.Saturated(b.s.dataColor(conn)) && !conn.IsClosed() {
+			b.readPauses.Add(1)
+			for rt.Saturated(b.s.dataColor(conn)) && !conn.IsClosed() {
+				time.Sleep(pumpPauseRecheck)
+			}
+		}
 		buf := getReadBuf(b.s.cfg.ReadBufBytes)
 		n, err := nc.Read(buf)
 		if n > 0 {

@@ -1,0 +1,489 @@
+// Package spillq is a segmented, disk-backed event queue: the cold
+// store behind the runtime's OverloadSpill policy. When a color's
+// in-memory queue hits its bound, the color's tail moves here — new
+// events append to fixed-size, append-only segment files under a
+// runtime-owned directory — and reloads pull them back strictly in
+// FIFO order once the color drains below its low-water mark.
+//
+// The design follows the timeq family of disk-backed queues (segmented
+// buckets, batch push/pop, whole-file consume) scaled down to the
+// runtime's needs:
+//
+//   - one chain of segment files per color, oldest first; only the
+//     tail segment is open for appending (one fd per spilling color);
+//   - batch append: a whole batch of records is encoded through one
+//     buffered writer, and segments roll at a fixed byte budget;
+//   - sequential batch reload: records are read back from the head
+//     segment in file order; a fully consumed segment is removed
+//     whole (truncate-on-consume — the head cursor only ever moves
+//     forward, so no read-modify-write of segment files ever happens);
+//   - crash-orphan cleanup: Open deletes any *.seg file left under the
+//     directory by a previous process (spilled events are queue state,
+//     not durable state — a crash drops them exactly like it drops the
+//     in-memory queues), and Close removes everything it created.
+//
+// The record format is a compact binary encoding of the scheduling
+// fields of an equeue.Event plus an opaque tagged payload; the policy
+// layer above owns payload encoding. spillq itself has no opinion on
+// what is spilled or when — it is a FIFO of records per 64-bit color.
+//
+// Store is safe for concurrent use; operations on distinct colors
+// proceed in parallel (per-color locking below a short map lock).
+package spillq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Record is one spilled event: the scheduling header the runtime needs
+// to rebuild an equeue.Event, plus an opaque tagged payload.
+type Record struct {
+	Handler int32
+	Color   uint64
+	Cost    int64
+	Penalty int32
+	// Tag classifies Payload for the layer that encoded it; spillq
+	// stores both verbatim.
+	Tag     uint8
+	Payload []byte
+}
+
+// headerBytes is the fixed on-disk prefix of every record:
+// payload length (u32), handler (i32), color (u64), cost (i64),
+// penalty (i32), tag (u8).
+const headerBytes = 4 + 4 + 8 + 8 + 4 + 1
+
+// Options configures a Store.
+type Options struct {
+	// SegmentBytes is the roll threshold of the append-only segment
+	// files (default 256 KiB). A segment whose size reaches it is
+	// sealed (fd closed) and a fresh tail segment is started; reloads
+	// consume and delete whole segments, so this is also the
+	// granularity at which disk space is returned.
+	SegmentBytes int
+}
+
+// DefaultSegmentBytes is the segment roll threshold when Options
+// leaves it zero.
+const DefaultSegmentBytes = 256 << 10
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("spillq: store closed")
+
+// segment is one append-only file of a color's chain.
+type segment struct {
+	path  string
+	f     *os.File // non-nil only while this is the open tail
+	w     *bufio2  // buffered writer over f
+	bytes int64    // bytes written (including buffered)
+	count int      // records written
+	read  int      // records consumed
+	off   int64    // byte offset of the next unread record
+
+	// durBytes/durCount are the durable prefix: what a successful flush
+	// has confirmed on disk. A failed flush rolls the segment (and the
+	// chain's accounting) back to exactly this point, so the in-memory
+	// depth never claims records whose bytes never landed — phantom
+	// records would otherwise surface as a corrupt-segment error on
+	// reload and take the color's whole remaining tail with them.
+	durBytes int64
+	durCount int
+}
+
+// bufio2 is a minimal buffered writer: bufio.Writer semantics without
+// importing bufio (keeps the flush/size bookkeeping explicit and the
+// package dependency-free beyond the standard os/binary bits).
+type bufio2 struct {
+	f   *os.File
+	buf []byte
+}
+
+func (b *bufio2) write(p []byte) {
+	b.buf = append(b.buf, p...)
+}
+
+func (b *bufio2) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.f.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// chain is the per-color segment list, oldest first.
+type chain struct {
+	mu      sync.Mutex
+	segs    []*segment
+	nextSeq uint64
+	depth   int   // unconsumed records across all segments
+	cost    int64 // summed Record.Cost of unconsumed records
+}
+
+// Store is a directory of per-color segment chains.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	colors map[uint64]*chain
+	closed bool
+
+	total atomic.Int64 // unconsumed records, store-wide (stats gauge)
+}
+
+// Open prepares dir as a spill store: the directory is created when
+// missing, and any *.seg files a crashed process left behind are
+// deleted (crash-orphan cleanup — spilled events are not durable).
+// One Store must own a directory exclusively.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("spillq: empty directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spillq: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spillq: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".seg") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("spillq: orphan cleanup: %w", err)
+			}
+		}
+	}
+	return &Store{dir: dir, opts: opts, colors: make(map[uint64]*chain)}, nil
+}
+
+// Dir reports the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// chainOf returns (creating if asked) the chain of a color.
+func (s *Store) chainOf(color uint64, create bool) (*chain, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	c := s.colors[color]
+	if c == nil && create {
+		c = &chain{}
+		s.colors[color] = c
+	}
+	return c, nil
+}
+
+// Append encodes recs onto the tail of color's chain (batch append:
+// one buffered write pass, segments rolled at the byte budget). The
+// records become visible to Reload in order, after any records already
+// stored.
+func (s *Store) Append(color uint64, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	c, err := s.chainOf(color, true)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [headerBytes]byte
+	// recs[pendingStart:] are the records currently sitting unflushed in
+	// the open tail's buffer; a flush failure rolls exactly those back.
+	pendingStart := 0
+	for i := range recs {
+		rec := &recs[i]
+		tail, err := s.tailSegment(color, c)
+		if err != nil {
+			return err // pendingStart == i here: nothing is buffered
+		}
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(rec.Payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(rec.Handler))
+		binary.LittleEndian.PutUint64(hdr[8:], rec.Color)
+		binary.LittleEndian.PutUint64(hdr[16:], uint64(rec.Cost))
+		binary.LittleEndian.PutUint32(hdr[24:], uint32(rec.Penalty))
+		hdr[28] = rec.Tag
+		tail.w.write(hdr[:])
+		tail.w.write(rec.Payload)
+		tail.bytes += int64(headerBytes + len(rec.Payload))
+		tail.count++
+		c.depth++
+		c.cost += rec.Cost
+		s.total.Add(1)
+		if tail.bytes >= int64(s.opts.SegmentBytes) {
+			if err := sealSegment(tail); err != nil {
+				return s.rollbackTail(c, tail, recs[pendingStart:i+1], err)
+			}
+			pendingStart = i + 1
+		}
+	}
+	// One write syscall per batch (the open tail's buffer only ever
+	// holds this call's records): spilled bytes must live on disk, not
+	// in a writer buffer, or spilling would not bound memory at all.
+	if n := len(c.segs); n > 0 && c.segs[n-1].f != nil {
+		tail := c.segs[n-1]
+		if err := tail.w.flush(); err != nil {
+			return s.rollbackTail(c, tail, recs[pendingStart:], err)
+		}
+		tail.durBytes, tail.durCount = tail.bytes, tail.count
+	}
+	return nil
+}
+
+// rollbackTail undoes the accounting and on-disk state for records the
+// failed flush left unconfirmed, restoring the segment to its durable
+// prefix. The chain stays usable: durable records keep serving, the
+// next append writes from the durable offset.
+func (s *Store) rollbackTail(c *chain, tail *segment, lost []Record, cause error) error {
+	for i := range lost {
+		c.cost -= lost[i].Cost
+	}
+	c.depth -= len(lost)
+	s.total.Add(int64(-len(lost)))
+	tail.count = tail.durCount
+	tail.bytes = tail.durBytes
+	if tail.w != nil {
+		tail.w.buf = tail.w.buf[:0]
+	}
+	if tail.f != nil {
+		// A partial write may have landed some bytes and advanced the
+		// offset: truncate back to the durable prefix and re-seat the
+		// offset so the next append cannot leave a hole.
+		_ = tail.f.Truncate(tail.durBytes)
+		_, _ = tail.f.Seek(tail.durBytes, io.SeekStart)
+	}
+	return fmt.Errorf("spillq: %w", cause)
+}
+
+// tailSegment returns the open tail segment, creating one when the
+// chain is empty or its tail is sealed.
+func (s *Store) tailSegment(color uint64, c *chain) (*segment, error) {
+	if n := len(c.segs); n > 0 && c.segs[n-1].f != nil {
+		return c.segs[n-1], nil
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("c%016x-%06d.seg", color, c.nextSeq))
+	c.nextSeq++
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spillq: %w", err)
+	}
+	seg := &segment{path: path, f: f, w: &bufio2{f: f}}
+	c.segs = append(c.segs, seg)
+	return seg, nil
+}
+
+// sealSegment flushes and closes a full tail segment; reloads will
+// consume and delete it whole. On a flush failure the segment stays
+// open (the caller rolls it back to its durable prefix); a close
+// failure after a successful flush is ignored — the records are on
+// disk and reloads reopen by path.
+func sealSegment(seg *segment) error {
+	if err := seg.w.flush(); err != nil {
+		return fmt.Errorf("spillq: %w", err)
+	}
+	seg.durBytes, seg.durCount = seg.bytes, seg.count
+	_ = seg.f.Close()
+	seg.f, seg.w = nil, nil
+	return nil
+}
+
+// Reload pops up to max records of color from the head of its chain,
+// appending them to dst (use dst[:0] to reuse a buffer). Records come
+// back in append order; a segment whose records are all consumed is
+// deleted from disk (whole-segment truncate-on-consume). A nil error
+// with an empty result means the color has nothing on disk.
+func (s *Store) Reload(color uint64, max int, dst []Record) ([]Record, error) {
+	if max <= 0 {
+		return dst, nil
+	}
+	c, err := s.chainOf(color, false)
+	if err != nil {
+		return dst, err
+	}
+	if c == nil {
+		return dst, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for max > 0 && len(c.segs) > 0 {
+		head := c.segs[0]
+		if head.read == head.count {
+			// Only reachable for an open tail that was fully consumed
+			// in place and then left empty; drop it like a sealed one.
+			if err := removeSegment(c, head); err != nil {
+				return dst, err
+			}
+			continue
+		}
+		if head.f != nil {
+			// Reading the open tail: everything buffered must be on
+			// disk first (the read side uses the file, not the buffer).
+			if err := head.w.flush(); err != nil {
+				return dst, fmt.Errorf("spillq: %w", err)
+			}
+			head.durBytes, head.durCount = head.bytes, head.count
+		}
+		f, err := os.Open(head.path)
+		if err != nil {
+			return dst, fmt.Errorf("spillq: %w", err)
+		}
+		take := head.count - head.read
+		if take > max {
+			take = max
+		}
+		dst, err = readRecords(f, head, take, dst)
+		f.Close()
+		if err != nil {
+			return dst, err
+		}
+		c.depth -= take
+		for i := len(dst) - take; i < len(dst); i++ {
+			c.cost -= dst[i].Cost
+		}
+		s.total.Add(int64(-take))
+		max -= take
+		if head.read == head.count && head.f == nil {
+			// Sealed and fully consumed: remove the whole file.
+			if err := removeSegment(c, head); err != nil {
+				return dst, err
+			}
+		} else if head.read == head.count && head.f != nil && len(c.segs) == 1 {
+			// The open tail was fully consumed: reset it in place so the
+			// file does not grow forever while the color oscillates
+			// around its bound (the in-place flavor of
+			// truncate-on-consume).
+			if err := head.f.Truncate(0); err != nil {
+				return dst, fmt.Errorf("spillq: %w", err)
+			}
+			if _, err := head.f.Seek(0, io.SeekStart); err != nil {
+				return dst, fmt.Errorf("spillq: %w", err)
+			}
+			head.bytes, head.count, head.read, head.off = 0, 0, 0, 0
+			head.durBytes, head.durCount = 0, 0
+		}
+	}
+	return dst, nil
+}
+
+// readRecords decodes up to take records from seg starting at its read
+// cursor, appending to dst and advancing the cursor.
+func readRecords(f *os.File, seg *segment, take int, dst []Record) ([]Record, error) {
+	var hdr [headerBytes]byte
+	off := seg.off
+	for i := 0; i < take; i++ {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return dst, fmt.Errorf("spillq: segment %s corrupt: %w", seg.path, err)
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[0:]))
+		rec := Record{
+			Handler: int32(binary.LittleEndian.Uint32(hdr[4:])),
+			Color:   binary.LittleEndian.Uint64(hdr[8:]),
+			Cost:    int64(binary.LittleEndian.Uint64(hdr[16:])),
+			Penalty: int32(binary.LittleEndian.Uint32(hdr[24:])),
+			Tag:     hdr[28],
+		}
+		if plen > 0 {
+			rec.Payload = make([]byte, plen)
+			if _, err := f.ReadAt(rec.Payload, off+headerBytes); err != nil {
+				return dst, fmt.Errorf("spillq: segment %s corrupt: %w", seg.path, err)
+			}
+		}
+		off += int64(headerBytes + plen)
+		dst = append(dst, rec)
+		seg.read++
+	}
+	seg.off = off
+	return dst, nil
+}
+
+// removeSegment deletes the chain's head segment file.
+func removeSegment(c *chain, head *segment) error {
+	if head.f != nil {
+		if err := sealSegment(head); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(head.path); err != nil {
+		return fmt.Errorf("spillq: %w", err)
+	}
+	c.segs = c.segs[1:]
+	return nil
+}
+
+// Depth reports the unconsumed records of one color.
+func (s *Store) Depth(color uint64) int {
+	s.mu.Lock()
+	c := s.colors[color]
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.depth
+}
+
+// Cost reports the summed Record.Cost of one color's unconsumed
+// records (the worthiness mirror's currency).
+func (s *Store) Cost(color uint64) int64 {
+	s.mu.Lock()
+	c := s.colors[color]
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cost
+}
+
+// TotalDepth reports the unconsumed records across every color.
+func (s *Store) TotalDepth() int64 { return s.total.Load() }
+
+// Close flushes nothing (spilled events are not durable), closes every
+// open segment, deletes the segment files, and removes the directory
+// when that leaves it empty. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	colors := s.colors
+	s.colors = nil
+	s.mu.Unlock()
+
+	var first error
+	for _, c := range colors {
+		c.mu.Lock()
+		for _, seg := range c.segs {
+			if seg.f != nil {
+				seg.f.Close()
+			}
+			if err := os.Remove(seg.path); err != nil && first == nil {
+				first = err
+			}
+		}
+		c.segs = nil
+		c.mu.Unlock()
+	}
+	s.total.Store(0)
+	// Best effort: leaves the directory in place when the caller keeps
+	// other files there.
+	_ = os.Remove(s.dir)
+	return first
+}

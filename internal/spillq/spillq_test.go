@@ -1,0 +1,272 @@
+package spillq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mkRecs(color uint64, from, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		seq := from + i
+		recs[i] = Record{
+			Handler: 7,
+			Color:   color,
+			Cost:    int64(1000 + seq),
+			Penalty: 2,
+			Tag:     1,
+			Payload: []byte(fmt.Sprintf("payload-%d", seq)),
+		}
+	}
+	return recs
+}
+
+func TestAppendReloadRoundtrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const color = 42
+	if err := s.Append(color, mkRecs(color, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(color, mkRecs(color, 10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Depth(color); got != 15 {
+		t.Fatalf("Depth = %d, want 15", got)
+	}
+	if got := s.TotalDepth(); got != 15 {
+		t.Fatalf("TotalDepth = %d, want 15", got)
+	}
+
+	out, err := s.Reload(color, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 15 {
+		t.Fatalf("reloaded %d records, want 15", len(out))
+	}
+	for i, rec := range out {
+		want := Record{Handler: 7, Color: color, Cost: int64(1000 + i), Penalty: 2, Tag: 1}
+		if rec.Handler != want.Handler || rec.Color != want.Color ||
+			rec.Cost != want.Cost || rec.Penalty != want.Penalty || rec.Tag != want.Tag {
+			t.Fatalf("record %d header = %+v, want %+v", i, rec, want)
+		}
+		if got, want := string(rec.Payload), fmt.Sprintf("payload-%d", i); got != want {
+			t.Fatalf("record %d payload = %q, want %q", i, got, want)
+		}
+	}
+	if got := s.Depth(color); got != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", got)
+	}
+}
+
+func TestPartialReloadKeepsOrder(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const color = 9
+	if err := s.Append(color, mkRecs(color, 0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	var all []Record
+	for i := 0; i < 10; i++ {
+		out, err := s.Reload(color, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, out...)
+		// Interleave appends with partial reloads: FIFO must survive.
+		if i == 2 {
+			if err := s.Append(color, mkRecs(color, 20, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(all) != 24 {
+		t.Fatalf("reloaded %d records, want 24", len(all))
+	}
+	for i, rec := range all {
+		if rec.Cost != int64(1000+i) {
+			t.Fatalf("record %d out of order: cost %d, want %d", i, rec.Cost, 1000+i)
+		}
+	}
+}
+
+// TestSegmentRollAndTruncate drives enough records through a tiny
+// segment budget that segments roll, then checks whole segments vanish
+// from disk as they are consumed.
+func TestSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const color = 3
+	if err := s.Append(color, mkRecs(color, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	before := countSegs(t, dir)
+	if before < 3 {
+		t.Fatalf("expected several rolled segments, have %d", before)
+	}
+	// Consume half: head segments must be deleted whole.
+	if _, err := s.Reload(color, 25, nil); err != nil {
+		t.Fatal(err)
+	}
+	mid := countSegs(t, dir)
+	if mid >= before {
+		t.Fatalf("segments not truncated on consume: %d -> %d", before, mid)
+	}
+	out, err := s.Reload(color, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 25 {
+		t.Fatalf("reloaded %d, want 25", len(out))
+	}
+	if got := s.Depth(color); got != 0 {
+		t.Fatalf("Depth = %d, want 0", got)
+	}
+}
+
+func countSegs(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestOrphanCleanup: Open must delete *.seg leftovers from a crashed
+// process (spilled events are queue state, not durable state).
+func TestOrphanCleanup(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "c0000000000000002-000000.seg")
+	if err := os.WriteFile(orphan, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment survived Open: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("non-segment file must survive cleanup: %v", err)
+	}
+	if got := s.Depth(2); got != 0 {
+		t.Fatalf("orphans must not count as depth, got %d", got)
+	}
+}
+
+func TestCloseRemovesSegments(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "spill")
+	s, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, mkRecs(1, 0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("empty spill dir must be removed on Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+	if err := s.Append(1, mkRecs(1, 0, 1)); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Reload(1, 1, nil); err != ErrClosed {
+		t.Fatalf("Reload after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentColors exercises parallel append/reload on distinct and
+// shared colors under -race.
+func TestConcurrentColors(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const (
+		colors   = 8
+		perColor = 200
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < colors; c++ {
+		wg.Add(1)
+		go func(color uint64) {
+			defer wg.Done()
+			for i := 0; i < perColor; i += 10 {
+				if err := s.Append(color, mkRecs(color, i, 10)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	for c := 0; c < colors; c++ {
+		wg.Add(1)
+		go func(color uint64) {
+			defer wg.Done()
+			got := 0
+			for {
+				out, err := s.Reload(color, 33, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(out) == 0 {
+					break
+				}
+				for i, rec := range out {
+					if rec.Cost != int64(1000+got+i) {
+						t.Errorf("color %d record %d out of order", color, got+i)
+						return
+					}
+				}
+				got += len(out)
+			}
+			if got != perColor {
+				t.Errorf("color %d reloaded %d, want %d", color, got, perColor)
+			}
+		}(uint64(c))
+	}
+	wg.Wait()
+	if got := s.TotalDepth(); got != 0 {
+		t.Fatalf("TotalDepth = %d, want 0", got)
+	}
+}

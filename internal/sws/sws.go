@@ -57,15 +57,23 @@ type Config struct {
 	// PollerShards is the epoll backend's reactor count (default
 	// NumCPU).
 	PollerShards int
+	// ShedOverload answers requests with 503 Service Unavailable while
+	// the runtime is saturated (mely.Runtime.Saturated) instead of
+	// queuing more pipeline work — HTTP-layer load shedding on top of
+	// the runtime's queue bounds. Only meaningful on a bounded runtime;
+	// netpoll's read backpressure still applies underneath (a client
+	// flooding one connection is paused, a polite client is shed).
+	ShedOverload bool
 }
 
 // Server is a running SWS instance.
 type Server struct {
-	rt         *mely.Runtime
-	built      map[string][]byte
-	notFound   []byte
-	badRequest []byte
-	maxClients int
+	rt          *mely.Runtime
+	built       map[string][]byte
+	notFound    []byte
+	badRequest  []byte
+	unavailable []byte
+	maxClients  int
 
 	hAccept, hRead, hParse, hCache, hWrite, hDec, hIdle mely.Handler
 
@@ -73,10 +81,12 @@ type Server struct {
 	idleTimeout  time.Duration
 	backend      netpoll.Backend
 	pollerShards int
+	shedOverload bool
 
-	accepted   atomic.Int64 // bookkeeping under color 1; atomic for reads
-	served     atomic.Int64
-	idleClosed atomic.Int64
+	accepted     atomic.Int64 // bookkeeping under color 1; atomic for reads
+	served       atomic.Int64
+	idleClosed   atomic.Int64
+	overloadShed atomic.Int64
 
 	// trace, when non-nil, observes each connection's logical handler
 	// events (accept, request, respond, idle-reap, dec). It is test
@@ -135,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.notFound = buildResponse(404, "Not Found", []byte("not found\n"))
 	s.badRequest = buildResponse(400, "Bad Request", []byte("bad request\n"))
+	s.unavailable = buildResponse(503, "Service Unavailable", []byte("overloaded\n"))
 
 	// Figure 6's handler graph, plus the idle reaper.
 	s.hWrite = s.rt.Register("WriteResponse", s.writeResponse)
@@ -164,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 	s.idleTimeout = cfg.IdleTimeout
 	s.backend = cfg.Backend
 	s.pollerShards = cfg.PollerShards
+	s.shedOverload = cfg.ShedOverload
 	return s, nil
 }
 
@@ -258,6 +270,20 @@ func (s *Server) parseRequest(ctx *mely.Ctx) {
 			_ = ctx.Post(s.hWrite, ctx.Color(), &respondJob{state: st, path: "", close: true})
 			return
 		}
+		if s.shedOverload && s.rt.Saturated(ctx.Color()) {
+			// HTTP-layer load shedding: answer 503 right here instead of
+			// queuing three more pipeline events on a saturated runtime.
+			// The response goes out directly (Send has its own
+			// backpressure), so the overload sheds work instead of
+			// adding it.
+			s.overloadShed.Add(1)
+			s.traceEvent(st.conn, "shed")
+			if err := st.conn.Send(s.unavailable); err != nil || !keepAlive {
+				st.conn.Shutdown()
+				return
+			}
+			continue
+		}
 		if s.trace != nil { // guard: the concatenation must not cost the hot path
 			s.trace(st.conn, "request "+path)
 		}
@@ -315,6 +341,10 @@ func (s *Server) Served() int64 { return s.served.Load() }
 
 // IdleClosed reports the number of connections reaped by IdleTimeout.
 func (s *Server) IdleClosed() int64 { return s.idleClosed.Load() }
+
+// OverloadShed reports the number of requests answered 503 by the
+// ShedOverload load shedder.
+func (s *Server) OverloadShed() int64 { return s.overloadShed.Load() }
 
 // Accepted reports the number of currently admitted clients.
 func (s *Server) Accepted() int64 { return s.accepted.Load() }

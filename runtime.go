@@ -185,6 +185,11 @@ type Runtime struct {
 	pollSources map[uint64]func() PollSample
 	pollNextID  uint64
 	pollRetired PollSample
+
+	// adm is the overload-control layer (queue bounds, Reject/Block/
+	// Spill admission, the spillq bridge). Nil on unbounded runtimes,
+	// which therefore pay nothing on the posting hot path.
+	adm *admission
 }
 
 // AddPollSource registers a readiness-event source whose sample is
@@ -268,6 +273,13 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		r.cores[i] = c
 	}
+	if cfg.MaxQueuedEvents > 0 || cfg.MaxQueuedPerColor > 0 {
+		adm, err := newAdmission(r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.adm = adm
+	}
 	return r, nil
 }
 
@@ -324,13 +336,27 @@ func (r *Runtime) Stop() {
 			// waits-for-exit contract for every caller.
 			r.wg.Wait()
 		}
+		if r.adm != nil {
+			r.adm.close()
+		}
 		r.wakeDrainers() // queued events (if any) will never complete
 		return
+	}
+	if r.adm != nil {
+		// Posters blocked under OverloadBlock must observe the stop now
+		// (they re-check stopped on wake), not after the workers exit.
+		r.adm.wakeBlocked()
 	}
 	for _, c := range r.cores {
 		c.unpark()
 	}
 	r.wg.Wait()
+	if r.adm != nil {
+		// Workers are gone; nothing reloads anymore. Tear the spill
+		// store down (spilled events are dropped exactly like queued
+		// ones) and delete its segments.
+		r.adm.close()
+	}
 	// Events still queued were dropped and will never complete: release
 	// Drain waiters so they observe the stop instead of hanging.
 	r.wakeDrainers()
@@ -415,12 +441,39 @@ func (r *Runtime) wakeDrainers() {
 
 // Post registers an event for handler h under the given color. It is
 // safe from any goroutine, including handlers (prefer Ctx.Post there).
-// After shutdown it fails with ErrStopped.
+// After shutdown it fails with ErrStopped; on a bounded runtime
+// (Config.MaxQueuedEvents / MaxQueuedPerColor) it additionally follows
+// the configured OverloadPolicy — failing with ErrOverloaded, waiting
+// for queue space (see PostContext to bound the wait), or spilling the
+// color's tail to disk.
 func (r *Runtime) Post(h Handler, color Color, data any) error {
+	return r.post(nil, h, color, data, true)
+}
+
+// post is the shared delivery path behind Post, PostContext, Ctx.Post,
+// and the bounded-runtime leg of PostBatch. external marks posts from
+// outside handler context: only those can be rejected or blocked (a
+// rejected or blocked continuation would wedge the workers — see
+// OverloadPolicy's decision table).
+func (r *Runtime) post(ctx context.Context, h Handler, color Color, data any, external bool) error {
 	if r.stopped.Load() {
 		return ErrStopped
 	}
-	ev, err := r.buildEvent(*r.handlers.Load(), h, color, data)
+	hs := *r.handlers.Load()
+	if a := r.adm; a != nil {
+		idx := int(h.id) - 1
+		if idx < 0 || idx >= len(hs) {
+			return unknownHandlerError(h)
+		}
+		route, err := a.admit(ctx, equeue.Color(color), external)
+		if err != nil {
+			return err
+		}
+		if route == routeDisk {
+			return r.spillPost(hs, int32(idx), color, data)
+		}
+	}
+	ev, err := r.buildEvent(hs, h, color, data)
 	if err != nil {
 		return err
 	}
@@ -697,13 +750,22 @@ func (r *Runtime) execute(c *rcore, ev *equeue.Event) {
 		c.stats.stolenEvents.Add(1)
 		c.stats.stolenExecNanos.Add(elapsed)
 	}
-	if r.pending.Add(-1) == 0 && r.drainWaiters.Load() > 0 {
-		r.wakeDrainers()
-	}
+	color := ev.Color
 	slabbed := ev.Slab
 	*ev = equeue.Event{} // release the payload reference promptly either way
 	if !slabbed {
 		r.evPool.Put(ev)
+	}
+	if a := r.adm; a != nil {
+		// Overload accounting: the queued-events gauge drops, blocked
+		// posters get a wake, and a spilling color that drained to its
+		// low-water mark pulls the next batch back from disk. Runs
+		// before the pending decrement so Drain cannot observe zero
+		// while this color still has a disk tail to reload.
+		a.noteExec(color)
+	}
+	if r.pending.Add(-1) == 0 && r.drainWaiters.Load() > 0 {
+		r.wakeDrainers()
 	}
 }
 
@@ -964,9 +1026,12 @@ type Ctx struct {
 	ev   *equeue.Event
 }
 
-// Post registers a follow-up event.
+// Post registers a follow-up event. It is an internal continuation:
+// on a bounded runtime it is never rejected or blocked (that would
+// wedge the worker executing this handler), though a spilling color's
+// tail discipline still applies under OverloadSpill.
 func (ctx *Ctx) Post(h Handler, color Color, data any) error {
-	return ctx.r.Post(h, color, data)
+	return ctx.r.post(nil, h, color, data, false)
 }
 
 // Data returns the event's payload.

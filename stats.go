@@ -90,6 +90,11 @@ type PollSample struct {
 	// back to the pending-write queue (drained on writability under the
 	// connection's color).
 	WriteStalls int64
+	// ReadPauses counts connections whose read readiness was paused
+	// because their data color was saturated (Runtime.Saturated) — the
+	// read-backpressure edge of the overload-control layer; each pause
+	// is counted once per pause episode, not per skipped event.
+	ReadPauses int64
 }
 
 // add folds another sample into s.
@@ -100,6 +105,7 @@ func (s *PollSample) add(o PollSample) {
 		s.BatchHist[b] += o.BatchHist[b]
 	}
 	s.WriteStalls += o.WriteStalls
+	s.ReadPauses += o.ReadPauses
 }
 
 // CoreStats is a snapshot of one worker's counters.
@@ -163,6 +169,54 @@ func (c CoreStats) MeanStealBatch() float64 {
 }
 
 // Stats is a whole-runtime snapshot.
+//
+// Every counter below is CUMULATIVE and MONOTONIC across Snapshot
+// calls on one runtime — later snapshots never report smaller values —
+// except the rows marked "gauge" (instantaneous, free to move both
+// ways) and "estimate". Per-core counters are individually atomic but
+// not mutually consistent. The full inventory:
+//
+//	field                     kind       meaning
+//	------------------------  ---------  ----------------------------------------
+//	Cores[i].Events           counter    events executed on core i
+//	Cores[i].ExecTime         counter    total handler time
+//	Cores[i].Steals           counter    successful steals by this core
+//	Cores[i].RemoteSteals     counter    steals crossing a cache boundary
+//	Cores[i].StealAttempts    counter    steal probes (incl. failures)
+//	Cores[i].FailedSteals     counter    probes that found nothing
+//	Cores[i].StealTime        counter    time in successful steal transactions
+//	Cores[i].StolenEvents     counter    migrated events executed here
+//	Cores[i].StolenTime       counter    their handler time ("stolen time")
+//	Cores[i].StolenColors     counter    colors migrated here by steals
+//	Cores[i].StealBatchHist   histogram  colors per steal: 1,2,3–4,5–8,9–16,≥17
+//	Cores[i].Parks            counter    idle sleeps
+//	Cores[i].BackoffParks     counter    parks shortened by steal backoff
+//	Cores[i].PostedHere       counter    enqueues landing on this core
+//	Cores[i].BatchedEvents    counter    subset delivered via PostBatch groups
+//	Cores[i].ColorQueueChurns counter    ColorQueue link/unlink pairs
+//	Cores[i].Panics           counter    handler panics contained
+//	Cores[i].Queued           gauge      instantaneous core queue length
+//	Cores[i].TimersFired      counter    timers expired by this core's wheel
+//	Cores[i].TimerLagHist     histogram  firing lag: ≤100µs,≤1ms,≤2ms,≤10ms,≤100ms,>100ms
+//	Cores[i].TimersPending    gauge      armed timers on this core's wheel
+//	StealCostEstimate         estimate   monitored cost of one steal
+//	Pending                   gauge      posted-but-not-completed events
+//	TimersCanceled            counter    firings averted by Cancel
+//	PollWakeups               counter    poll wait returns (all sources)
+//	PollEvents                counter    readiness events harvested
+//	PollBatchHist             histogram  events/wakeup: ≤1,2–4,5–16,17–64,65–256,>256
+//	WriteStalls               counter    writes queued on kernel backpressure
+//	ReadPauses                counter    read pauses on saturated data colors
+//	QueuedEvents              gauge      in-memory queued events, runtime-wide
+//	SpilledEvents             counter    events appended to the spill store
+//	ReloadedEvents            counter    events reloaded from the spill store
+//	SpilledNow                gauge      events currently on disk
+//	RejectedPosts             counter    posts failed with ErrOverloaded
+//	BlockedPosts              counter    posts that waited under OverloadBlock
+//	SpillErrors               counter    spill fallbacks (unencodable payload
+//	                                     or disk failure; event kept in memory,
+//	                                     or — reload failure only — dropped)
+//	SpillDepthHist            histogram  disk depth at spill: ≤16,≤64,≤256,≤1k,≤4k,>4k
 type Stats struct {
 	Cores []CoreStats
 	// StealCostEstimate is the monitored cost of one steal, the
@@ -174,16 +228,38 @@ type Stats struct {
 	// wide (a cancel is not attributable to one core: the entry may
 	// have migrated between wheels since it was armed).
 	TimersCanceled int64
-	// PollWakeups, PollEvents, PollBatchHist, and WriteStalls aggregate
-	// every registered readiness source (Runtime.AddPollSource): poll
-	// wait returns, events harvested, the events-per-wakeup histogram
-	// (buckets ≤1, 2–4, 5–16, 17–64, 65–256, >256), and writes that hit
-	// kernel backpressure and were queued for EPOLLOUT-driven draining.
-	// All zero when no source is registered (e.g. the pump backend).
+	// PollWakeups, PollEvents, PollBatchHist, WriteStalls, and
+	// ReadPauses aggregate every registered readiness source
+	// (Runtime.AddPollSource): poll wait returns, events harvested, the
+	// events-per-wakeup histogram (buckets ≤1, 2–4, 5–16, 17–64,
+	// 65–256, >256), writes that hit kernel backpressure and were
+	// queued for EPOLLOUT-driven draining, and reads paused because the
+	// connection's data color was saturated. All zero when no source is
+	// registered (e.g. the pump backend without overload bounds).
 	PollWakeups   int64
 	PollEvents    int64
 	PollBatchHist [PollBatchBuckets]int64
 	WriteStalls   int64
+	ReadPauses    int64
+
+	// Overload-control counters, all zero on unbounded runtimes.
+	// QueuedEvents is the in-memory queued-event gauge the bounds are
+	// enforced against; SpilledNow is the on-disk backlog gauge.
+	// SpilledEvents/ReloadedEvents count traffic through the spill
+	// store (equal once a burst has fully drained); RejectedPosts and
+	// BlockedPosts count the Reject and Block policies' interventions;
+	// SpillErrors counts spill fallbacks (unencodable payloads and disk
+	// failures); SpillDepthHist bins each spilled record's observed
+	// per-color disk depth (buckets ≤16, ≤64, ≤256, ≤1024, ≤4096,
+	// >4096) — the distribution of how deep the tails run.
+	QueuedEvents   int64
+	SpilledEvents  int64
+	ReloadedEvents int64
+	SpilledNow     int64
+	RejectedPosts  int64
+	BlockedPosts   int64
+	SpillErrors    int64
+	SpillDepthHist [SpillDepthBuckets]int64
 }
 
 // Stats snapshots the runtime's counters. It is safe while running;
@@ -209,6 +285,21 @@ func (r *Runtime) Stats() Stats {
 	s.PollEvents = poll.Events
 	s.PollBatchHist = poll.BatchHist
 	s.WriteStalls = poll.WriteStalls
+	s.ReadPauses = poll.ReadPauses
+	if a := r.adm; a != nil {
+		s.QueuedEvents = a.queued.Load()
+		s.SpilledEvents = a.spilled.Load()
+		s.ReloadedEvents = a.reloaded.Load()
+		s.RejectedPosts = a.rejected.Load()
+		s.BlockedPosts = a.blocked.Load()
+		s.SpillErrors = a.spillErrs.Load()
+		if a.store != nil {
+			s.SpilledNow = a.store.TotalDepth()
+		}
+		for b := range s.SpillDepthHist {
+			s.SpillDepthHist[b] = a.depthHist[b].Load()
+		}
+	}
 	for i, c := range r.cores {
 		cs := CoreStats{
 			Events:           c.stats.events.Load(),
@@ -238,6 +329,15 @@ func (r *Runtime) Stats() Stats {
 			cs.TimerLagHist[b] = c.stats.timerLagHist[b].Load()
 		}
 		s.Cores[i] = cs
+	}
+	if r.adm == nil {
+		// Unbounded runtimes have no admission gauge; sum the per-core
+		// mirrors so QueuedEvents is meaningful everywhere.
+		var q int64
+		for i := range s.Cores {
+			q += int64(s.Cores[i].Queued)
+		}
+		s.QueuedEvents = q
 	}
 	return s
 }

@@ -1,0 +1,95 @@
+package mely
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// cumulativeTotals flattens the cumulative (documented-monotonic)
+// counters of a snapshot into one comparable vector; gauges and
+// estimates (Queued, Pending, TimersPending, QueuedEvents, SpilledNow,
+// StealCostEstimate) are deliberately excluded — see the Stats doc
+// table for the kind of every field.
+func cumulativeTotals(s Stats) []int64 {
+	t := s.Total()
+	out := []int64{
+		t.Events, int64(t.ExecTime),
+		t.Steals, t.RemoteSteals, t.StealAttempts, t.FailedSteals, int64(t.StealTime),
+		t.StolenEvents, int64(t.StolenTime), t.StolenColors,
+		t.Parks, t.BackoffParks, t.PostedHere, t.BatchedEvents,
+		t.ColorQueueChurns, t.Panics, t.TimersFired,
+		s.TimersCanceled,
+		s.PollWakeups, s.PollEvents, s.WriteStalls, s.ReadPauses,
+		s.SpilledEvents, s.ReloadedEvents, s.RejectedPosts, s.BlockedPosts, s.SpillErrors,
+	}
+	for _, b := range t.StealBatchHist {
+		out = append(out, b)
+	}
+	for _, b := range t.TimerLagHist {
+		out = append(out, b)
+	}
+	for _, b := range s.PollBatchHist {
+		out = append(out, b)
+	}
+	for _, b := range s.SpillDepthHist {
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestStatsMonotonicity drives a bounded, spilling runtime through
+// several bursts, snapshotting between them: every cumulative counter
+// must be non-decreasing across snapshots (the documented contract the
+// stats table promises to dashboards).
+func TestStatsMonotonicity(t *testing.T) {
+	r := newRuntime(t, Config{
+		Cores:           2,
+		MaxQueuedEvents: 16,
+		OverloadPolicy:  OverloadSpill,
+	})
+	defer r.Close()
+	h := r.Register("work", func(ctx *Ctx) { time.Sleep(2 * time.Microsecond) })
+	hTick := r.Register("tick", func(ctx *Ctx) {})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	prev := cumulativeTotals(r.Stats())
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			if err := r.Post(h, Color(i%5), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := r.PostAfter(hTick, 1, time.Millisecond, nil); err != nil {
+			t.Fatal(err)
+		}
+		if round == 2 {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := r.Drain(ctx); err != nil {
+				t.Fatal(err)
+			}
+			cancel()
+		}
+		cur := cumulativeTotals(r.Stats())
+		for i := range cur {
+			if cur[i] < prev[i] {
+				t.Fatalf("round %d: cumulative counter %d went backwards: %d -> %d",
+					round, i, prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	final := cumulativeTotals(r.Stats())
+	for i := range final {
+		if final[i] < prev[i] {
+			t.Fatalf("final snapshot: counter %d went backwards: %d -> %d", i, prev[i], final[i])
+		}
+	}
+}

@@ -181,8 +181,20 @@ func (r *Runtime) fireTimer(c *rcore, e *timerwheel.Entry, now int64) {
 	if err != nil {
 		return
 	}
-	r.pending.Add(1)
-	r.enqueue(ev)
+	if a := r.adm; a != nil {
+		// Timer firings are internal continuations: never rejected or
+		// blocked, but a spilling color's FIFO discipline still routes
+		// the event to the disk tail.
+		if a.admitInternal(equeue.Color(e.Color)) == routeDisk {
+			r.spillBuilt(ev)
+		} else {
+			r.pending.Add(1)
+			r.enqueue(ev)
+		}
+	} else {
+		r.pending.Add(1)
+		r.enqueue(ev)
+	}
 
 	if e.Period > 0 {
 		next := e.When + e.Period
