@@ -303,6 +303,7 @@ func (r *Runtime) deliverGroup(owner int, slab []equeue.Event, next []int32, hea
 		c.qlen.Store(int32(c.mely.Len()))
 		c.stealLen.Store(int32(c.mely.Stealing().Len()))
 	}
+	c.syncDiskLen()
 	if delivered > 0 {
 		c.stats.postedHere.Add(int64(delivered))
 		c.stats.batchedEvents.Add(int64(delivered))

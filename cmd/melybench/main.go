@@ -16,15 +16,29 @@
 //
 //	melybench -quick -gate-out BENCH_PR2.json -gate-against BENCH_baseline.json
 //	melybench -quick -gate-out BENCH_baseline.json   # refresh the baseline
+//
+// Declarative scenarios (docs/topology-schema.md): a topology spec
+// describes the whole fleet — workloads or servers, loads, faults,
+// phases, SLOs — and the harness materializes and runs it:
+//
+//	melybench -topology scenarios/overload.yaml -quick
+//	melybench -topology-dir scenarios -quick -gate-against BENCH_baseline.json
+//	melybench -topology-check scenarios   # lint specs (recursive), run nothing
+//
+// -scenario-out writes one gate-comparable JSON artifact per scenario.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/melyruntime/mely/internal/bench"
+	"github.com/melyruntime/mely/internal/scenario"
 )
 
 func main() {
@@ -43,8 +57,19 @@ func run() error {
 		seed        = flag.Int64("seed", 42, "simulation seed")
 		gateOut     = flag.String("gate-out", "", "run the benchmark gate suite and write its JSON here")
 		gateAgainst = flag.String("gate-against", "", "baseline gate JSON to compare against (fails on >10% regression)")
+		topology    = flag.String("topology", "", "run one topology spec file (.yaml/.json)")
+		topologyDir = flag.String("topology-dir", "", "run every topology spec in a directory (non-recursive, sorted)")
+		topoCheck   = flag.String("topology-check", "", "lint every topology spec under a directory (recursive); runs nothing")
+		scenarioOut = flag.String("scenario-out", "", "directory for per-scenario JSON artifacts (with -topology/-topology-dir)")
 	)
 	flag.Parse()
+
+	if *topoCheck != "" {
+		return runTopologyCheck(*topoCheck)
+	}
+	if *topology != "" || *topologyDir != "" {
+		return runTopology(*topology, *topologyDir, *scenarioOut, *gateOut, *gateAgainst, *quick, *seed)
+	}
 
 	if *list {
 		fmt.Println("experiments (-exp <id>):")
@@ -87,6 +112,166 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// specFiles lists the topology specs of dir, non-recursive, sorted by
+// name — a stable scenario order, which keeps gate artifacts
+// deterministic. Subdirectories (e.g. scenarios/live) are deliberately
+// not descended into: the gate runs the deterministic sim specs only.
+func specFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".yaml", ".yml", ".json":
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// runTopologyCheck lints every spec under root (recursive — the live/
+// subdirectory is linted even though -topology-dir skips it).
+func runTopologyCheck(root string) error {
+	var checked, bad int
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".yaml", ".yml", ".json":
+		default:
+			return nil
+		}
+		checked++
+		if _, err := scenario.Load(path); err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "BAD %s:\n%v\n", path, err)
+		} else {
+			fmt.Printf("ok  %s\n", path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("topology check: %d of %d spec(s) invalid", bad, checked)
+	}
+	fmt.Fprintf(os.Stderr, "[%d topology spec(s) ok]\n", checked)
+	return nil
+}
+
+// runTopology runs one spec file or a directory of them, prints the
+// records, writes per-scenario artifacts, and optionally gates the
+// emitted records against a baseline.
+func runTopology(file, dir, outDir, gateOut, gateAgainst string, quick bool, seed int64) error {
+	var files []string
+	if file != "" {
+		files = append(files, file)
+	}
+	if dir != "" {
+		more, err := specFiles(dir)
+		if err != nil {
+			return err
+		}
+		files = append(files, more...)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no topology specs found")
+	}
+	opt := scenario.Options{Seed: seed, Quick: quick}
+	var recs []scenario.Record
+	var failures []string
+	for _, path := range files {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := scenario.Run(spec, opt)
+		if err != nil {
+			// SLO violations still carry records; write the artifact for
+			// diagnosis, then fail at the end.
+			failures = append(failures, fmt.Sprintf("%s: %v", path, err))
+		}
+		if res == nil {
+			continue
+		}
+		for _, r := range res.Records {
+			fmt.Printf("%-18s %-34s %8.0f KEvents/s  attempts=%d steals=%d colors=%d\n",
+				r.Experiment, r.Config, r.KEventsPerSecond, r.StealAttempts, r.Steals, r.StolenColors)
+			for _, slo := range r.SLOs {
+				status := "pass"
+				if !slo.Pass {
+					status = "FAIL"
+				}
+				fmt.Printf("%18s SLO %s/%s: %s (%g, limit %g)\n", "", slo.Phase, slo.Check, status, slo.Value, slo.Limit)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", spec.Name, time.Since(start).Round(time.Millisecond))
+		recs = append(recs, res.Records...)
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			artifact := filepath.Join(outDir, spec.Name+".json")
+			f, err := os.Create(artifact)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[scenario artifact written to %s]\n", artifact)
+		}
+	}
+	result := bench.GateFromRecords(seed, quick, recs)
+	if gateOut != "" {
+		f, err := os.Create(gateOut)
+		if err != nil {
+			return err
+		}
+		if err := result.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[gate results written to %s]\n", gateOut)
+	}
+	if gateAgainst != "" {
+		baseline, err := bench.LoadGate(gateAgainst)
+		if err != nil {
+			return err
+		}
+		if violations := bench.CompareGate(baseline, result, bench.GateTolerance); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+			}
+			return fmt.Errorf("benchmark gate failed: %d regression(s) against %s", len(violations), gateAgainst)
+		}
+		fmt.Fprintf(os.Stderr, "[gate passed against %s]\n", gateAgainst)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "SCENARIO FAILED:", f)
+		}
+		return fmt.Errorf("%d scenario(s) failed", len(failures))
 	}
 	return nil
 }

@@ -28,29 +28,50 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", ":4460", "listen address")
-		fileMB = flag.Int("file-mb", 200, "size of the served file in MiB (the paper reads 200 MB)")
-		psk    = flag.String("psk", "", "pre-shared secret (required)")
-		cores  = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
-		pin    = flag.Bool("pin", false, "pin workers to CPUs (Linux)")
+		listen         = flag.String("listen", ":4460", "listen address")
+		fileMB         = flag.Int("file-mb", 200, "size of the served file in MiB (the paper reads 200 MB)")
+		psk            = flag.String("psk", "", "pre-shared secret (required)")
+		cores          = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
+		pin            = flag.Bool("pin", false, "pin workers to CPUs (Linux)")
+		maxQueued      = flag.Int("max-queued", 0, "bound on total queued events (0 = unbounded)")
+		maxQueuedColor = flag.Int("max-queued-color", 0, "bound on queued events per color (0 = unbounded)")
+		overload       = flag.String("overload", "reject", "overload policy when bounded: reject, block, spill")
+		spillDir       = flag.String("spill-dir", "", "directory for spilled event queues (overload=spill)")
+		shedOverload   = flag.Bool("shed-overload", false, "answer READs with OVERLOADED while the runtime is saturated instead of queuing crypto work (needs -max-queued or -max-queued-color)")
 	)
 	flag.Parse()
 	if *psk == "" {
 		return fmt.Errorf("a -psk is required")
 	}
+	opol, err := mely.ParseOverloadPolicy(*overload)
+	if err != nil {
+		return err
+	}
 
-	rt, err := mely.New(mely.Config{Cores: *cores, Policy: mely.PolicyMelyWS, Pin: *pin})
+	rt, err := mely.New(mely.Config{
+		Cores:             *cores,
+		Policy:            mely.PolicyMelyWS,
+		Pin:               *pin,
+		MaxQueuedEvents:   *maxQueued,
+		MaxQueuedPerColor: *maxQueuedColor,
+		OverloadPolicy:    opol,
+		SpillDir:          *spillDir,
+	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+	if *shedOverload && !rt.Bounded() {
+		return fmt.Errorf("-shed-overload needs a bounded runtime (-max-queued or -max-queued-color)")
+	}
 
 	content := make([]byte, *fileMB<<20)
 	rand.New(rand.NewSource(1)).Read(content)
 	srv, err := sfs.NewServer(sfs.ServerConfig{
-		Runtime: rt,
-		Files:   map[string][]byte{"/data": content},
-		PSK:     []byte(*psk),
+		Runtime:      rt,
+		Files:        map[string][]byte{"/data": content},
+		PSK:          []byte(*psk),
+		ShedOverload: *shedOverload,
 	})
 	if err != nil {
 		return err
@@ -74,6 +95,6 @@ func run() error {
 	if err := rt.Run(ctx); err != nil {
 		return err
 	}
-	fmt.Printf("sfsd: sent %d responses\n", srv.Sent())
+	fmt.Printf("sfsd: sent %d responses (%d shed)\n", srv.Sent(), srv.Shed())
 	return <-closed
 }

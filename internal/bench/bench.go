@@ -6,6 +6,7 @@ import (
 
 	"github.com/melyruntime/mely/internal/metrics"
 	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/scenario"
 	"github.com/melyruntime/mely/internal/sim"
 	"github.com/melyruntime/mely/internal/topology"
 )
@@ -42,6 +43,13 @@ func (o Options) windows(fullWarm, fullWin int64) (int64, int64) {
 		return fullWarm / 10, fullWin / 10
 	}
 	return fullWarm, fullWin
+}
+
+// scenarioOptions maps bench options onto the scenario harness, which
+// shares the same defaults (Xeon E5410, calibrated costs, seed 42) and
+// quick-scaling rules.
+func (o Options) scenarioOptions() scenario.Options {
+	return scenario.Options{Topology: o.Topology, Params: o.Params, Seed: o.Seed, Quick: o.Quick}
 }
 
 // Experiment regenerates one table or figure.

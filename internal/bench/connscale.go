@@ -1,70 +1,22 @@
 package bench
 
 import (
-	"github.com/melyruntime/mely/internal/equeue"
 	"github.com/melyruntime/mely/internal/metrics"
 	"github.com/melyruntime/mely/internal/policy"
-	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/scenario"
 )
 
 // The connscale workload is the C10K shape: a very large population of
-// connections of which only a sliver is active at any instant. Each
-// connection is a color that fires one small request, then sleeps a
-// long, jittered think pause (the sim timer heap) before its next
-// request — so the runtime carries thousands of live colors whose
-// queues are empty almost all the time. What this measures is the
-// per-color overhead floor at scale (color table pressure, short-lived
-// color queue churn, timer load), the regime the real runtime's epoll
-// backend now opens: readiness arrives as colored events for any
-// number of connections without per-connection goroutines or pumps.
-const (
-	connScaleConns      = 10_000
-	connScaleWorkCost   = 5_000     // cycles per request (parse + respond)
-	connScaleThinkCost  = 2_000_000 // mean think pause between requests
-	connScaleThinkSpan  = 1_000_000 // uniform jitter on top
-	connScaleQuickScale = 4
-)
-
-// buildConnScaleWorkload wires the mostly-idle closed loop.
-func (o Options) buildConnScaleWorkload(pol policy.Config) (*sim.Engine, error) {
-	conns := connScaleConns
-	if o.Quick {
-		conns = connScaleConns / connScaleQuickScale
-	}
-	var work equeue.HandlerID
-	eng, err := sim.New(sim.Config{
-		Topology: o.Topology,
-		Policy:   pol,
-		Params:   o.Params,
-		Seed:     o.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	work = eng.Register("connscale-work", func(ctx *sim.Ctx, ev *equeue.Event) {
-		delay := int64(connScaleThinkCost) + ctx.Rand().Int63n(connScaleThinkSpan)
-		ctx.PostAfter(delay, sim.Ev{Handler: work, Color: ev.Color, Cost: connScaleWorkCost})
-	}, sim.HandlerOpts{})
-	eng.Seed(func(ctx *sim.Ctx) {
-		for i := 0; i < conns; i++ {
-			// Sequential colors spread across all cores (the paper's
-			// color%ncores placement), like connection ids in the real
-			// servers. First arrivals stagger across one think pause.
-			color := equeue.Color(i + 2)
-			delay := int64(i) % connScaleThinkCost
-			ctx.PostAfter(delay, sim.Ev{Handler: work, Color: color, Cost: connScaleWorkCost})
-		}
-	})
-	return eng, nil
-}
-
+// connections of which only a sliver is active at any instant. The
+// workload itself now lives in internal/scenario (the declarative
+// harness's builtin "connscale" spec); this file is the thin shim that
+// keeps the bench experiment table and its report.
 func (o Options) measureConnScale(pol policy.Config) (*metrics.Run, error) {
-	eng, err := o.buildConnScaleWorkload(pol)
+	spec, err := scenario.Builtin("connscale")
 	if err != nil {
 		return nil, err
 	}
-	warm, win := o.windows(20_000_000, 200_000_000)
-	return measureBuilt(eng, warm, win), nil
+	return scenario.MeasureSim(spec, pol, o.scenarioOptions())
 }
 
 // ConnScaleScenario regenerates the connection-scaling table: runtime

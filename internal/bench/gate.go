@@ -6,8 +6,7 @@ import (
 	"io"
 	"os"
 
-	"github.com/melyruntime/mely/internal/metrics"
-	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/scenario"
 )
 
 // GateSchema versions the gate JSON so a future layout change fails
@@ -40,91 +39,60 @@ type GateResult struct {
 	Entries []GateEntry `json:"entries"`
 }
 
-// gateConfigs are the tracked configurations: the steal-relevant rows
-// of the unbalanced and penalty microbenchmarks, the batched steal
-// protocol the paper tables deliberately exclude, the deadline-driven
-// timer workload (all load arriving as timed events), the C10K-style
-// connscale workload (10k mostly-idle colors — the regime the epoll
-// netpoll backend opens), and the overload workload (a skewed
-// open-loop producer exceeding the MaxQueuedEvents bound at 2x the
-// service rate; its measurement additionally asserts zero event loss
-// through the spillq disk store, so the gate fails on a correctness
-// regression there, not just a throughput one).
-func gateConfigs() []struct {
-	experiment string
-	pol        policy.Config
-} {
-	batch := policy.MelyTimeLeftWS()
-	batch.BatchSteal = true
-	return []struct {
-		experiment string
-		pol        policy.Config
-	}{
-		{"unbalanced", policy.Mely()},
-		{"unbalanced", policy.MelyBaseWS()},
-		{"unbalanced", policy.MelyTimeLeftWS()},
-		{"unbalanced", batch},
-		{"penalty", policy.MelyBaseWS()},
-		{"penalty", policy.MelyPenaltyWS()},
-		{"timer", policy.Mely()},
-		{"timer", policy.MelyTimeLeftWS()},
-		{"connscale", policy.Mely()},
-		{"connscale", policy.MelyTimeLeftWS()},
-		{"overload", policy.Mely()},
-		{"overload", policy.MelyTimeLeftWS()},
-	}
-}
-
 // GateScenarios lists the gate suite's experiment/config pairs, for
-// melybench -list.
+// melybench -list. The suite is defined by scenario.Builtins(): the
+// steal-relevant rows of the unbalanced and penalty microbenchmarks,
+// the batched steal protocol the paper tables deliberately exclude,
+// the deadline-driven timer workload, the C10K-style connscale
+// workload, the overload workload (which additionally asserts zero
+// event loss through the spillq disk store, so the gate fails on a
+// correctness regression there, not just a throughput one), and the
+// fault-injected overload-slowdisk variant.
 func GateScenarios() []string {
 	var out []string
-	for _, gc := range gateConfigs() {
-		out = append(out, gc.experiment+"/"+gc.pol.String())
+	for _, s := range scenario.Builtins() {
+		for _, pol := range s.Sim.Policies {
+			out = append(out, s.Name+"/"+pol)
+		}
 	}
 	return out
 }
 
-// GateSuite measures every gate configuration. The simulator is
+// GateSuite measures every gate configuration by running the builtin
+// scenario specs — the exact same code path `melybench -topology-dir
+// scenarios` takes with the committed spec files. The simulator is
 // deterministic, so for a fixed seed and size the entries are exact:
 // any drift against a committed baseline is a code change, not noise —
 // which is what lets a 10% gate run on shared CI runners at all.
 func GateSuite(opt Options) (*GateResult, error) {
 	opt = opt.withDefaults()
-	res := &GateResult{Schema: GateSchema, Seed: opt.Seed, Quick: opt.Quick}
-	for _, gc := range gateConfigs() {
-		var (
-			run *metrics.Run
-			err error
-		)
-		switch gc.experiment {
-		case "unbalanced":
-			run, err = opt.measureUnbalanced(gc.pol)
-		case "penalty":
-			run, err = opt.measurePenalty(gc.pol)
-		case "timer":
-			run, err = opt.measureTimer(gc.pol)
-		case "connscale":
-			run, err = opt.measureConnScale(gc.pol)
-		case "overload":
-			run, err = opt.measureOverload(gc.pol)
-		default:
-			return nil, fmt.Errorf("bench: unknown gate experiment %q", gc.experiment)
-		}
+	var recs []scenario.Record
+	for _, s := range scenario.Builtins() {
+		res, err := scenario.Run(s, opt.scenarioOptions())
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bench: scenario %s: %w", s.Name, err)
 		}
-		t := run.Total()
+		recs = append(recs, res.Records...)
+	}
+	return GateFromRecords(opt.Seed, opt.Quick, recs), nil
+}
+
+// GateFromRecords converts scenario-harness records into a gate result,
+// so topology-emitted measurements (`melybench -topology-dir`) gate
+// against BENCH_baseline.json exactly like the code-driven suite.
+func GateFromRecords(seed int64, quick bool, recs []scenario.Record) *GateResult {
+	res := &GateResult{Schema: GateSchema, Seed: seed, Quick: quick}
+	for _, r := range recs {
 		res.Entries = append(res.Entries, GateEntry{
-			Experiment:       gc.experiment,
-			Config:           gc.pol.String(),
-			KEventsPerSecond: run.KEventsPerSecond(),
-			StealAttempts:    t.StealAttempts,
-			Steals:           t.Steals,
-			StolenColors:     t.StolenColors,
+			Experiment:       r.Experiment,
+			Config:           r.Config,
+			KEventsPerSecond: r.KEventsPerSecond,
+			StealAttempts:    r.StealAttempts,
+			Steals:           r.Steals,
+			StolenColors:     r.StolenColors,
 		})
 	}
-	return res, nil
+	return res
 }
 
 // WriteJSON writes the result as indented JSON (the committed-baseline

@@ -1,15 +1,9 @@
 package bench
 
 import (
-	"encoding/binary"
-	"fmt"
-	"os"
-
-	"github.com/melyruntime/mely/internal/equeue"
 	"github.com/melyruntime/mely/internal/metrics"
 	"github.com/melyruntime/mely/internal/policy"
-	"github.com/melyruntime/mely/internal/sim"
-	"github.com/melyruntime/mely/internal/spillq"
+	"github.com/melyruntime/mely/internal/scenario"
 )
 
 // The overload workload reproduces the bounded-queue spill protocol of
@@ -18,302 +12,17 @@ import (
 // machine's service rate, a MaxQueuedEvents-style bound caps the
 // in-memory queues, and the overflow spills — through the real
 // internal/spillq segment store, on real disk — reloading in FIFO
-// order as the queues drain below the low-water mark. The gate asserts
-// the subsystem's contract, not just its throughput: zero event loss,
-// per-color FIFO across the disk boundary, the in-memory bound never
-// exceeded, and a full drain after the burst. All work colors hash to
-// core 0 (the Libasync placement skew), so workstealing configurations
-// additionally exercise "spilled colors stay stealable".
-const (
-	overloadBound     = 1024              // modeled MaxQueuedEvents
-	overloadLowWater  = overloadBound / 2 // reload threshold
-	overloadReloadMax = 256               // records per reload batch
-	overloadColors    = 8                 // distinct work colors (skewed)
-	overloadTick      = 100_000           // producer period, cycles
-	overloadPerTick   = 160               // events per tick: 2x the 8-core service rate
-	overloadTicks     = 100               // burst length, ticks
-	overloadWorkCost  = 10_000            // cycles per work event
-	overloadProdCost  = 5_000             // producer bookkeeping per tick
-	spillAppendCycles = 300               // charged per spilled record (batched append)
-	reloadBatchCycles = 2_000             // fixed cost per reload batch
-	reloadRecCycles   = 150               // plus per reloaded record
-	overloadQuickDiv  = 4                 // burst-length divisor under -quick
-)
-
-// overloadColorState is one color's modeled admission state.
-type overloadColorState struct {
-	mem      int // in-memory events of this color
-	disk     int // spilled records not yet reloaded
-	last     int // last executed sequence (FIFO check); -1 initially
-	spilling bool
-	starved  bool
-}
-
-// overloadState is the modeled admission layer (the workload-level
-// mirror of mely's admission struct, single-threaded in virtual time).
-type overloadState struct {
-	store    *spillq.Store
-	colors   map[equeue.Color]*overloadColorState
-	starved  []equeue.Color
-	inMem    int
-	maxInMem int
-	produced int
-	consumed int
-	spilled  int
-	reloaded int
-	err      error
-}
-
-func (st *overloadState) color(c equeue.Color) *overloadColorState {
-	cs := st.colors[c]
-	if cs == nil {
-		cs = &overloadColorState{last: -1}
-		st.colors[c] = cs
-	}
-	return cs
-}
-
-func (st *overloadState) fail(format string, args ...any) {
-	if st.err == nil {
-		st.err = fmt.Errorf(format, args...)
-	}
-}
-
-// buildOverloadWorkload wires the skewed open-loop producer, the
-// bounded admission model, and the spill store.
-func (o Options) buildOverloadWorkload(pol policy.Config, store *spillq.Store) (*sim.Engine, *overloadState, error) {
-	ticks := overloadTicks
-	if o.Quick {
-		ticks = overloadTicks / overloadQuickDiv
-	}
-	ncores := o.Topology.NumCores()
-	eng, err := sim.New(sim.Config{
-		Topology: o.Topology,
-		Policy:   pol,
-		Params:   o.Params,
-		Seed:     o.Seed,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	st := &overloadState{store: store, colors: make(map[equeue.Color]*overloadColorState)}
-
-	var work, produce equeue.HandlerID
-
-	// workColor skews the load: half the events land on one color, the
-	// rest round-robin — and every color is ≡ 0 (mod ncores), homing on
-	// core 0 under the simulator's paper placement.
-	workColor := func(seq int) equeue.Color {
-		slot := 0
-		if seq%2 == 1 {
-			slot = 1 + (seq/2)%(overloadColors-1)
-		}
-		return equeue.Color((slot + 1) * ncores)
-	}
-
-	var seqBuf [8]byte
-	spillOne := func(ctx *sim.Ctx, c equeue.Color, seq int) {
-		cs := st.color(c)
-		cs.spilling = true
-		binary.LittleEndian.PutUint64(seqBuf[:], uint64(seq))
-		rec := spillq.Record{
-			Handler: int32(work),
-			Color:   uint64(c),
-			Cost:    overloadWorkCost,
-			Penalty: 1,
-			Tag:     1,
-			Payload: append([]byte(nil), seqBuf[:]...),
-		}
-		if err := st.store.Append(uint64(c), []spillq.Record{rec}); err != nil {
-			st.fail("spill append: %v", err)
-			return
-		}
-		cs.disk++
-		st.spilled++
-		ctx.Charge(spillAppendCycles)
-		if cs.mem == 0 && !cs.starved {
-			// Nothing of this color in memory: no execution will ever
-			// trigger its reload, so queue it for starved pickup.
-			cs.starved = true
-			st.starved = append(st.starved, c)
-		}
-	}
-
-	postOne := func(ctx *sim.Ctx, seq int) {
-		c := workColor(seq)
-		cs := st.color(c)
-		st.produced++
-		if cs.spilling || st.inMem >= overloadBound {
-			spillOne(ctx, c, seq)
-			return
-		}
-		cs.mem++
-		st.inMem++
-		if st.inMem > st.maxInMem {
-			st.maxInMem = st.inMem
-		}
-		ctx.Post(sim.Ev{Handler: work, Color: c, Cost: overloadWorkCost, Data: seq})
-	}
-
-	reloadColor := func(ctx *sim.Ctx, c equeue.Color) {
-		cs := st.color(c)
-		for cs.disk > 0 {
-			max := overloadBound - st.inMem
-			if max <= 0 {
-				if cs.mem == 0 && !cs.starved {
-					cs.starved = true
-					st.starved = append(st.starved, c)
-				}
-				return
-			}
-			if max > overloadReloadMax {
-				max = overloadReloadMax
-			}
-			recs, err := st.store.Reload(uint64(c), max, nil)
-			if err != nil {
-				st.fail("reload: %v", err)
-				return
-			}
-			if len(recs) == 0 {
-				st.fail("reload returned nothing with disk=%d for color %d", cs.disk, c)
-				return
-			}
-			ctx.Charge(reloadBatchCycles + int64(len(recs))*reloadRecCycles)
-			for _, rec := range recs {
-				seq := int(binary.LittleEndian.Uint64(rec.Payload))
-				cs.mem++
-				st.inMem++
-				if st.inMem > st.maxInMem {
-					st.maxInMem = st.inMem
-				}
-				ctx.Post(sim.Ev{Handler: equeue.HandlerID(rec.Handler), Color: c, Cost: rec.Cost, Data: seq})
-			}
-			cs.disk -= len(recs)
-			st.reloaded += len(recs)
-			if st.inMem > overloadLowWater {
-				break
-			}
-		}
-		if cs.disk == 0 {
-			cs.spilling = false
-		}
-	}
-
-	work = eng.Register("overload-work", func(ctx *sim.Ctx, ev *equeue.Event) {
-		c := ev.Color
-		cs := st.color(c)
-		// FIFO across the spill boundary: each color's sequence numbers
-		// (strictly increasing per color at posting time) must arrive in
-		// posting order — memory head before disk tail.
-		if seq := ev.Data.(int); seq <= cs.last {
-			st.fail("color %d executed seq %d after %d (FIFO broken)", c, seq, cs.last)
-		} else {
-			cs.last = seq
-		}
-		cs.mem--
-		st.inMem--
-		st.consumed++
-		if cs.spilling && cs.disk > 0 && st.inMem <= overloadLowWater {
-			reloadColor(ctx, c)
-		} else if cs.spilling && cs.disk == 0 {
-			cs.spilling = false
-		}
-		if cs.spilling && cs.disk > 0 && cs.mem == 0 && !cs.starved {
-			// Memory empty above the low-water mark: nothing of this
-			// color will execute again, so only starved pickup (below,
-			// on other colors' completions) can revive its disk tail.
-			cs.starved = true
-			st.starved = append(st.starved, c)
-		}
-		// Starved pickup: any completion with headroom revives a color
-		// whose whole backlog lives on disk.
-		for len(st.starved) > 0 && st.inMem < overloadBound {
-			sc := st.starved[0]
-			st.starved = st.starved[1:]
-			scs := st.color(sc)
-			scs.starved = false
-			if scs.disk > 0 {
-				reloadColor(ctx, sc)
-			}
-		}
-	}, sim.HandlerOpts{})
-
-	ticksDone := 0
-	seq := 0
-	produce = eng.Register("overload-produce", func(ctx *sim.Ctx, ev *equeue.Event) {
-		for i := 0; i < overloadPerTick; i++ {
-			postOne(ctx, seq)
-			seq++
-		}
-		ticksDone++
-		if ticksDone < ticks {
-			ctx.PostAfter(overloadTick, sim.Ev{Handler: produce, Color: ev.Color, Cost: overloadProdCost})
-		}
-	}, sim.HandlerOpts{DefaultCost: overloadProdCost})
-
-	eng.Seed(func(ctx *sim.Ctx) {
-		// The producer homes on core 1 (color ≡ 1 mod ncores), away
-		// from the work colors' core-0 pileup: an open-loop source must
-		// not wait its turn in the queue rotation it is flooding, or
-		// the offered load self-throttles below the bound.
-		ctx.Post(sim.Ev{Handler: produce, Color: equeue.Color((overloadColors+1)*ncores + 1), Cost: overloadProdCost})
-	})
-	return eng, st, nil
-}
-
-// measureOverload runs the overload scenario, then drives the engine to
-// full quiescence and enforces the subsystem's contract. The returned
-// metrics cover the standard measurement window; the assertions cover
-// the whole run.
+// order as the queues drain below the low-water mark. The workload and
+// its invariants (zero loss, per-color FIFO, bound never exceeded, full
+// drain) now live in internal/scenario (the declarative harness's
+// builtin "overload" spec); this file is the thin shim that keeps the
+// bench experiment table and its report.
 func (o Options) measureOverload(pol policy.Config) (*metrics.Run, error) {
-	dir, err := os.MkdirTemp("", "melybench-overload-")
+	spec, err := scenario.Builtin("overload")
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
-	store, err := spillq.Open(dir, spillq.Options{})
-	if err != nil {
-		return nil, err
-	}
-	defer store.Close()
-
-	eng, st, err := o.buildOverloadWorkload(pol, store)
-	if err != nil {
-		return nil, err
-	}
-	warm, win := o.windows(2_000_000, 20_000_000)
-	run := measureBuilt(eng, warm, win)
-
-	// Drain to completion: the producer has a finite burst, so the
-	// engine quiesces once every spilled event has reloaded and
-	// executed.
-	const drainHorizon = int64(1) << 40
-	eng.RunUntil(drainHorizon)
-
-	if st.err != nil {
-		return nil, fmt.Errorf("overload invariant: %w", st.err)
-	}
-	if st.consumed != st.produced {
-		return nil, fmt.Errorf("overload lost events: produced %d, consumed %d (spilled %d, reloaded %d)",
-			st.produced, st.consumed, st.spilled, st.reloaded)
-	}
-	if st.reloaded != st.spilled {
-		return nil, fmt.Errorf("overload spill imbalance: spilled %d, reloaded %d", st.spilled, st.reloaded)
-	}
-	if st.spilled == 0 {
-		return nil, fmt.Errorf("overload never spilled: the producer no longer exceeds the bound")
-	}
-	if st.maxInMem > overloadBound {
-		return nil, fmt.Errorf("overload bound violated: %d in memory, bound %d", st.maxInMem, overloadBound)
-	}
-	if st.inMem != 0 || store.TotalDepth() != 0 {
-		return nil, fmt.Errorf("overload did not drain: inMem=%d disk=%d", st.inMem, store.TotalDepth())
-	}
-	run.Payload["overload_produced"] = float64(st.produced)
-	run.Payload["overload_spilled"] = float64(st.spilled)
-	run.Payload["overload_reloaded"] = float64(st.reloaded)
-	run.Payload["overload_max_inmem"] = float64(st.maxInMem)
-	return run, nil
+	return scenario.MeasureSim(spec, pol, o.scenarioOptions())
 }
 
 // OverloadScenario regenerates the overload-control table: throughput
@@ -343,8 +52,9 @@ func OverloadScenario(opt Options) (*Report, error) {
 			f0(run.Payload["overload_spilled"]), f0(run.Payload["overload_reloaded"]),
 			f0(run.Payload["overload_max_inmem"]), f0(float64(t.Steals)))
 	}
+	p := scenario.DefaultOverloadParams()
 	r.AddNote("producer posts %d events per %d-cycle tick (2x the 8-core service rate) onto %d colors",
-		overloadPerTick, overloadTick, overloadColors)
+		p.PerTick, p.Tick, p.Colors)
 	r.AddNote("homed on core 0; overflow spills through internal/spillq segment files on real disk and")
 	r.AddNote("reloads below the low-water mark — zero loss and per-color FIFO are asserted, not sampled")
 	return r, nil

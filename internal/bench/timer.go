@@ -1,71 +1,24 @@
 package bench
 
 import (
-	"github.com/melyruntime/mely/internal/equeue"
 	"github.com/melyruntime/mely/internal/metrics"
 	"github.com/melyruntime/mely/internal/policy"
-	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/scenario"
 )
 
 // The timer workload is the deadline-driven server shape: closed-loop
 // clients that think between requests, modeled with the simulator's
-// timer facility (ctx.PostAfter) — every request re-arrives as a timed
-// event, exactly the arrival-process modeling the real runtime's
-// timing wheels now support. All client colors hash to core 0 (the
-// Libasync placement skew), so the offered load — several cores' worth
-// — reaches the machine through one core's queue and workstealing is
-// what spreads it. Fully deterministic for a fixed seed: the think
-// jitter comes from the engine's own rand.
-const (
-	timerClients    = 48
-	timerWorkCost   = 20_000  // cycles per request
-	timerThinkCost  = 150_000 // mean think time between a client's requests
-	timerThinkSpan  = 100_000 // uniform jitter on top
-	timerQuickScale = 4
-)
-
-// buildTimerWorkload wires the deadline-driven closed loop.
-func (o Options) buildTimerWorkload(pol policy.Config) (*sim.Engine, error) {
-	clients := timerClients
-	if o.Quick {
-		clients = timerClients / timerQuickScale * 3 // keep >1 core of load
-	}
-	ncores := o.Topology.NumCores()
-	var work equeue.HandlerID
-	eng, err := sim.New(sim.Config{
-		Topology: o.Topology,
-		Policy:   pol,
-		Params:   o.Params,
-		Seed:     o.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	work = eng.Register("timer-work", func(ctx *sim.Ctx, ev *equeue.Event) {
-		// The client thinks, then its next request arrives by deadline.
-		delay := int64(timerThinkCost) + ctx.Rand().Int63n(timerThinkSpan)
-		ctx.PostAfter(delay, sim.Ev{Handler: work, Color: ev.Color, Cost: timerWorkCost})
-	}, sim.HandlerOpts{})
-	eng.Seed(func(ctx *sim.Ctx) {
-		for i := 0; i < clients; i++ {
-			// Colors ≡ 0 (mod ncores): every client homes on core 0
-			// under the simulator's paper placement.
-			color := equeue.Color((i + 1) * ncores)
-			// Stagger the first arrivals across one think interval.
-			delay := int64(i) * (timerThinkCost / int64(timerClients))
-			ctx.PostAfter(delay, sim.Ev{Handler: work, Color: color, Cost: timerWorkCost})
-		}
-	})
-	return eng, nil
-}
-
+// timer facility (ctx.PostAfter). The workload itself now lives in
+// internal/scenario (the declarative harness's builtin "timer" spec);
+// this file is the thin shim that keeps the bench experiment table and
+// its report, so the spec-driven path and the hand-written path are the
+// same code.
 func (o Options) measureTimer(pol policy.Config) (*metrics.Run, error) {
-	eng, err := o.buildTimerWorkload(pol)
+	spec, err := scenario.Builtin("timer")
 	if err != nil {
 		return nil, err
 	}
-	warm, win := o.windows(20_000_000, 200_000_000)
-	return measureBuilt(eng, warm, win), nil
+	return scenario.MeasureSim(spec, pol, o.scenarioOptions())
 }
 
 // TimerScenario regenerates the deadline-driven workload table: how the

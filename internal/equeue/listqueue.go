@@ -74,6 +74,10 @@ func (q *ListQueue) SetSpillBacklog(c Color, n int) {
 // SpillBacklog reports the mirrored on-disk backlog of color c.
 func (q *ListQueue) SpillBacklog(c Color) int { return q.spilled[c] }
 
+// SpillBacklogTotal reports the summed mirrored on-disk backlog across
+// every color. O(1); zero while spill is not in use.
+func (q *ListQueue) SpillBacklogTotal() int { return q.spilledTotal }
+
 // effectivePending is the steal choice's view of a color's size: the
 // in-memory pending count plus the mirrored spilled tail.
 func (q *ListQueue) effectivePending(c Color) int {

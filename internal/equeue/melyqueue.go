@@ -101,6 +101,12 @@ type CoreQueue struct {
 	ncolors    int
 	nevents    int
 
+	// spilledTotal sums the spill-backlog mirrors of the linked
+	// ColorQueues: the on-disk tail a thief would acquire by stealing
+	// here. Maintained at link/unlink/SetSpillBacklog/MergeFront; zero
+	// whenever spill is not in use.
+	spilledTotal int
+
 	steal StealingQueue
 
 	// BatchThreshold caps consecutive events of one color. Zero means
@@ -131,6 +137,11 @@ func (q *CoreQueue) Colors() int { return q.ncolors }
 
 // Stealing exposes the core's StealingQueue.
 func (q *CoreQueue) Stealing() *StealingQueue { return &q.steal }
+
+// SpillBacklogTotal reports the summed on-disk backlog mirrored for the
+// colors currently linked on this core — the disk tail that would follow
+// those colors to a thief. O(1); zero while spill is not in use.
+func (q *CoreQueue) SpillBacklogTotal() int { return q.spilledTotal }
 
 // SetStealCost updates the worthiness threshold used to classify colors.
 // Existing classifications are corrected lazily as queues are touched;
@@ -294,6 +305,9 @@ func (q *CoreQueue) capTake(n int, hasRunning bool) int {
 // advisory (refreshed on every spill append and reload) and travels
 // with the ColorQueue on steals.
 func (q *CoreQueue) SetSpillBacklog(cq *ColorQueue, n int, cost int64) {
+	if cq.inCore {
+		q.spilledTotal += n - cq.spilled
+	}
 	cq.spilled = n
 	cq.spilledCost = cost
 	if cq.inCore {
@@ -329,6 +343,7 @@ func (q *CoreQueue) linkColor(cq *ColorQueue) {
 	q.tail = cq
 	cq.inCore = true
 	q.ncolors++
+	q.spilledTotal += cq.spilled
 }
 
 func (q *CoreQueue) unlinkColor(cq *ColorQueue) {
@@ -348,6 +363,7 @@ func (q *CoreQueue) unlinkColor(cq *ColorQueue) {
 	cq.cqNext, cq.cqPrev = nil, nil
 	cq.inCore = false
 	q.ncolors--
+	q.spilledTotal -= cq.spilled
 }
 
 // rotate moves the head ColorQueue to the tail (batch threshold reached).
@@ -420,6 +436,7 @@ func (q *CoreQueue) MergeFront(dst, src *ColorQueue) {
 	dst.cumCost += src.cumCost
 	dst.spilled += src.spilled
 	dst.spilledCost += src.spilledCost
+	q.spilledTotal += src.spilled // dst is linked; src was detached (uncounted)
 	q.nevents += src.count
 	q.steal.reclassify(dst)
 	src.head, src.tail, src.count, src.cumCost = nil, nil, 0, 0

@@ -122,3 +122,108 @@ func TestListQueueSpillWeighting(t *testing.T) {
 		t.Fatalf("cleared mirror must leave no residue: total=%d map=%v", q.spilledTotal, q.spilled)
 	}
 }
+
+// TestSpillBacklogTotalAggregate: the per-core SpillBacklogTotal must
+// track the summed mirror of the LINKED colors through every mutation a
+// backlog can ride along — set/clear, unlink on empty, steal
+// detach/adopt, and MergeFront — so the runtime can publish a victim's
+// whole disk tail in O(1) for steal ranking.
+func TestSpillBacklogTotalAggregate(t *testing.T) {
+	q := NewCoreQueue(1000)
+	if q.SpillBacklogTotal() != 0 {
+		t.Fatalf("fresh queue total = %d, want 0", q.SpillBacklogTotal())
+	}
+
+	// Color 2 first: it sits at the CoreQueue head, so the pop-to-unlink
+	// step below empties it while color 1 (the fat mirror) stays linked.
+	b := q.NewColorQueue(2)
+	q.Push(b, &Event{Color: 2, Cost: 10})
+	a := q.NewColorQueue(1)
+	q.Push(a, &Event{Color: 1, Cost: 10})
+
+	q.SetSpillBacklog(a, 500, 50_000)
+	q.SetSpillBacklog(b, 30, 3_000)
+	if got := q.SpillBacklogTotal(); got != 530 {
+		t.Fatalf("total after set = %d, want 530", got)
+	}
+	q.SetSpillBacklog(b, 40, 4_000) // re-set replaces, not adds
+	if got := q.SpillBacklogTotal(); got != 540 {
+		t.Fatalf("total after re-set = %d, want 540", got)
+	}
+
+	// Popping color 2 empty unlinks it: its mirror leaves the total.
+	ev, emptied := q.PopNext()
+	if ev == nil || emptied == nil || emptied.Color() != 2 {
+		t.Fatalf("PopNext = (%v, %v), want color 2 emptied", ev, emptied)
+	}
+	if got := q.SpillBacklogTotal(); got != 500 {
+		t.Fatalf("total after unlink = %d, want 500", got)
+	}
+
+	// A mirror set while the color is unlinked is deferred until relink.
+	q.SetSpillBacklog(b, 25, 2_500)
+	if got := q.SpillBacklogTotal(); got != 500 {
+		t.Fatalf("unlinked set must not count, total = %d", got)
+	}
+	q.Push(b, &Event{Color: 2, Cost: 10})
+	if got := q.SpillBacklogTotal(); got != 525 {
+		t.Fatalf("total after relink = %d, want 525", got)
+	}
+
+	// The backlog travels on a steal: the victim's total drops, the
+	// thief's rises by the stolen color's mirror.
+	stolen := q.StealWorthy(0, false)
+	if stolen != a {
+		t.Fatalf("StealWorthy = %v, want color 1's queue", stolen)
+	}
+	if got := q.SpillBacklogTotal(); got != 25 {
+		t.Fatalf("victim total after steal = %d, want 25", got)
+	}
+	thief := NewCoreQueue(1000)
+	thief.Adopt(stolen)
+	if got := thief.SpillBacklogTotal(); got != 500 {
+		t.Fatalf("thief total after adopt = %d, want 500", got)
+	}
+
+	// MergeFront folds a detached duplicate's mirror into the total.
+	dup := thief.NewColorQueue(1)
+	thief.Push(dup, &Event{Color: 1, Cost: 10})
+	thief.detach(stolen)
+	q2 := thief.SpillBacklogTotal()
+	if q2 != 0 {
+		t.Fatalf("thief total after detach = %d, want 0", q2)
+	}
+	thief.MergeFront(dup, stolen)
+	if got := thief.SpillBacklogTotal(); got != 500 {
+		t.Fatalf("thief total after merge = %d, want 500", got)
+	}
+
+	// Clearing zeroes without residue.
+	thief.SetSpillBacklog(dup, 0, 0)
+	if got := thief.SpillBacklogTotal(); got != 0 {
+		t.Fatalf("cleared total = %d, want 0", got)
+	}
+}
+
+// TestListQueueSpillBacklogTotal: the list layout's aggregate follows
+// the per-color mirror map.
+func TestListQueueSpillBacklogTotal(t *testing.T) {
+	q := NewListQueue()
+	if q.SpillBacklogTotal() != 0 {
+		t.Fatalf("fresh total = %d, want 0", q.SpillBacklogTotal())
+	}
+	q.SetSpillBacklog(1, 100)
+	q.SetSpillBacklog(2, 50)
+	if got := q.SpillBacklogTotal(); got != 150 {
+		t.Fatalf("total = %d, want 150", got)
+	}
+	q.SetSpillBacklog(1, 10) // replace
+	if got := q.SpillBacklogTotal(); got != 60 {
+		t.Fatalf("total after re-set = %d, want 60", got)
+	}
+	q.SetSpillBacklog(1, 0)
+	q.SetSpillBacklog(2, 0)
+	if got := q.SpillBacklogTotal(); got != 0 {
+		t.Fatalf("cleared total = %d, want 0", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,12 @@ type HTTPConfig struct {
 	// BurstPause is the pause between one client's bursts (0 =
 	// back-to-back bursts).
 	BurstPause time.Duration
+	// TrackLatency records per-request latencies and reports the P50
+	// and P99 percentiles in the Result — the measurement the scenario
+	// harness's SLO blocks gate on. In burst mode a response's latency
+	// is measured from its burst's write, the offered-load view. Off
+	// by default: the sample buffer costs memory at injection rates.
+	TrackLatency bool
 }
 
 func (c *HTTPConfig) defaults() error {
@@ -105,6 +112,52 @@ type Result struct {
 	BytesRead   int64
 	Elapsed     time.Duration
 	KRequestsPS float64
+	// LatencyP50/LatencyP99 are request-latency percentiles, populated
+	// only when HTTPConfig.TrackLatency is set (zero otherwise).
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
+// latencySampleCap bounds the per-run latency buffer: at typical
+// injection rates a measurement phase stays well under it, and a
+// pathological run degrades to a prefix sample instead of unbounded
+// memory.
+const latencySampleCap = 1 << 20
+
+// latencyRecorder accumulates request latencies across clients.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latencyRecorder) add(batch []time.Duration) {
+	if l == nil || len(batch) == 0 {
+		return
+	}
+	l.mu.Lock()
+	if room := latencySampleCap - len(l.samples); room > 0 {
+		if len(batch) > room {
+			batch = batch[:room]
+		}
+		l.samples = append(l.samples, batch...)
+	}
+	l.mu.Unlock()
+}
+
+// percentile returns the pth percentile (0 < p <= 100) of the sorted
+// samples.
+func (l *latencyRecorder) percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	idx := int(float64(len(l.samples))*p/100) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
 }
 
 // RunHTTP runs the closed-loop injection and aggregates the results.
@@ -124,14 +177,18 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
 		requests, errCount, connects, bytesRead atomic.Int64
 		wg                                      sync.WaitGroup
 		start                                   = make(chan struct{})
+		lat                                     *latencyRecorder
 	)
+	if cfg.TrackLatency {
+		lat = &latencyRecorder{}
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			<-start // master-synchronized start
 			for runCtx.Err() == nil && time.Now().Before(deadline) {
-				n, b, err := runConnection(runCtx, cfg, id)
+				n, b, err := runConnection(runCtx, cfg, id, lat)
 				requests.Add(n)
 				bytesRead.Add(b)
 				connects.Add(1)
@@ -168,6 +225,11 @@ func RunHTTP(ctx context.Context, cfg HTTPConfig) (Result, error) {
 	if elapsed > 0 {
 		res.KRequestsPS = float64(res.Requests) / elapsed.Seconds() / 1000
 	}
+	if lat != nil {
+		sort.Slice(lat.samples, func(i, j int) bool { return lat.samples[i] < lat.samples[j] })
+		res.LatencyP50 = lat.percentile(50)
+		res.LatencyP99 = lat.percentile(99)
+	}
 	return res, nil
 }
 
@@ -199,7 +261,7 @@ func holdIdleConns(ctx context.Context, cfg HTTPConfig, connects *atomic.Int64) 
 
 // runConnection performs up to RequestsPerConn requests on one
 // connection, returning the number completed and bytes read.
-func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, error) {
+func runConnection(ctx context.Context, cfg HTTPConfig, id int, lat *latencyRecorder) (int64, int64, error) {
 	d := net.Dialer{Timeout: cfg.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
@@ -218,14 +280,19 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 	}
 	br := bufio.NewReader(conn)
 	if cfg.Burst > 0 {
-		return runBurstConnection(ctx, cfg, conn, br, id)
+		return runBurstConnection(ctx, cfg, conn, br, id, lat)
 	}
 	var done, read int64
+	var samples []time.Duration
+	if lat != nil {
+		defer func() { lat.add(samples) }()
+	}
 	for i := 0; i < cfg.RequestsPerConn; i++ {
 		if ctx.Err() != nil {
 			return done, read, nil
 		}
 		path := cfg.Paths[(id+i)%len(cfg.Paths)]
+		sent := time.Now()
 		if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", path); err != nil {
 			return done, read, err
 		}
@@ -235,6 +302,9 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 			return done, read, err
 		}
 		done++
+		if lat != nil {
+			samples = append(samples, time.Since(sent))
+		}
 		if pause := thinkPause(cfg); pause > 0 && i+1 < cfg.RequestsPerConn {
 			// Think on the open connection (the idle-timeout shape),
 			// but never sleep past the run deadline.
@@ -256,10 +326,14 @@ func runConnection(ctx context.Context, cfg HTTPConfig, id int) (int64, int64, e
 // RequestsPerConn requests have been issued. A server shedding load
 // (503) still answers each request, so the response loop stays in
 // lockstep with the burst size.
-func runBurstConnection(ctx context.Context, cfg HTTPConfig, conn net.Conn, br *bufio.Reader, id int) (int64, int64, error) {
+func runBurstConnection(ctx context.Context, cfg HTTPConfig, conn net.Conn, br *bufio.Reader, id int, lat *latencyRecorder) (int64, int64, error) {
 	var done, read int64
 	issued := 0
 	var req bytes.Buffer
+	var samples []time.Duration
+	if lat != nil {
+		defer func() { lat.add(samples) }()
+	}
 	for issued < cfg.RequestsPerConn {
 		if ctx.Err() != nil {
 			return done, read, nil
@@ -273,6 +347,7 @@ func runBurstConnection(ctx context.Context, cfg HTTPConfig, conn net.Conn, br *
 			path := cfg.Paths[(id+issued+i)%len(cfg.Paths)]
 			fmt.Fprintf(&req, "GET %s HTTP/1.1\r\nHost: load\r\n\r\n", path)
 		}
+		sent := time.Now()
 		if _, err := conn.Write(req.Bytes()); err != nil {
 			return done, read, err
 		}
@@ -284,6 +359,9 @@ func runBurstConnection(ctx context.Context, cfg HTTPConfig, conn net.Conn, br *
 				return done, read, err
 			}
 			done++
+			if lat != nil {
+				samples = append(samples, time.Since(sent))
+			}
 		}
 		if cfg.BurstPause > 0 && issued < cfg.RequestsPerConn {
 			if deadline, ok := ctx.Deadline(); ok {

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse is the inverse of Config.String: it resolves a paper-style
+// configuration name ("mely", "mely-baseWS", "mely+timeleft-WS",
+// "libasync-WS", optionally suffixed "+batchsteal") back into a Config.
+// It is what lets declarative scenario specs name policies the same way
+// the gate baseline and the paper's tables do. Matching is exact on the
+// canonical spelling; Parse(c.String()) == c for every valid Config.
+func Parse(name string) (Config, error) {
+	orig := name
+	var c Config
+	if rest, ok := strings.CutSuffix(name, "+batchsteal"); ok {
+		c.BatchSteal = true
+		name = rest
+	}
+	switch name {
+	case "libasync":
+		c.Layout, c.Steal = ListLayout, StealNone
+	case "libasync-WS":
+		c.Layout, c.Steal = ListLayout, StealBase
+	case "mely":
+		c.Layout, c.Steal = MelyLayout, StealNone
+	case "mely-baseWS":
+		c.Layout, c.Steal = MelyLayout, StealBase
+	default:
+		flags, ok := strings.CutPrefix(name, "mely")
+		if !ok {
+			return Config{}, fmt.Errorf("policy: unknown configuration %q", orig)
+		}
+		flags, ok = strings.CutSuffix(flags, "-WS")
+		if !ok {
+			return Config{}, fmt.Errorf("policy: unknown configuration %q", orig)
+		}
+		c.Layout, c.Steal = MelyLayout, StealHeuristic
+		// The canonical flag order is locality, timeleft, penalty (see
+		// baseName); parse in that order so round-trips are exact.
+		flags, c.Locality = cutFlag(flags, "+locality")
+		flags, c.TimeLeft = cutFlag(flags, "+timeleft")
+		flags, c.PenaltyAware = cutFlag(flags, "+penalty")
+		if flags != "" || (!c.Locality && !c.TimeLeft && !c.PenaltyAware) {
+			return Config{}, fmt.Errorf("policy: unknown configuration %q", orig)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("policy: %q: %w", orig, err)
+	}
+	return c, nil
+}
+
+func cutFlag(s, flag string) (string, bool) {
+	return strings.CutPrefix(s, flag)
+}

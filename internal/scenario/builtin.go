@@ -1,0 +1,118 @@
+package scenario
+
+import "fmt"
+
+// Builtins returns the canonical gate scenarios, in gate-entry order:
+// the five legacy hand-written scenarios first (their records keep the
+// exact BENCH_baseline.json keys and order they always had), then the
+// fault-injection scenario the declarative harness adds. Each builtin
+// has a committed twin under scenarios/ — a parity test asserts the
+// parsed files equal these literals, which is what makes a file-driven
+// `melybench -topology-dir scenarios` run and the code-driven
+// bench.GateSuite bit-identical.
+func Builtins() []*Spec {
+	return []*Spec{
+		{
+			Name:        "unbalanced",
+			Description: "Paper unbalanced microbenchmark: 98% short events, 2% long, all posted on core 0",
+			Engine:      "sim",
+			Sim: &SimSpec{
+				Workload: "unbalanced",
+				Policies: []string{"mely", "mely-baseWS", "mely+timeleft-WS", "mely+timeleft-WS+batchsteal"},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 50_000_000},
+				{Name: "measure", Cycles: 500_000_000, Measure: true},
+			},
+		},
+		{
+			Name:        "penalty",
+			Description: "Paper penalty microbenchmark: cache-bound B chains with ws_penalty annotations",
+			Engine:      "sim",
+			Sim: &SimSpec{
+				Workload: "penalty",
+				Policies: []string{"mely-baseWS", "mely+timeleft+penalty-WS"},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 20_000_000},
+				{Name: "measure", Cycles: 200_000_000, Measure: true},
+			},
+		},
+		{
+			Name:        "timer",
+			Description: "Deadline-driven closed loop: 48 thinking clients, colors skewed onto core 0",
+			Engine:      "sim",
+			Sim: &SimSpec{
+				Workload: "timer",
+				Policies: []string{"mely", "mely+timeleft-WS"},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 20_000_000},
+				{Name: "measure", Cycles: 200_000_000, Measure: true},
+			},
+		},
+		{
+			Name:        "connscale",
+			Description: "C10K-style mostly-idle connections: 10k colors, ~2.5% active at any instant",
+			Engine:      "sim",
+			Sim: &SimSpec{
+				Workload: "connscale",
+				Policies: []string{"mely", "mely+timeleft-WS"},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 20_000_000},
+				{Name: "measure", Cycles: 200_000_000, Measure: true},
+			},
+		},
+		{
+			Name:        "overload",
+			Description: "Open-loop 2x overload with bounded queues + disk spill (zero-loss asserted)",
+			Engine:      "sim",
+			Sim: &SimSpec{
+				Workload: "overload",
+				Policies: []string{"mely", "mely+timeleft-WS"},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 2_000_000},
+				{Name: "measure", Cycles: 20_000_000, Measure: true},
+				{Name: "drain", Drain: true},
+			},
+			SLOs: []SLOSpec{
+				{Phase: "drain", ZeroLoss: true},
+				{Phase: "drain", MaxInMem: 1024},
+			},
+		},
+		{
+			Name: "overload-slowdisk",
+			Description: "Overload burst on a slow spill disk: every append and reload batch pays " +
+				"extra latency, and the zero-loss contract must still hold",
+			Engine: "sim",
+			Sim: &SimSpec{
+				Workload: "overload",
+				Policies: []string{"mely", "mely+timeleft-WS"},
+			},
+			Faults: []FaultSpec{
+				{Type: "spill-disk-latency", ExtraCycles: 1200},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 2_000_000},
+				{Name: "measure", Cycles: 20_000_000, Measure: true},
+				{Name: "drain", Drain: true},
+			},
+			SLOs: []SLOSpec{
+				{Phase: "drain", ZeroLoss: true},
+				{Phase: "drain", MaxInMem: 1024},
+			},
+		},
+	}
+}
+
+// Builtin returns one canonical scenario by name.
+func Builtin(name string) (*Spec, error) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: no builtin scenario %q", name)
+}

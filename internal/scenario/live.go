@@ -1,0 +1,694 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/loadgen"
+	"github.com/melyruntime/mely/internal/netpoll"
+	"github.com/melyruntime/mely/internal/sfs"
+	"github.com/melyruntime/mely/internal/sws"
+)
+
+// liveQuickDiv shrinks live phase durations under -quick, and
+// liveQuickFloor keeps a shrunk phase long enough to measure anything.
+const (
+	liveQuickDiv   = 4
+	liveQuickFloor = 250 * time.Millisecond
+)
+
+// parseLivePolicy maps a spec policy name to a mely.Policy. Both the
+// cmd/sws-style short aliases (melyws, melybasews, ...) and the
+// paper-style spellings the sim engine uses (mely+timeleft-WS, ...) are
+// accepted, so one spec vocabulary drives both engines.
+func parseLivePolicy(name string) (mely.Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "melyws", "mely+locality+timeleft+penalty-ws":
+		return mely.PolicyMelyWS, nil
+	case "mely":
+		return mely.PolicyMely, nil
+	case "melybasews", "mely-basews":
+		return mely.PolicyMelyBaseWS, nil
+	case "melytimeleftws", "mely+timeleft-ws":
+		return mely.PolicyMelyTimeLeftWS, nil
+	case "melypenaltyws", "mely+timeleft+penalty-ws":
+		return mely.PolicyMelyPenaltyWS, nil
+	case "melylocalityws", "mely+locality-ws":
+		return mely.PolicyMelyLocalityWS, nil
+	case "libasync":
+		return mely.PolicyLibasync, nil
+	case "libasyncws", "libasync-ws":
+		return mely.PolicyLibasyncWS, nil
+	}
+	return 0, fmt.Errorf("%w: live policy %q", ErrUnknownPolicy, name)
+}
+
+// liveConfigName is the Config key a live record gates under: the first
+// server's policy, normalized to the short alias spelling.
+func liveConfigName(s *Spec) string {
+	if len(s.Servers) == 0 || s.Servers[0].Policy == "" {
+		return "melyws"
+	}
+	return strings.ToLower(s.Servers[0].Policy)
+}
+
+// liveServer is one materialized ServerSpec: a runtime, the server on
+// top of it, and its loopback listen address.
+type liveServer struct {
+	spec *ServerSpec
+	rt   *mely.Runtime
+	sws  *sws.Server
+	sfs  *sfs.Server
+	addr string
+	// paths is the sws request corpus; psk/fileBytes shape sfs reads.
+	paths     []string
+	psk       []byte
+	fileBytes int
+}
+
+// shed reports the server's shed counter (503s or OVERLOADED statuses).
+func (ls *liveServer) shed() int64 {
+	if ls.sws != nil {
+		return ls.sws.OverloadShed()
+	}
+	return ls.sfs.Shed()
+}
+
+func (ls *liveServer) close() {
+	if ls.sws != nil {
+		_ = ls.sws.Close()
+	}
+	if ls.sfs != nil {
+		_ = ls.sfs.Close()
+	}
+	if ls.rt != nil {
+		_ = ls.rt.Close()
+	}
+}
+
+// buildLiveServer materializes one ServerSpec on a loopback listener.
+func buildLiveServer(s *Spec, sv *ServerSpec) (*liveServer, error) {
+	pol, err := parseLivePolicy(sv.Policy)
+	if err != nil {
+		return nil, err
+	}
+	overload := sv.Overload
+	if overload == "" {
+		overload = "reject"
+	}
+	opol, err := mely.ParseOverloadPolicy(overload)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := mely.New(mely.Config{
+		Cores:             sv.Cores,
+		Policy:            pol,
+		MaxQueuedEvents:   sv.MaxQueued,
+		MaxQueuedPerColor: sv.MaxQueuedColor,
+		OverloadPolicy:    opol,
+		SpillDir:          sv.SpillDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ls := &liveServer{spec: sv, rt: rt}
+	if err := rt.Start(); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ls.close()
+		return nil, err
+	}
+
+	// The slow-handler fault is wired at build time (sws.Config knobs);
+	// it targets one server and stays on for the whole run.
+	stall, stallEvery := liveStall(s, sv.Name)
+
+	switch sv.Kind {
+	case "sws":
+		files := sv.Files
+		if files <= 0 {
+			files = 150 // the paper's corpus size
+		}
+		fileBytes := sv.FileBytes
+		if fileBytes <= 0 {
+			fileBytes = 1024
+		}
+		corpus := make(map[string][]byte, files)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < files; i++ {
+			content := make([]byte, fileBytes)
+			rng.Read(content)
+			path := fmt.Sprintf("/file%03d.bin", i)
+			corpus[path] = content
+			ls.paths = append(ls.paths, path)
+		}
+		backend, err := netpoll.ParseBackend(sv.Backend)
+		if err != nil {
+			ls.close()
+			_ = ln.Close()
+			return nil, err
+		}
+		srv, err := sws.New(sws.Config{
+			Runtime:      rt,
+			Files:        corpus,
+			MaxClients:   sv.MaxClients,
+			IdleTimeout:  mustDuration(sv.IdleTimeout),
+			Backend:      backend,
+			PollerShards: sv.PollerShards,
+			ShedOverload: sv.ShedOverload,
+			Stall:        stall,
+			StallEvery:   stallEvery,
+		})
+		if err == nil {
+			err = srv.Serve(ln)
+		}
+		if err != nil {
+			ls.close()
+			_ = ln.Close()
+			return nil, err
+		}
+		ls.sws = srv
+		ls.addr = srv.Addr().String()
+	case "sfs":
+		fileBytes := sv.FileBytes
+		if fileBytes <= 0 {
+			fileBytes = 1 << 20
+		}
+		content := make([]byte, fileBytes)
+		rand.New(rand.NewSource(1)).Read(content)
+		psk := sv.PSK
+		if psk == "" {
+			psk = "scenario"
+		}
+		srv, err := sfs.NewServer(sfs.ServerConfig{
+			Runtime:       rt,
+			Files:         map[string][]byte{"/data": content},
+			PSK:           []byte(psk),
+			CryptoPenalty: sv.CryptoPenalty,
+			ShedOverload:  sv.ShedOverload,
+		})
+		if err == nil {
+			err = srv.Serve(ln)
+		}
+		if err != nil {
+			ls.close()
+			_ = ln.Close()
+			return nil, err
+		}
+		ls.sfs = srv
+		ls.addr = srv.Addr().String()
+		ls.psk = []byte(psk)
+		ls.fileBytes = fileBytes
+	}
+	return ls, nil
+}
+
+// liveStall resolves the slow-handler fault targeting the named server
+// (an empty fault server targets the fleet's first server).
+func liveStall(s *Spec, serverName string) (time.Duration, int) {
+	for _, f := range s.Faults {
+		if f.Type != "slow-handler" {
+			continue
+		}
+		target := f.Server
+		if target == "" && len(s.Servers) > 0 {
+			target = s.Servers[0].Name
+		}
+		if target != serverName {
+			continue
+		}
+		every := f.EveryNth
+		if every <= 0 {
+			every = 1
+		}
+		return mustDuration(f.Stall), every
+	}
+	return 0, 0
+}
+
+// phaseDuration resolves a live phase's wall-clock length, applying the
+// quick shrink.
+func phaseDuration(p *PhaseSpec, quick bool) time.Duration {
+	d := mustDuration(p.Duration)
+	if quick {
+		d /= liveQuickDiv
+		if d < liveQuickFloor {
+			d = liveQuickFloor
+		}
+	}
+	return d
+}
+
+// loadAgg aggregates one phase's load-generator results.
+type loadAgg struct {
+	requests int64
+	errors   int64
+	connects int64
+	p50, p99 time.Duration
+	elapsed  time.Duration
+}
+
+// runLive materializes the fleet, runs the phases, and aggregates the
+// measure phase into one gate-comparable record.
+func runLive(s *Spec, opt Options) (*Record, error) {
+	servers := make(map[string]*liveServer, len(s.Servers))
+	defer func() {
+		for _, ls := range servers {
+			ls.close()
+		}
+	}()
+	for i := range s.Servers {
+		ls, err := buildLiveServer(s, &s.Servers[i])
+		if err != nil {
+			return nil, fmt.Errorf("%s: server %q: %w", s.Name, s.Servers[i].Name, err)
+		}
+		servers[s.Servers[i].Name] = ls
+	}
+
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+
+	// Peak-heap sampler, run-wide (max_rss_mb gates on it).
+	var peakHeap atomic.Uint64
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			for {
+				cur := peakHeap.Load()
+				if ms.HeapInuse <= cur || peakHeap.CompareAndSwap(cur, ms.HeapInuse) {
+					break
+				}
+			}
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+
+	// Run-wide faults (phase "") live for the whole phase sequence.
+	runFaults := startLiveFaults(runCtx, s, servers, "")
+
+	var measured loadAgg
+	var sawMeasure bool
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		d := phaseDuration(ph, opt.Quick)
+		phCtx, cancelPhase := context.WithCancel(runCtx)
+		phFaults := startLiveFaults(phCtx, s, servers, ph.Name)
+		agg, err := runPhaseLoads(phCtx, s, servers, ph, d)
+		cancelPhase()
+		phFaults.Wait()
+		if err != nil {
+			cancelRun()
+			runFaults.Wait()
+			samplerWG.Wait()
+			return nil, fmt.Errorf("%s: phase %q: %w", s.Name, ph.Name, err)
+		}
+		if ph.Measure {
+			measured, sawMeasure = agg, true
+		}
+	}
+	cancelRun()
+	runFaults.Wait()
+	samplerWG.Wait()
+	if !sawMeasure {
+		return nil, fmt.Errorf("%s: %w: no measure phase ran", s.Name, ErrBadPhase)
+	}
+
+	var total mely.CoreStats
+	var shed, served int64
+	for _, ls := range servers {
+		t := ls.rt.Stats().Total()
+		total.StealAttempts += t.StealAttempts
+		total.Steals += t.Steals
+		total.StolenColors += t.StolenColors
+		shed += ls.shed()
+		if ls.sws != nil {
+			served += ls.sws.Served()
+		}
+		if ls.sfs != nil {
+			served += ls.sfs.Sent()
+		}
+	}
+
+	rssMB := float64(peakHeap.Load()) / (1 << 20)
+	krps := 0.0
+	if measured.elapsed > 0 {
+		krps = float64(measured.requests) / measured.elapsed.Seconds() / 1000
+	}
+	rec := &Record{
+		Scenario:         s.Name,
+		Experiment:       s.Name,
+		Config:           liveConfigName(s),
+		Engine:           "live",
+		KEventsPerSecond: krps,
+		StealAttempts:    total.StealAttempts,
+		Steals:           total.Steals,
+		StolenColors:     total.StolenColors,
+		Payload: map[string]float64{
+			"requests": float64(measured.requests),
+			"errors":   float64(measured.errors),
+			"connects": float64(measured.connects),
+			"served":   float64(served),
+			"shed":     float64(shed),
+			"p50_ms":   float64(measured.p50) / float64(time.Millisecond),
+			"p99_ms":   float64(measured.p99) / float64(time.Millisecond),
+			"rss_mb":   rssMB,
+		},
+	}
+	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB)
+	for _, slo := range rec.SLOs {
+		if !slo.Pass {
+			return rec, fmt.Errorf("%s: SLO %s on phase %q violated: %g (limit %g)",
+				s.Name, slo.Check, slo.Phase, slo.Value, slo.Limit)
+		}
+	}
+	return rec, nil
+}
+
+// runPhaseLoads drives every load attached to the phase (explicitly by
+// name, or implicitly: loads without a phase run in the measure phase)
+// and aggregates their results. Phases with no loads just hold the
+// fleet idle for the duration — the idle-timeout/churn shape.
+func runPhaseLoads(ctx context.Context, s *Spec, servers map[string]*liveServer, ph *PhaseSpec, d time.Duration) (loadAgg, error) {
+	var loads []*LoadSpec
+	for i := range s.Loads {
+		ld := &s.Loads[i]
+		if ld.Phase == ph.Name || (ld.Phase == "" && ph.Measure) {
+			loads = append(loads, ld)
+		}
+	}
+	agg := loadAgg{elapsed: d}
+	if len(loads) == 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(d):
+		}
+		return agg, nil
+	}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		loadErr error
+	)
+	for _, ld := range loads {
+		ls := servers[ld.Server]
+		wg.Add(1)
+		go func(ld *LoadSpec) {
+			defer wg.Done()
+			var (
+				res loadgen.Result
+				err error
+			)
+			if ls.sws != nil {
+				res, err = runHTTPLoad(ctx, ls, ld, d)
+			} else {
+				res, err = runSFSLoad(ctx, ls, ld, d)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && loadErr == nil {
+				loadErr = err
+			}
+			agg.requests += res.Requests
+			agg.errors += res.Errors
+			agg.connects += res.Connects
+			// Across generators the conservative aggregate is the worst
+			// percentile (a latency SLO must hold for every generator).
+			agg.p50 = max(agg.p50, res.LatencyP50)
+			agg.p99 = max(agg.p99, res.LatencyP99)
+		}(ld)
+	}
+	wg.Wait()
+	return agg, loadErr
+}
+
+// runHTTPLoad drives one sws load generator for the phase.
+func runHTTPLoad(ctx context.Context, ls *liveServer, ld *LoadSpec, d time.Duration) (loadgen.Result, error) {
+	paths := ld.Paths
+	if len(paths) == 0 {
+		paths = ls.paths
+	}
+	burst := 0
+	if ld.Mode == "open" {
+		burst = ld.Burst
+	}
+	return loadgen.RunHTTP(ctx, loadgen.HTTPConfig{
+		Addr:            ls.addr,
+		Clients:         ld.Clients,
+		RequestsPerConn: ld.RequestsPerConn,
+		Paths:           paths,
+		Duration:        d,
+		ThinkTime:       mustDuration(ld.Think),
+		ThinkJitter:     mustDuration(ld.ThinkJitter),
+		IdleConns:       ld.IdleConns,
+		Burst:           burst,
+		BurstPause:      mustDuration(ld.BurstPause),
+		TrackLatency:    true,
+	})
+}
+
+// runSFSLoad drives one sfs load generator: closed-loop clients each
+// reading /data whole-file over one persistent connection, multio
+// style. Shed READs (ErrOverloaded) count as errors but do not abort
+// the client — the SLO block decides how many are acceptable.
+func runSFSLoad(ctx context.Context, ls *liveServer, ld *LoadSpec, d time.Duration) (loadgen.Result, error) {
+	loadCtx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	deadline, _ := loadCtx.Deadline()
+
+	var (
+		requests, errCount, connects atomic.Int64
+		lat                          latRecorder
+		wg                           sync.WaitGroup
+	)
+	think := mustDuration(ld.Think)
+	for i := 0; i < ld.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var samples []time.Duration
+			defer func() { lat.add(samples) }()
+			for loadCtx.Err() == nil && time.Now().Before(deadline) {
+				c, err := sfs.Dial(ls.addr, ls.psk)
+				if err != nil {
+					if loadCtx.Err() == nil && time.Now().Before(deadline) {
+						errCount.Add(1)
+					}
+					return
+				}
+				connects.Add(1)
+				if ld.Chunk > 0 {
+					c.SetChunk(uint32(ld.Chunk))
+				}
+				if ld.ReadAhead > 0 {
+					c.SetReadAhead(ld.ReadAhead)
+				}
+				for loadCtx.Err() == nil && time.Now().Before(deadline) {
+					began := time.Now()
+					_, err := c.ReadFile("/data", ls.fileBytes)
+					if err != nil {
+						if loadCtx.Err() == nil && time.Now().Before(deadline) {
+							errCount.Add(1)
+						}
+						if !errors.Is(err, sfs.ErrOverloaded) {
+							break // reconnect on hard failure
+						}
+						continue
+					}
+					requests.Add(1)
+					samples = append(samples, time.Since(began))
+					if think > 0 {
+						time.Sleep(think)
+					}
+				}
+				c.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	res := loadgen.Result{
+		Requests: requests.Load(),
+		Errors:   errCount.Load(),
+		Connects: connects.Load(),
+		Elapsed:  d,
+	}
+	res.LatencyP50, res.LatencyP99 = lat.percentiles()
+	return res, nil
+}
+
+// latRecorder accumulates sfs request latencies across client
+// goroutines (the sws path reuses loadgen's internal recorder).
+type latRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latRecorder) add(batch []time.Duration) {
+	if len(batch) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.samples = append(l.samples, batch...)
+	l.mu.Unlock()
+}
+
+// percentiles returns the P50 and P99 of the recorded samples.
+func (l *latRecorder) percentiles() (p50, p99 time.Duration) {
+	if len(l.samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	at := func(p float64) time.Duration {
+		idx := int(float64(len(l.samples))*p/100) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return l.samples[idx]
+	}
+	return at(50), at(99)
+}
+
+// evalLiveSLOs evaluates the live SLO blocks against the measured
+// aggregate. SLOs attach to phases for readability, but the metrics all
+// come from the measure window (latency, errors, throughput) or the
+// whole run (RSS).
+func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64) []SLOResult {
+	var out []SLOResult
+	for _, slo := range s.SLOs {
+		if slo.MinKEventsPerSec > 0 {
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "min_kevents_per_sec",
+				Limit: slo.MinKEventsPerSec, Value: rec.KEventsPerSecond,
+				Pass: rec.KEventsPerSecond >= slo.MinKEventsPerSec,
+			})
+		}
+		if slo.MaxP99 != "" {
+			limit := mustDuration(slo.MaxP99)
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_p99",
+				Limit: float64(limit) / float64(time.Millisecond),
+				Value: float64(m.p99) / float64(time.Millisecond),
+				Pass:  m.p99 <= limit,
+			})
+		}
+		if slo.MaxErrorRatePct > 0 {
+			pct := 0.0
+			if total := m.requests + m.errors; total > 0 {
+				pct = float64(m.errors) / float64(total) * 100
+			}
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_error_rate_pct",
+				Limit: slo.MaxErrorRatePct, Value: pct,
+				Pass: pct <= slo.MaxErrorRatePct,
+			})
+		}
+		if slo.MaxRSSMB > 0 {
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_rss_mb",
+				Limit: float64(slo.MaxRSSMB), Value: rssMB,
+				Pass: rssMB <= float64(slo.MaxRSSMB),
+			})
+		}
+	}
+	return out
+}
+
+// startLiveFaults launches the fault injectors scoped to the named
+// phase ("" = run-wide). The returned WaitGroup joins them after the
+// scope's context is canceled. slow-handler is wired at server build
+// time, not here.
+func startLiveFaults(ctx context.Context, s *Spec, servers map[string]*liveServer, phase string) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		if f.Phase != phase {
+			continue
+		}
+		switch f.Type {
+		case "conn-churn":
+			target := f.Server
+			if target == "" {
+				target = s.Servers[0].Name
+			}
+			ls := servers[target]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				churnConnections(ctx, ls.addr, f.Rate)
+			}()
+		case "core-pressure":
+			for n := 0; n < f.Spinners; n++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					spin(ctx)
+				}()
+			}
+		}
+	}
+	return &wg
+}
+
+// churnConnections dials and immediately drops rate connections per
+// second against addr — the accept/reap pressure fault. Dial failures
+// are part of the fault (a MaxClients server refusing churn is correct
+// behavior), so they are ignored.
+func churnConnections(ctx context.Context, addr string, rate int) {
+	interval := time.Second / time.Duration(rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	d := net.Dialer{Timeout: time.Second}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) // RST-close: churn must not exhaust TIME_WAIT ports
+		}
+		_ = conn.Close()
+	}
+}
+
+// spin burns one OS-scheduled goroutine's worth of CPU — the mid-run
+// core-pressure fault (an antagonist process stealing cores).
+func spin(ctx context.Context) {
+	var sink uint64
+	for ctx.Err() == nil {
+		for i := 0; i < 1<<16; i++ {
+			sink += uint64(i)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestRunSimQuick: one end-to-end quick run of the overload builtin —
+// records per policy, the gated zero-loss SLOs evaluated and passing,
+// and the spill counters in the payload.
+func TestRunSimQuick(t *testing.T) {
+	spec, err := Builtin("overload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Records) != len(spec.Sim.Policies) {
+		t.Fatalf("got %d records, want one per policy (%d)", len(res.Records), len(spec.Sim.Policies))
+	}
+	for _, rec := range res.Records {
+		if rec.KEventsPerSecond <= 0 {
+			t.Errorf("%s/%s: KEvents/s = %g", rec.Scenario, rec.Config, rec.KEventsPerSecond)
+		}
+		if len(rec.SLOs) == 0 {
+			t.Errorf("%s/%s: overload SLOs not evaluated", rec.Scenario, rec.Config)
+		}
+		for _, slo := range rec.SLOs {
+			if !slo.Pass {
+				t.Errorf("%s/%s: SLO %s failed: %g (limit %g)", rec.Scenario, rec.Config, slo.Check, slo.Value, slo.Limit)
+			}
+		}
+		if rec.Payload["overload_spilled"] <= 0 {
+			t.Errorf("%s/%s: payload = %v, want spilled_events > 0", rec.Scenario, rec.Config, rec.Payload)
+		}
+	}
+}
+
+// TestRunSimDeterministic: same spec, same seed, same records — the
+// property the CI gate's bit-identical baseline rests on.
+func TestRunSimDeterministic(t *testing.T) {
+	spec, err := Builtin("unbalanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(spec, Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.KEventsPerSecond != rb.KEventsPerSecond || ra.Steals != rb.Steals ||
+			ra.StealAttempts != rb.StealAttempts {
+			t.Fatalf("run %d not deterministic: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestRunLiveQuick: a minimal live fleet — one sws server, one
+// closed-loop client, one short phase — must serve real requests over
+// loopback and emit a latency-bearing record.
+func TestRunLiveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenario spins real servers")
+	}
+	spec := &Spec{
+		Name:   "live-smoke",
+		Engine: "live",
+		Servers: []ServerSpec{
+			{Name: "web", Kind: "sws", Cores: 2},
+		},
+		Loads: []LoadSpec{
+			{Server: "web", Clients: 2},
+		},
+		Phases: []PhaseSpec{
+			{Name: "run", Duration: "1s", Measure: true},
+		},
+	}
+	res, err := Run(spec, Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(res.Records))
+	}
+	rec := res.Records[0]
+	if rec.Engine != "live" || rec.Payload["requests"] <= 0 {
+		t.Fatalf("live record = %+v, want served requests", rec)
+	}
+	if rec.Payload["p99_ms"] <= 0 {
+		t.Fatalf("live record payload = %v, want latency percentiles", rec.Payload)
+	}
+}

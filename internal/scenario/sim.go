@@ -1,0 +1,435 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/metrics"
+	"github.com/melyruntime/mely/internal/policy"
+	"github.com/melyruntime/mely/internal/sim"
+	"github.com/melyruntime/mely/internal/topology"
+	"github.com/melyruntime/mely/internal/workload"
+)
+
+// Options configures a scenario run. The defaults match internal/bench:
+// the paper's 8-core Xeon E5410, the calibrated cost model, seed 42.
+type Options struct {
+	Topology *topology.Topology
+	Params   sim.Params
+	Seed     int64
+	// Quick shrinks workloads and windows exactly like the hand-written
+	// bench paths: phase cycles divide by 10, and each workload's
+	// population shrinks by its documented quick rule.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Topology == nil {
+		o.Topology = topology.IntelXeonE5410()
+	}
+	if o.Params.CyclesPerSecond == 0 {
+		o.Params = sim.DefaultParams()
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// simFaults is the deterministic sim fault plan derived from a spec:
+// pure cycle perturbations, so a faulted scenario stays exactly
+// reproducible and gate-comparable.
+type simFaults struct {
+	spillExtra   int64 // per spill append and per reload batch
+	handlerExtra int64 // added to every nth work event
+	handlerNth   int
+}
+
+func (s *Spec) simFaultPlan() simFaults {
+	var f simFaults
+	for _, fault := range s.Faults {
+		switch fault.Type {
+		case "spill-disk-latency":
+			f.spillExtra += fault.ExtraCycles
+		case "slow-handler":
+			f.handlerExtra += fault.ExtraCycles
+			f.handlerNth = fault.EveryNth
+			if f.handlerNth <= 0 {
+				f.handlerNth = 1
+			}
+		}
+	}
+	return f
+}
+
+// simWindows resolves the phase list to the (warmup, window) horizon in
+// cycles, plus whether a drain phase follows. Warmup is the sum of all
+// phases before the measure window; quick mode divides by 10 like
+// bench.Options.windows.
+func (s *Spec) simWindows(quick bool) (warm, win int64, drain bool) {
+	for _, p := range s.Phases {
+		switch {
+		case p.Measure:
+			win = p.Cycles
+		case p.Drain:
+			drain = true
+		case win == 0:
+			warm += p.Cycles
+		}
+	}
+	if quick {
+		warm /= 10
+		win /= 10
+	}
+	return warm, win, drain
+}
+
+// Run materializes the scenario and measures every configuration,
+// returning one record per policy (sim) or one per scenario (live).
+// SLO violations fail the run with an error, but the returned Result
+// still carries every record measured (including the failed SLO
+// evaluations) so artifacts can be written for diagnosis.
+func Run(s *Spec, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if s.Seed != 0 {
+		opt.Seed = s.Seed
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: RecordSchema, Name: s.Name, Engine: s.Engine, Seed: opt.Seed, Quick: opt.Quick}
+	if s.Engine == "live" {
+		rec, err := runLive(s, opt)
+		if rec != nil {
+			res.Records = append(res.Records, *rec)
+		}
+		return res, err
+	}
+	var sloErr error
+	for _, polName := range s.Sim.Policies {
+		pol, err := policy.Parse(polName)
+		if err != nil {
+			return res, err
+		}
+		run, slos, err := measureSim(s, pol, opt)
+		if err != nil {
+			return res, fmt.Errorf("%s/%s: %w", s.Name, polName, err)
+		}
+		t := run.Total()
+		rec := Record{
+			Scenario:         s.Name,
+			Experiment:       s.Name,
+			Config:           pol.String(),
+			Engine:           "sim",
+			KEventsPerSecond: run.KEventsPerSecond(),
+			StealAttempts:    t.StealAttempts,
+			Steals:           t.Steals,
+			StolenColors:     t.StolenColors,
+			Payload:          run.Payload,
+			SLOs:             slos,
+		}
+		res.Records = append(res.Records, rec)
+		for _, slo := range slos {
+			if !slo.Pass && sloErr == nil {
+				sloErr = fmt.Errorf("%s/%s: SLO %s on phase %q violated: %g (limit %g)",
+					s.Name, polName, slo.Check, slo.Phase, slo.Value, slo.Limit)
+			}
+		}
+	}
+	return res, sloErr
+}
+
+// MeasureSim measures one policy of a sim scenario — the entry point
+// the internal/bench shims use, so the hand-written measurement paths
+// and the spec-driven ones are the same code. SLO violations are
+// returned as an error.
+func MeasureSim(s *Spec, pol policy.Config, opt Options) (*metrics.Run, error) {
+	run, slos, err := measureSim(s, pol, opt.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	for _, slo := range slos {
+		if !slo.Pass {
+			return nil, fmt.Errorf("%s: SLO %s on phase %q violated: %g (limit %g)",
+				s.Name, slo.Check, slo.Phase, slo.Value, slo.Limit)
+		}
+	}
+	return run, nil
+}
+
+func measureSim(s *Spec, pol policy.Config, opt Options) (*metrics.Run, []SLOResult, error) {
+	warm, win, drain := s.simWindows(opt.Quick)
+	faults := s.simFaultPlan()
+	var (
+		run *metrics.Run
+		ost *overloadState
+		err error
+	)
+	switch s.Sim.Workload {
+	case "unbalanced":
+		run, err = measureWorkload(opt, pol, warm, win, func() (*sim.Engine, error) {
+			return workload.BuildUnbalanced(opt.Topology, pol, opt.Params, opt.Seed, s.unbalancedSpec(opt.Quick))
+		})
+	case "penalty":
+		run, err = measureWorkload(opt, pol, warm, win, func() (*sim.Engine, error) {
+			return workload.BuildPenalty(opt.Topology, pol, opt.Params, opt.Seed, s.penaltySpec(opt.Quick))
+		})
+	case "cacheeff":
+		run, err = measureWorkload(opt, pol, warm, win, func() (*sim.Engine, error) {
+			return workload.BuildCacheEfficient(opt.Topology, pol, opt.Params, opt.Seed, s.cacheEffSpec(opt.Quick))
+		})
+	case "timer":
+		run, err = measureTimer(s, pol, opt, warm, win, faults)
+	case "connscale":
+		run, err = measureConnScale(s, pol, opt, warm, win, faults)
+	case "overload":
+		run, ost, err = measureOverload(s, pol, opt, warm, win, drain, faults)
+	default:
+		err = fmt.Errorf("%w: %q", ErrUnknownWorkload, s.Sim.Workload)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, s.evalSimSLOs(run, ost), nil
+}
+
+func measureWorkload(opt Options, pol policy.Config, warm, win int64, build func() (*sim.Engine, error)) (*metrics.Run, error) {
+	eng, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Measure(eng, warm, win), nil
+}
+
+// evalSimSLOs evaluates the declared SLO blocks against the measured
+// run (and, for overload, the post-drain admission state).
+func (s *Spec) evalSimSLOs(run *metrics.Run, ost *overloadState) []SLOResult {
+	var out []SLOResult
+	for _, slo := range s.SLOs {
+		if slo.MinKEventsPerSec > 0 {
+			v := run.KEventsPerSecond()
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "min_kevents_per_sec",
+				Limit: slo.MinKEventsPerSec, Value: v, Pass: v >= slo.MinKEventsPerSec,
+			})
+		}
+		if slo.ZeroLoss && ost != nil {
+			lost := float64(ost.produced-ost.consumed) + float64(ost.spilled-ost.reloaded) +
+				float64(ost.inMem)
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "zero_loss",
+				Limit: 0, Value: lost, Pass: lost == 0,
+			})
+		}
+		if slo.MaxInMem > 0 && ost != nil {
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_inmem",
+				Limit: float64(slo.MaxInMem), Value: float64(ost.maxInMem),
+				Pass: ost.maxInMem <= slo.MaxInMem,
+			})
+		}
+	}
+	return out
+}
+
+// Per-workload parameter resolution. Quick mode applies the same
+// shrinks the hand-written bench paths used (population overrides only
+// when the spec leaves the knob at its default), so a quick spec run is
+// bit-identical to the quick gate suite.
+
+func (s *Spec) unbalancedSpec(quick bool) workload.UnbalancedSpec {
+	var spec workload.UnbalancedSpec
+	if p := s.Sim.Unbalanced; p != nil {
+		spec = workload.UnbalancedSpec{
+			EventsPerRound: p.EventsPerRound,
+			ShortCost:      p.ShortCost,
+			LongMin:        p.LongMin,
+			LongMax:        p.LongMax,
+			ShortPermille:  p.ShortPermille,
+		}
+	}
+	if quick && spec.EventsPerRound == 0 {
+		spec.EventsPerRound = 2000
+	}
+	return spec
+}
+
+func (s *Spec) penaltySpec(quick bool) workload.PenaltySpec {
+	var spec workload.PenaltySpec
+	if p := s.Sim.Penalty; p != nil {
+		spec = workload.PenaltySpec{
+			NumA:       p.NumA,
+			ArrayBytes: p.ArrayBytes,
+			ChunkBytes: p.ChunkBytes,
+			ACost:      p.ACost,
+			BCost:      p.BCost,
+			BPenalty:   p.BPenalty,
+		}
+	}
+	if quick && spec.NumA == 0 {
+		spec.NumA = 64
+	}
+	return spec
+}
+
+func (s *Spec) cacheEffSpec(quick bool) workload.CacheEfficientSpec {
+	var spec workload.CacheEfficientSpec
+	if p := s.Sim.CacheEff; p != nil {
+		spec = workload.CacheEfficientSpec{
+			APerCore:   p.APerCore,
+			ArrayBytes: p.ArrayBytes,
+			ACost:      p.ACost,
+			SortCost:   p.SortCost,
+			SyncCost:   p.SyncCost,
+			MergeCost:  p.MergeCost,
+		}
+	}
+	if quick && spec.APerCore == 0 {
+		spec.APerCore = 20
+	}
+	return spec
+}
+
+// DefaultTimerParams returns the timer workload's paper-shaped
+// defaults: 48 closed-loop clients, 20k-cycle requests, 150k±100k-cycle
+// think pauses.
+func DefaultTimerParams() TimerParams {
+	return TimerParams{Clients: 48, WorkCost: 20_000, ThinkCost: 150_000, ThinkSpan: 100_000}
+}
+
+const timerQuickScale = 4
+
+func (s *Spec) timerParams() TimerParams {
+	p := DefaultTimerParams()
+	if t := s.Sim.Timer; t != nil {
+		if t.Clients != 0 {
+			p.Clients = t.Clients
+		}
+		if t.WorkCost != 0 {
+			p.WorkCost = t.WorkCost
+		}
+		if t.ThinkCost != 0 {
+			p.ThinkCost = t.ThinkCost
+		}
+		if t.ThinkSpan != 0 {
+			p.ThinkSpan = t.ThinkSpan
+		}
+	}
+	return p
+}
+
+// measureTimer wires the deadline-driven closed loop: clients that
+// think, then re-arrive as timed events (ctx.PostAfter), every color
+// hashing to core 0 so workstealing is what spreads the load. Moved
+// verbatim from internal/bench (which now shims through here).
+func measureTimer(s *Spec, pol policy.Config, opt Options, warm, win int64, faults simFaults) (*metrics.Run, error) {
+	p := s.timerParams()
+	clients := p.Clients
+	if opt.Quick {
+		clients = p.Clients / timerQuickScale * 3 // keep >1 core of load
+	}
+	ncores := opt.Topology.NumCores()
+	var work equeue.HandlerID
+	eng, err := sim.New(sim.Config{
+		Topology: opt.Topology,
+		Policy:   pol,
+		Params:   opt.Params,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nth := 0
+	work = eng.Register("timer-work", func(ctx *sim.Ctx, ev *equeue.Event) {
+		if faults.handlerExtra > 0 {
+			if nth++; nth%faults.handlerNth == 0 {
+				ctx.Charge(faults.handlerExtra)
+			}
+		}
+		// The client thinks, then its next request arrives by deadline.
+		delay := p.ThinkCost + ctx.Rand().Int63n(p.ThinkSpan)
+		ctx.PostAfter(delay, sim.Ev{Handler: work, Color: ev.Color, Cost: p.WorkCost})
+	}, sim.HandlerOpts{})
+	eng.Seed(func(ctx *sim.Ctx) {
+		for i := 0; i < clients; i++ {
+			// Colors ≡ 0 (mod ncores): every client homes on core 0
+			// under the simulator's paper placement.
+			color := equeue.Color((i + 1) * ncores)
+			// Stagger the first arrivals across one think interval
+			// (the divisor is the unscaled population, like the
+			// hand-written constant was).
+			delay := int64(i) * (p.ThinkCost / int64(p.Clients))
+			ctx.PostAfter(delay, sim.Ev{Handler: work, Color: color, Cost: p.WorkCost})
+		}
+	})
+	return sim.Measure(eng, warm, win), nil
+}
+
+// DefaultConnScaleParams returns the C10K workload's defaults: 10k
+// mostly-idle connection colors, 5k-cycle requests, 2M±1M-cycle pauses.
+func DefaultConnScaleParams() ConnScaleParams {
+	return ConnScaleParams{Conns: 10_000, WorkCost: 5_000, ThinkCost: 2_000_000, ThinkSpan: 1_000_000}
+}
+
+const connScaleQuickScale = 4
+
+func (s *Spec) connScaleParams() ConnScaleParams {
+	p := DefaultConnScaleParams()
+	if c := s.Sim.ConnScale; c != nil {
+		if c.Conns != 0 {
+			p.Conns = c.Conns
+		}
+		if c.WorkCost != 0 {
+			p.WorkCost = c.WorkCost
+		}
+		if c.ThinkCost != 0 {
+			p.ThinkCost = c.ThinkCost
+		}
+		if c.ThinkSpan != 0 {
+			p.ThinkSpan = c.ThinkSpan
+		}
+	}
+	return p
+}
+
+// measureConnScale wires the mostly-idle closed loop: a huge color
+// population of which only a sliver is active at any instant. Moved
+// verbatim from internal/bench (which now shims through here).
+func measureConnScale(s *Spec, pol policy.Config, opt Options, warm, win int64, faults simFaults) (*metrics.Run, error) {
+	p := s.connScaleParams()
+	conns := p.Conns
+	if opt.Quick {
+		conns = p.Conns / connScaleQuickScale
+	}
+	var work equeue.HandlerID
+	eng, err := sim.New(sim.Config{
+		Topology: opt.Topology,
+		Policy:   pol,
+		Params:   opt.Params,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nth := 0
+	work = eng.Register("connscale-work", func(ctx *sim.Ctx, ev *equeue.Event) {
+		if faults.handlerExtra > 0 {
+			if nth++; nth%faults.handlerNth == 0 {
+				ctx.Charge(faults.handlerExtra)
+			}
+		}
+		delay := p.ThinkCost + ctx.Rand().Int63n(p.ThinkSpan)
+		ctx.PostAfter(delay, sim.Ev{Handler: work, Color: ev.Color, Cost: p.WorkCost})
+	}, sim.HandlerOpts{})
+	eng.Seed(func(ctx *sim.Ctx) {
+		for i := 0; i < conns; i++ {
+			// Sequential colors spread across all cores (the paper's
+			// color%ncores placement), like connection ids in the real
+			// servers. First arrivals stagger across one think pause.
+			color := equeue.Color(i + 2)
+			delay := int64(i) % p.ThinkCost
+			ctx.PostAfter(delay, sim.Ev{Handler: work, Color: color, Cost: p.WorkCost})
+		}
+	})
+	return sim.Measure(eng, warm, win), nil
+}

@@ -1,0 +1,327 @@
+// Package scenario is the declarative scenario harness: a topology spec
+// (YAML or JSON) describes servers, load generators, fault injections,
+// run phases, and expected SLOs; the harness materializes the fleet
+// in-process, runs it, and emits one gate-comparable record per
+// measured configuration.
+//
+// Two engines share the spec language. The "sim" engine runs a workload
+// on the deterministic discrete-event simulator — the five benchmark
+// gate scenarios (unbalanced, penalty, timer, connscale, overload) are
+// expressed this way, and internal/bench's hand-written measurement
+// paths are now thin shims over the builtin specs, so a spec file and
+// its Go twin produce bit-identical results. The "live" engine builds
+// real sws/sfs servers on the mely runtime, drives them with
+// internal/loadgen clients over loopback TCP, and checks wall-clock
+// SLOs (p99 latency, error rate, max RSS).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Spec is one parsed scenario. The zero value of every optional field
+// means "use the documented default" (docs/topology-schema.md).
+type Spec struct {
+	// Name keys the scenario's gate records (GateEntry.Experiment).
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Engine selects the materialization: "sim" or "live".
+	Engine string `json:"engine"`
+	// Seed overrides the run seed (0 = inherit the harness seed, which
+	// defaults to 42 — the gate baseline's seed).
+	Seed int64 `json:"seed,omitempty"`
+
+	// Sim configures the sim engine (required when Engine is "sim").
+	Sim *SimSpec `json:"sim,omitempty"`
+
+	// Servers and Loads describe the live fleet (Engine "live").
+	Servers []ServerSpec `json:"servers,omitempty"`
+	Loads   []LoadSpec   `json:"loads,omitempty"`
+
+	// Phases order the run. Sim phases are measured in virtual cycles,
+	// live phases in wall-clock durations. Exactly one phase carries
+	// measure: true — its window produces the gate record.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+
+	// Faults are injected while the run executes.
+	Faults []FaultSpec `json:"faults,omitempty"`
+
+	// SLOs are asserted after the run; a violated SLO fails the
+	// scenario (and therefore the gate) loudly.
+	SLOs []SLOSpec `json:"slos,omitempty"`
+}
+
+// SimSpec selects a simulator workload and the policies to measure.
+// Exactly one parameter block — the one matching Workload — may be set;
+// a nil block means the paper-calibrated defaults.
+type SimSpec struct {
+	// Workload is one of unbalanced, penalty, cacheeff, timer,
+	// connscale, overload.
+	Workload string `json:"workload"`
+	// Policies are paper-style configuration names (policy.Parse):
+	// "mely", "mely-baseWS", "mely+timeleft-WS",
+	// "mely+timeleft-WS+batchsteal", ... One record is emitted per
+	// policy.
+	Policies []string `json:"policies"`
+
+	Unbalanced *UnbalancedParams `json:"unbalanced,omitempty"`
+	Penalty    *PenaltyParams    `json:"penalty,omitempty"`
+	CacheEff   *CacheEffParams   `json:"cacheeff,omitempty"`
+	Timer      *TimerParams      `json:"timer,omitempty"`
+	ConnScale  *ConnScaleParams  `json:"connscale,omitempty"`
+	Overload   *OverloadParams   `json:"overload,omitempty"`
+}
+
+// UnbalancedParams mirrors workload.UnbalancedSpec (zero = paper value).
+type UnbalancedParams struct {
+	EventsPerRound int   `json:"events_per_round,omitempty"`
+	ShortCost      int64 `json:"short_cost,omitempty"`
+	LongMin        int64 `json:"long_min,omitempty"`
+	LongMax        int64 `json:"long_max,omitempty"`
+	ShortPermille  int   `json:"short_permille,omitempty"`
+}
+
+// PenaltyParams mirrors workload.PenaltySpec (zero = paper value).
+type PenaltyParams struct {
+	NumA       int   `json:"num_a,omitempty"`
+	ArrayBytes int64 `json:"array_bytes,omitempty"`
+	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
+	ACost      int64 `json:"a_cost,omitempty"`
+	BCost      int64 `json:"b_cost,omitempty"`
+	BPenalty   int32 `json:"b_penalty,omitempty"`
+}
+
+// CacheEffParams mirrors workload.CacheEfficientSpec (zero = paper value).
+type CacheEffParams struct {
+	APerCore   int   `json:"a_per_core,omitempty"`
+	ArrayBytes int64 `json:"array_bytes,omitempty"`
+	ACost      int64 `json:"a_cost,omitempty"`
+	SortCost   int64 `json:"sort_cost,omitempty"`
+	SyncCost   int64 `json:"sync_cost,omitempty"`
+	MergeCost  int64 `json:"merge_cost,omitempty"`
+}
+
+// TimerParams parameterizes the deadline-driven closed loop.
+type TimerParams struct {
+	// Clients is the closed-loop client count (default 48; under
+	// -quick the harness scales it to Clients/4*3, keeping more than
+	// one core of offered load).
+	Clients   int   `json:"clients,omitempty"`
+	WorkCost  int64 `json:"work_cost,omitempty"`
+	ThinkCost int64 `json:"think_cost,omitempty"`
+	ThinkSpan int64 `json:"think_span,omitempty"`
+}
+
+// ConnScaleParams parameterizes the C10K-style mostly-idle loop.
+type ConnScaleParams struct {
+	// Conns is the connection-color population (default 10000; under
+	// -quick the harness divides it by 4).
+	Conns     int   `json:"conns,omitempty"`
+	WorkCost  int64 `json:"work_cost,omitempty"`
+	ThinkCost int64 `json:"think_cost,omitempty"`
+	ThinkSpan int64 `json:"think_span,omitempty"`
+}
+
+// OverloadParams parameterizes the bounded-queue spill workload.
+type OverloadParams struct {
+	// Bound models MaxQueuedEvents (default 1024).
+	Bound int `json:"bound,omitempty"`
+	// LowWater is the reload threshold (default Bound/2).
+	LowWater int `json:"low_water,omitempty"`
+	// ReloadMax caps records per reload batch (default 256).
+	ReloadMax int `json:"reload_max,omitempty"`
+	// Colors is the skewed work-color count (default 8).
+	Colors int `json:"colors,omitempty"`
+	// Tick is the producer period in cycles (default 100000).
+	Tick int64 `json:"tick,omitempty"`
+	// PerTick is events per tick (default 160 — 2x the 8-core service
+	// rate).
+	PerTick int `json:"per_tick,omitempty"`
+	// Ticks is the burst length (default 100; under -quick the
+	// harness divides it by 4).
+	Ticks int `json:"ticks,omitempty"`
+	// WorkCost is cycles per work event (default 10000).
+	WorkCost int64 `json:"work_cost,omitempty"`
+	// ProdCost is producer bookkeeping per tick (default 5000).
+	ProdCost int64 `json:"prod_cost,omitempty"`
+}
+
+// ServerSpec declares one live server of the fleet.
+type ServerSpec struct {
+	Name string `json:"name"`
+	// Kind is "sws" (the Web server) or "sfs" (the secure file server).
+	Kind string `json:"kind"`
+	// Cores is the worker-core count (0 = GOMAXPROCS).
+	Cores int `json:"cores,omitempty"`
+	// Policy is a live policy name: melyws (default), mely,
+	// melybasews, libasync, libasyncws — or the paper-style spelling
+	// accepted by the sim engine.
+	Policy string `json:"policy,omitempty"`
+	// Backend selects the netpoll backend for sws: auto (default),
+	// epoll, pumps.
+	Backend string `json:"backend,omitempty"`
+	// PollerShards sets the epoll reactor shard count (0 = NumCPU).
+	PollerShards int `json:"poller_shards,omitempty"`
+	// Files and FileBytes size the served content: sws serves Files
+	// distinct files of FileBytes each (defaults 150 x 1024, the
+	// paper's corpus); sfs serves one /data file of FileBytes
+	// (default 1 MiB).
+	Files     int `json:"files,omitempty"`
+	FileBytes int `json:"file_bytes,omitempty"`
+	// MaxClients bounds simultaneous connections (0 = unlimited).
+	MaxClients int `json:"max_clients,omitempty"`
+	// IdleTimeout reaps idle connections ("0s" = never; default never).
+	IdleTimeout string `json:"idle_timeout,omitempty"`
+	// Overload-control wiring (mely.Config).
+	MaxQueued      int    `json:"max_queued,omitempty"`
+	MaxQueuedColor int    `json:"max_queued_color,omitempty"`
+	Overload       string `json:"overload,omitempty"` // reject|block|spill
+	SpillDir       string `json:"spill_dir,omitempty"`
+	// ShedOverload answers 503 (sws) or an OVERLOADED status (sfs)
+	// while the runtime is saturated instead of queueing more work.
+	ShedOverload bool `json:"shed_overload,omitempty"`
+	// PSK is the sfs pre-shared key (default "scenario").
+	PSK string `json:"psk,omitempty"`
+	// CryptoPenalty is the sfs crypto handler's ws_penalty annotation.
+	CryptoPenalty int `json:"crypto_penalty,omitempty"`
+}
+
+// LoadSpec declares one load generator of the fleet.
+type LoadSpec struct {
+	// Server names the ServerSpec this generator drives.
+	Server string `json:"server"`
+	// Phase names the phase the load runs in (default: the measure
+	// phase).
+	Phase string `json:"phase,omitempty"`
+	// Mode is "closed" (default: one request awaits its response) or
+	// "open" (pipelined bursts decoupled from service rate; requires
+	// burst > 0).
+	Mode string `json:"mode,omitempty"`
+	// Clients is the concurrent virtual-client count.
+	Clients int `json:"clients"`
+	// RequestsPerConn reconnects each client after this many requests
+	// (default 150, the paper's figure).
+	RequestsPerConn int `json:"requests_per_conn,omitempty"`
+	// Paths overrides the request mix (default: the server's corpus,
+	// round-robin).
+	Paths []string `json:"paths,omitempty"`
+	// Think/ThinkJitter pause each client between requests.
+	Think       string `json:"think,omitempty"`
+	ThinkJitter string `json:"think_jitter,omitempty"`
+	// IdleConns holds this many extra silent connections open (the
+	// C10K shape).
+	IdleConns int `json:"idle_conns,omitempty"`
+	// Burst pipelines this many requests per gulp in open mode.
+	Burst      int    `json:"burst,omitempty"`
+	BurstPause string `json:"burst_pause,omitempty"`
+	// Chunk and ReadAhead shape sfs reads (defaults 64 KiB, window 4).
+	Chunk     int `json:"chunk,omitempty"`
+	ReadAhead int `json:"read_ahead,omitempty"`
+}
+
+// PhaseSpec is one step of the run.
+type PhaseSpec struct {
+	Name string `json:"name"`
+	// Cycles is the phase length in virtual cycles (sim; divided by 10
+	// under -quick, matching the hand-written windows).
+	Cycles int64 `json:"cycles,omitempty"`
+	// Duration is the phase length in wall-clock time (live; divided
+	// by 4 under -quick).
+	Duration string `json:"duration,omitempty"`
+	// Measure marks the measurement window (exactly one per spec).
+	Measure bool `json:"measure,omitempty"`
+	// Drain runs the sim to full quiescence (overload workload only:
+	// every spilled event must reload and execute).
+	Drain bool `json:"drain,omitempty"`
+}
+
+// FaultSpec is one fault injection.
+type FaultSpec struct {
+	// Type is one of slow-handler, spill-disk-latency (sim), or
+	// slow-handler, conn-churn, core-pressure (live).
+	Type string `json:"type"`
+	// Phase restricts a live fault to one phase (default: whole run).
+	// Sim faults are deterministic cost perturbations active for the
+	// whole run, so Phase must be empty for them.
+	Phase string `json:"phase,omitempty"`
+	// Server names the target server (live conn-churn; default: the
+	// first server).
+	Server string `json:"server,omitempty"`
+	// ExtraCycles is the sim perturbation: added to every EveryNth-th
+	// work event (slow-handler) or charged per spill append and per
+	// reload batch (spill-disk-latency).
+	ExtraCycles int64 `json:"extra_cycles,omitempty"`
+	// EveryNth stalls every Nth event/request (default 1 = all).
+	EveryNth int `json:"every_nth,omitempty"`
+	// Stall is the live slow-handler sleep per stalled request.
+	Stall string `json:"stall,omitempty"`
+	// Rate is the live conn-churn dial rate, connections per second.
+	Rate int `json:"rate,omitempty"`
+	// Spinners is the live core-pressure busy-goroutine count.
+	Spinners int `json:"spinners,omitempty"`
+}
+
+// SLOSpec is one post-run assertion, attached to a declared phase.
+type SLOSpec struct {
+	// Phase names the phase the SLO is evaluated over (required; an
+	// SLO without a matching phase is a validation error).
+	Phase string `json:"phase"`
+	// ZeroLoss asserts produced == consumed, spilled == reloaded, and
+	// a full drain (sim overload workload, drain phase).
+	ZeroLoss bool `json:"zero_loss,omitempty"`
+	// MaxInMem asserts the in-memory event bound was never exceeded
+	// (sim overload workload).
+	MaxInMem int `json:"max_inmem,omitempty"`
+	// MinKEventsPerSec floors the measured throughput (KEvents/s on
+	// sim, KRequests/s on live).
+	MinKEventsPerSec float64 `json:"min_kevents_per_sec,omitempty"`
+	// MaxP99 caps the 99th-percentile request latency (live).
+	MaxP99 string `json:"max_p99,omitempty"`
+	// MaxErrorRatePct caps errors as a percentage of requests (live).
+	MaxErrorRatePct float64 `json:"max_error_rate_pct,omitempty"`
+	// MaxRSSMB caps the sampled peak heap footprint (live).
+	MaxRSSMB int `json:"max_rss_mb,omitempty"`
+}
+
+// Load reads, parses, and validates one spec file (.yaml, .yml, or
+// .json).
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data, strings.EqualFold(filepath.Ext(path), ".json"))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse decodes and validates one spec document.
+func Parse(data []byte, isJSON bool) (*Spec, error) {
+	raw := data
+	if !isJSON {
+		doc, err := decodeYAML(data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		raw, err = json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// minimal valid documents the malformed cases below are derived from.
+const validSimDoc = `
+name: ok-sim
+engine: sim
+sim:
+  workload: unbalanced
+  policies: [mely]
+phases:
+  - name: measure
+    cycles: 1000
+    measure: true
+`
+
+const validLiveDoc = `
+name: ok-live
+engine: live
+servers:
+  - name: web
+    kind: sws
+loads:
+  - server: web
+    clients: 2
+phases:
+  - name: run
+    duration: 1s
+    measure: true
+`
+
+func TestParseValidDocs(t *testing.T) {
+	for _, doc := range []string{validSimDoc, validLiveDoc} {
+		if _, err := Parse([]byte(doc), false); err != nil {
+			t.Fatalf("valid doc rejected: %v", err)
+		}
+	}
+}
+
+// TestValidateMalformed is the contract test for the typed sentinels:
+// every class of spec mistake must surface as an errors.Is-able sentinel
+// with a dotted field path, so tooling can classify failures without
+// parsing prose.
+func TestValidateMalformed(t *testing.T) {
+	tests := []struct {
+		name  string
+		doc   string
+		want  error  // sentinel the joined error must unwrap to
+		field string // substring of the offending FieldError path
+	}{
+		{
+			name: "yaml syntax",
+			doc:  "name: [unclosed",
+			want: ErrBadSpec,
+		},
+		{
+			name: "unknown top-level field",
+			doc:  validSimDoc + "bogus_knob: 7\n",
+			want: ErrBadSpec,
+		},
+		{
+			name:  "bad scenario name",
+			doc:   strings.Replace(validSimDoc, "name: ok-sim", "name: Ok_Sim!", 1),
+			want:  ErrBadSpec,
+			field: "name",
+		},
+		{
+			name:  "unknown engine",
+			doc:   strings.Replace(validSimDoc, "engine: sim", "engine: quantum", 1),
+			want:  ErrUnknownEngine,
+			field: "engine",
+		},
+		{
+			name:  "unknown workload",
+			doc:   strings.Replace(validSimDoc, "workload: unbalanced", "workload: fractal", 1),
+			want:  ErrUnknownWorkload,
+			field: "sim.workload",
+		},
+		{
+			name:  "unknown policy",
+			doc:   strings.Replace(validSimDoc, "policies: [mely]", "policies: [mely, turbo-WS]", 1),
+			want:  ErrUnknownPolicy,
+			field: "sim.policies[1]",
+		},
+		{
+			name:  "negative seed",
+			doc:   validSimDoc + "seed: -1\n",
+			want:  ErrNegativeCount,
+			field: "seed",
+		},
+		{
+			name:  "no phases",
+			doc:   strings.SplitN(validSimDoc, "phases:", 2)[0] + "phases: []\n",
+			want:  ErrBadPhase,
+			field: "phases",
+		},
+		{
+			name: "duplicate phase names",
+			doc: validSimDoc + `  - name: measure
+    cycles: 10
+`,
+			want:  ErrBadPhase,
+			field: "phases[1].name",
+		},
+		{
+			name:  "no measure phase",
+			doc:   strings.Replace(validSimDoc, "    measure: true\n", "", 1),
+			want:  ErrBadPhase,
+			field: "phases",
+		},
+		{
+			name:  "sim phase with duration",
+			doc:   strings.Replace(validSimDoc, "cycles: 1000", "duration: 2s", 1),
+			want:  ErrBadPhase,
+			field: "phases[0]",
+		},
+		{
+			name:  "drain outside overload workload",
+			doc:   validSimDoc + "  - name: drain\n    drain: true\n",
+			want:  ErrBadPhase,
+			field: "phases[1]",
+		},
+		{
+			name:  "unknown backend",
+			doc:   strings.Replace(validLiveDoc, "kind: sws", "kind: sws\n    backend: iouring", 1),
+			want:  ErrUnknownBackend,
+			field: "servers[0].backend",
+		},
+		{
+			name:  "unknown overload policy",
+			doc:   strings.Replace(validLiveDoc, "kind: sws", "kind: sws\n    overload: shrug", 1),
+			want:  ErrUnknownBackend,
+			field: "servers[0].overload",
+		},
+		{
+			name:  "unknown server kind",
+			doc:   strings.Replace(validLiveDoc, "kind: sws", "kind: ftp", 1),
+			want:  ErrUnknownServerKind,
+			field: "servers[0].kind",
+		},
+		{
+			name: "duplicate server name",
+			doc: strings.Replace(validLiveDoc, "loads:", `  - name: web
+    kind: sfs
+loads:`, 1),
+			want:  ErrDuplicateServer,
+			field: "servers[1].name",
+		},
+		{
+			name:  "load references unknown server",
+			doc:   strings.Replace(validLiveDoc, "server: web", "server: ghost", 1),
+			want:  ErrUnknownServer,
+			field: "loads[0].server",
+		},
+		{
+			name:  "negative client count",
+			doc:   strings.Replace(validLiveDoc, "clients: 2", "clients: -3", 1),
+			want:  ErrNegativeCount,
+			field: "loads[0]",
+		},
+		{
+			name:  "open mode without burst",
+			doc:   strings.Replace(validLiveDoc, "clients: 2", "clients: 2\n    mode: open", 1),
+			want:  ErrBadSpec,
+			field: "loads[0].burst",
+		},
+		{
+			name:  "live phase without duration",
+			doc:   strings.Replace(validLiveDoc, "duration: 1s", "cycles: 10", 1),
+			want:  ErrBadPhase,
+			field: "phases[0]",
+		},
+		{
+			name:  "bad duration string",
+			doc:   strings.Replace(validLiveDoc, "duration: 1s", "duration: 5 parsecs", 1),
+			want:  ErrBadDuration,
+			field: "phases[0].duration",
+		},
+		{
+			name:  "SLO names unknown phase",
+			doc:   validSimDoc + "slos:\n  - phase: cooldown\n    zero_loss: true\n",
+			want:  ErrSLOPhase,
+			field: "slos[0].phase",
+		},
+		{
+			name:  "SLO asserts nothing",
+			doc:   validSimDoc + "slos:\n  - phase: measure\n",
+			want:  ErrBadSLO,
+			field: "slos[0]",
+		},
+		{
+			name:  "sim SLO on a live scenario",
+			doc:   validLiveDoc + "slos:\n  - phase: run\n    zero_loss: true\n",
+			want:  ErrBadSLO,
+			field: "slos[0]",
+		},
+		{
+			name:  "live SLO on a sim scenario",
+			doc:   validSimDoc + "slos:\n  - phase: measure\n    max_p99: 10ms\n",
+			want:  ErrBadSLO,
+			field: "slos[0]",
+		},
+		{
+			name:  "unknown fault type",
+			doc:   validSimDoc + "faults:\n  - type: meteor-strike\n    extra_cycles: 5\n",
+			want:  ErrUnknownFault,
+			field: "faults[0].type",
+		},
+		{
+			name:  "live fault on sim engine",
+			doc:   validSimDoc + "faults:\n  - type: conn-churn\n    rate: 10\n",
+			want:  ErrUnknownFault,
+			field: "faults[0].type",
+		},
+		{
+			name:  "spill fault outside overload workload",
+			doc:   validSimDoc + "faults:\n  - type: spill-disk-latency\n    extra_cycles: 100\n",
+			want:  ErrBadFault,
+			field: "faults[0]",
+		},
+		{
+			name:  "conn-churn without rate",
+			doc:   validLiveDoc + "faults:\n  - type: conn-churn\n",
+			want:  ErrBadFault,
+			field: "faults[0].rate",
+		},
+		{
+			name:  "live slow-handler scoped to a phase",
+			doc:   validLiveDoc + "faults:\n  - type: slow-handler\n    stall: 1ms\n    phase: run\n",
+			want:  ErrBadFault,
+			field: "faults[0].phase",
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc), false)
+			if err == nil {
+				t.Fatalf("malformed doc accepted:\n%s", tc.doc)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not unwrap to %v", err, tc.want)
+			}
+			if tc.field == "" {
+				return
+			}
+			// The offending FieldError must carry the dotted path.
+			found := false
+			for _, line := range strings.Split(err.Error(), "\n") {
+				if strings.HasPrefix(line, tc.field+":") || strings.HasPrefix(line, tc.field+".") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no FieldError at %q in:\n%v", tc.field, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// decodeYAML parses the YAML subset the scenario specs use — block
+// mappings and sequences by indentation, inline flow lists, plain and
+// quoted scalars, and '#' comments — into the map/slice/scalar shapes
+// encoding/json produces, so one strict json.Decoder pass turns either
+// format into a Spec. It is deliberately not a YAML implementation
+// (go.mod carries zero dependencies by design): no anchors, no
+// multi-document streams, no block scalars, no flow mappings. The
+// supported subset is documented in docs/topology-schema.md.
+func decodeYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		text := stripComment(raw)
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.Contains(text, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed for indentation", i+1)
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		lines = append(lines, yamlLine{num: i + 1, indent: indent, text: strings.TrimSpace(text)})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+type yamlLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses the run of lines indented at least `indent`, starting at
+// the current position, as a mapping or a sequence.
+func (p *yamlParser) block(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *yamlParser) mapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key], err = parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// A bare "key:" introduces a nested block (or null when the
+		// document ends or dedents right away).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			m[key], err = p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) sequence(indent int) (any, error) {
+	items := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if l.indent > indent {
+				return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				items = append(items, nil)
+				continue
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+			continue
+		}
+		if isMappingStart(rest) {
+			// "- key: value" opens an inline mapping item; its further
+			// keys continue on deeper-indented lines. Rewrite the line
+			// as the first mapping entry at the item body's indent.
+			body := indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = yamlLine{num: l.num, indent: body, text: rest}
+			v, err := p.mapping(body)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+			continue
+		}
+		p.pos++
+		v, err := parseScalarOrFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+// splitKey splits "key: rest" (rest possibly empty).
+func splitKey(l yamlLine) (key, rest string, err error) {
+	i := mappingColon(l.text)
+	if i < 0 {
+		return "", "", fmt.Errorf("line %d: expected \"key: value\", got %q", l.num, l.text)
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if len(key) >= 2 && (key[0] == '"' || key[0] == '\'') {
+		unq, uerr := unquote(key)
+		if uerr != nil {
+			return "", "", fmt.Errorf("line %d: %v", l.num, uerr)
+		}
+		key = unq
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("line %d: empty mapping key", l.num)
+	}
+	return key, strings.TrimSpace(l.text[i+1:]), nil
+}
+
+func isMappingStart(s string) bool { return mappingColon(s) >= 0 }
+
+// mappingColon finds the key-separating ": " (or trailing ":") outside
+// quotes, or -1.
+func mappingColon(s string) int {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case ':':
+			if i+1 == len(s) || s[i+1] == ' ' {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseScalarOrFlow parses a scalar value or an inline "[a, b, c]" list.
+func parseScalarOrFlow(s string, line int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("line %d: unterminated flow list %q", line, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		items := []any{}
+		if inner == "" {
+			return items, nil
+		}
+		for _, part := range splitFlow(inner) {
+			v, err := parseScalarOrFlow(strings.TrimSpace(part), line)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+		}
+		return items, nil
+	}
+	return parseScalar(s, line)
+}
+
+// splitFlow splits a flow list body on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case ',':
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func parseScalar(s string, line int) (any, error) {
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		v, err := unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		return v, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		// json.Marshal would render an int64 exactly; float64 keeps
+		// the json round-trip lossless for every value the specs use.
+		return float64(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+func unquote(s string) (string, error) {
+	if len(s) < 2 || s[0] != s[len(s)-1] {
+		return "", fmt.Errorf("malformed quoted string %s", s)
+	}
+	if s[0] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	return strconv.Unquote(s)
+}
+
+// stripComment removes a trailing '#' comment (outside quotes). A '#'
+// must be at line start or preceded by whitespace to open a comment,
+// matching YAML.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '#':
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}

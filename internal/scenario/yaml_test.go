@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDecodeYAMLShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+		want any
+	}{
+		{
+			name: "empty document",
+			doc:  "\n# only a comment\n",
+			want: map[string]any{},
+		},
+		{
+			name: "scalars and types",
+			doc: `name: hello
+count: 42
+ratio: 0.5
+on: true
+off: false
+nothing: null
+quoted: "a: b # not a comment"
+single: 'it''s'
+`,
+			want: map[string]any{
+				"name": "hello", "count": float64(42), "ratio": 0.5,
+				"on": true, "off": false, "nothing": nil,
+				"quoted": "a: b # not a comment", "single": "it's",
+			},
+		},
+		{
+			name: "flow list",
+			doc:  "policies: [mely, mely+timeleft-WS, 3, true]\nempty: []\n",
+			want: map[string]any{
+				"policies": []any{"mely", "mely+timeleft-WS", float64(3), true},
+				"empty":    []any{},
+			},
+		},
+		{
+			name: "nested blocks and sequences",
+			doc: `sim:
+  workload: timer
+servers:
+  - name: web
+    cores: 4
+  - name: files
+loads:
+  - one
+  - two
+`,
+			want: map[string]any{
+				"sim": map[string]any{"workload": "timer"},
+				"servers": []any{
+					map[string]any{"name": "web", "cores": float64(4)},
+					map[string]any{"name": "files"},
+				},
+				"loads": []any{"one", "two"},
+			},
+		},
+		{
+			name: "comments and trailing comments",
+			doc: `# header
+a: 1 # trailing
+b: "x # kept"
+`,
+			want: map[string]any{"a": float64(1), "b": "x # kept"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := decodeYAML([]byte(tc.doc))
+			if err != nil {
+				t.Fatalf("decodeYAML: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("decodeYAML =\n%#v\nwant\n%#v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeYAMLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"tab indentation", "a:\n\tb: 1\n"},
+		{"unterminated flow list", "a: [1, 2\n"},
+		{"stray indentation", "a: 1\n    b: 2\n"},
+		{"missing colon", "a: 1\nnot a mapping line\n"},
+		{"duplicate key", "a: 1\na: 2\n"},
+		{"empty key", ": 1\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if v, err := decodeYAML([]byte(tc.doc)); err == nil {
+				t.Fatalf("accepted %q as %#v", tc.doc, v)
+			}
+		})
+	}
+}

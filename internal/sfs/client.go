@@ -1,10 +1,16 @@
 package sfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 )
+
+// ErrOverloaded reports a READ rejected by a server shedding load
+// (ServerConfig.ShedOverload). Callers distinguish it with errors.Is to
+// count sheds separately from hard failures.
+var ErrOverloaded = errors.New("sfs: server overloaded")
 
 // Client reads files from an SFS server over one persistent connection,
 // with a read-ahead window like the multio benchmark. Client is not
@@ -91,6 +97,9 @@ func (c *Client) ReadFile(path string, size int) ([]byte, error) {
 			return nil, fmt.Errorf("sfs: unexpected response id %d", resp.ReqID)
 		}
 		delete(inflight, resp.ReqID)
+		if resp.Status == statusOverloaded {
+			return nil, fmt.Errorf("%w (offset %d)", ErrOverloaded, p.offset)
+		}
 		if resp.Status != statusOK {
 			return nil, fmt.Errorf("sfs: server status %d for offset %d", resp.Status, p.offset)
 		}

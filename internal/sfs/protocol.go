@@ -30,9 +30,10 @@ const (
 	typeRead     = 1
 	typeResponse = 2
 
-	statusOK       = 0
-	statusNotFound = 1
-	statusBadRange = 2
+	statusOK         = 0
+	statusNotFound   = 1
+	statusBadRange   = 2
+	statusOverloaded = 3
 
 	nonceBytes = 16
 	macBytes   = sha256.Size

@@ -24,6 +24,12 @@ type ServerConfig struct {
 	// default penalty 1 lets thieves balance crypto freely — matching
 	// the paper, where stealing helps SFS).
 	CryptoPenalty int
+	// ShedOverload answers READs with an OVERLOADED status while the
+	// runtime is saturated (mely.Runtime.Saturated) instead of posting
+	// more crypto work — the sealing of the tiny status frame is the
+	// only CPU spent on a shed request. Only meaningful on a bounded
+	// runtime.
+	ShedOverload bool
 }
 
 // Server serves encrypted file reads on the mely runtime. Handlers:
@@ -37,9 +43,11 @@ type Server struct {
 
 	hDecode, hCrypto, hSend mely.Handler
 
-	srv   *netpoll.Server
-	nonce atomic.Uint64
-	sent  atomic.Int64
+	srv          *netpoll.Server
+	nonce        atomic.Uint64
+	sent         atomic.Int64
+	shedOverload bool
+	shed         atomic.Int64
 }
 
 type cryptoJob struct {
@@ -73,7 +81,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.CryptoPenalty < 1 {
 		cfg.CryptoPenalty = 1
 	}
-	s := &Server{rt: cfg.Runtime, files: cfg.Files, keys: DeriveKeys(cfg.PSK)}
+	s := &Server{rt: cfg.Runtime, files: cfg.Files, keys: DeriveKeys(cfg.PSK), shedOverload: cfg.ShedOverload}
 
 	s.hSend = s.rt.Register("sfs.Send", func(ctx *mely.Ctx) {
 		job := ctx.Data().(*sendJob)
@@ -141,6 +149,15 @@ func (s *Server) decode(ctx *mely.Ctx) {
 			msg.Conn.Shutdown()
 			return
 		}
+		if s.shedOverload && s.rt.Saturated(msg.Conn.Color()) {
+			// Reject new crypto work while the runtime is saturated:
+			// the client gets a sealed OVERLOADED status (cheap — no
+			// payload to encrypt) instead of this READ's chunk joining
+			// an already-bounded queue.
+			s.shed.Add(1)
+			jobs = append(jobs, &cryptoJob{conn: msg.Conn, reqID: req.ReqID, status: statusOverloaded})
+			continue
+		}
 		jobs = append(jobs, s.lookup(msg.Conn, req))
 	}
 	remaining := append([]byte(nil), rest...)
@@ -180,6 +197,10 @@ func (s *Server) lookup(conn *netpoll.Conn, req ReadRequest) *cryptoJob {
 
 // Sent reports the number of responses written.
 func (s *Server) Sent() int64 { return s.sent.Load() }
+
+// Shed reports the number of READs answered OVERLOADED by the
+// ShedOverload rejector.
+func (s *Server) Shed() int64 { return s.shed.Load() }
 
 // Addr reports the listen address (valid after Serve).
 func (s *Server) Addr() net.Addr { return s.srv.Addr() }

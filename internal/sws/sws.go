@@ -64,6 +64,13 @@ type Config struct {
 	// netpoll's read backpressure still applies underneath (a client
 	// flooding one connection is paused, a polite client is shed).
 	ShedOverload bool
+	// Stall and StallEvery are the scenario harness's slow-handler
+	// fault injection: every StallEvery-th request sleeps Stall inside
+	// CheckInCache, occupying that core and color as a stuck backend
+	// call (a blocking disk read, a lock hiccup) would. Zero disables;
+	// production paths never set these.
+	Stall      time.Duration
+	StallEvery int
 }
 
 // Server is a running SWS instance.
@@ -82,6 +89,9 @@ type Server struct {
 	backend      netpoll.Backend
 	pollerShards int
 	shedOverload bool
+	stall        time.Duration
+	stallEvery   int64
+	stallCount   atomic.Int64
 
 	accepted     atomic.Int64 // bookkeeping under color 1; atomic for reads
 	served       atomic.Int64
@@ -176,6 +186,10 @@ func New(cfg Config) (*Server, error) {
 	s.backend = cfg.Backend
 	s.pollerShards = cfg.PollerShards
 	s.shedOverload = cfg.ShedOverload
+	if cfg.Stall > 0 && cfg.StallEvery > 0 {
+		s.stall = cfg.Stall
+		s.stallEvery = int64(cfg.StallEvery)
+	}
 	return s, nil
 }
 
@@ -296,6 +310,9 @@ func (s *Server) parseRequest(ctx *mely.Ctx) {
 
 // checkInCache resolves the prebuilt response.
 func (s *Server) checkInCache(ctx *mely.Ctx) {
+	if s.stallEvery > 0 && s.stallCount.Add(1)%s.stallEvery == 0 {
+		time.Sleep(s.stall) // injected slow-handler fault
+	}
 	job := ctx.Data().(*respondJob)
 	if err := ctx.Post(s.hWrite, ctx.Color(), job); err != nil {
 		job.state.conn.Shutdown()

@@ -985,6 +985,7 @@ func (r *Runtime) syncSpillMirror(color equeue.Color, n int64, cost int64) {
 		} else if cq := r.table.Queue(color); cq != nil && cq != inTransitMarker {
 			c.mely.SetSpillBacklog(cq, int(n), cost)
 		}
+		c.syncDiskLen()
 		c.lock.Unlock()
 		return
 	}

@@ -108,6 +108,10 @@ type rcore struct {
 	// qlen/stealLen mirror queue sizes for unlocked victim screening.
 	qlen     atomic.Int32
 	stealLen atomic.Int32
+	// diskLen mirrors the summed spill backlog of the colors linked on
+	// this core, so thieves rank victims by effective depth (memory
+	// head plus disk tail) without locking. Stays 0 while spill is off.
+	diskLen atomic.Int32
 
 	wake chan struct{}
 
@@ -546,6 +550,7 @@ func (r *Runtime) enqueue(ev *equeue.Event) {
 			c.qlen.Store(int32(c.mely.Len()))
 			c.stealLen.Store(int32(c.mely.Stealing().Len()))
 		}
+		c.syncDiskLen()
 		c.stats.postedHere.Add(1)
 		c.lock.Unlock()
 		c.unpark()
@@ -721,6 +726,7 @@ func (r *Runtime) popLocal(c *rcore) *equeue.Event {
 		c.qlen.Store(int32(c.mely.Len()))
 		c.stealLen.Store(int32(c.mely.Stealing().Len()))
 	}
+	c.syncDiskLen()
 	if ev != nil {
 		c.running, c.hasRunning = ev.Color, true
 	}
@@ -777,6 +783,21 @@ func runHandler(entry *handlerEntry, ctx *Ctx, stats *rstats) {
 		}
 	}()
 	entry.fn(ctx)
+}
+
+// syncDiskLen refreshes the unlocked spill-backlog mirror from the
+// queue aggregate. Caller holds c.lock. Guarded so runs without spill
+// never pay the atomic store (the aggregate and the mirror both stay 0).
+func (c *rcore) syncDiskLen() {
+	var t int
+	if c.list != nil {
+		t = c.list.SpillBacklogTotal()
+	} else {
+		t = c.mely.SpillBacklogTotal()
+	}
+	if t != 0 || c.diskLen.Load() != 0 {
+		c.diskLen.Store(int32(t))
+	}
 }
 
 // clearRunning marks the worker as not executing (before stealing or
@@ -880,8 +901,12 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 	c.stats.stealAttempts.Add(1)
 	start := time.Now()
 
+	// Rank victims by effective depth: in-memory events plus the
+	// mirrored spill backlog of the colors linked there, so a victim
+	// whose fat colors live on disk is not misread as lightly loaded.
+	// diskLen is 0 whenever spill is off, leaving the ranking unchanged.
 	for i, v := range r.cores {
-		c.lenBuf[i] = int(v.qlen.Load())
+		c.lenBuf[i] = int(v.qlen.Load()) + int(v.diskLen.Load())
 	}
 	order := r.pol.VictimOrder(c.id, c.lenBuf, r.topo, c.victimBuf)
 
@@ -938,6 +963,7 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 				v.stealLen.Store(int32(v.mely.Stealing().Len()))
 			}
 			v.qlen.Store(int32(rcoreView{v}.QueuedEvents()))
+			v.syncDiskLen()
 		}
 		v.lock.Unlock()
 		if len(colors) == 0 {
@@ -981,6 +1007,7 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 			c.qlen.Store(int32(c.mely.Len()))
 			c.stealLen.Store(int32(c.mely.Stealing().Len()))
 		}
+		c.syncDiskLen()
 		c.lock.Unlock()
 
 		// The stolen colors' pending timers migrate with them (the
