@@ -37,6 +37,8 @@ func run() error {
 		maxQueuedColor = flag.Int("max-queued-color", 0, "bound on queued events per color (0 = unbounded)")
 		overload       = flag.String("overload", "reject", "overload policy when bounded: reject, block, spill")
 		spillDir       = flag.String("spill-dir", "", "directory for spilled event queues (overload=spill)")
+		spillSync      = flag.String("spill-sync", "none", "spill durability policy: none|interval|always")
+		spillRecover   = flag.Bool("spill-recover", false, "recover spilled backlogs from -spill-dir at startup and keep them across restarts (needs -overload spill and an explicit -spill-dir)")
 		shedOverload   = flag.Bool("shed-overload", false, "answer READs with OVERLOADED while the runtime is saturated instead of queuing crypto work (needs -max-queued or -max-queued-color)")
 	)
 	flag.Parse()
@@ -44,6 +46,10 @@ func run() error {
 		return fmt.Errorf("a -psk is required")
 	}
 	opol, err := mely.ParseOverloadPolicy(*overload)
+	if err != nil {
+		return err
+	}
+	spol, err := mely.ParseSpillSyncPolicy(*spillSync)
 	if err != nil {
 		return err
 	}
@@ -56,6 +62,8 @@ func run() error {
 		MaxQueuedPerColor: *maxQueuedColor,
 		OverloadPolicy:    opol,
 		SpillDir:          *spillDir,
+		SpillSync:         spol,
+		SpillRecover:      *spillRecover,
 	})
 	if err != nil {
 		return err

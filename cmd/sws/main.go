@@ -60,6 +60,8 @@ func run() error {
 		maxPerColor = flag.Int("max-queued-color", 0, "per-color bound on queued events (0 = unlimited)")
 		overload    = flag.String("overload", "reject", "overload policy once a bound is hit: reject|block|spill")
 		spillDir    = flag.String("spill-dir", "", "spill segment directory (empty = private temp dir; used by -overload spill)")
+		spillSync   = flag.String("spill-sync", "none", "spill durability policy: none|interval|always")
+		spillRec    = flag.Bool("spill-recover", false, "recover spilled backlogs from -spill-dir at startup and keep them across restarts (needs -overload spill and an explicit -spill-dir)")
 		shed        = flag.Bool("shed-overload", false, "answer 503 while the runtime is saturated (needs -max-queued)")
 	)
 	flag.Parse()
@@ -77,12 +79,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	syncPol, err := mely.ParseSpillSyncPolicy(*spillSync)
+	if err != nil {
+		return err
+	}
 	rt, err := mely.New(mely.Config{
 		Cores: *cores, Policy: pol, Pin: *pin,
 		MaxQueuedEvents:   *maxQueued,
 		MaxQueuedPerColor: *maxPerColor,
 		OverloadPolicy:    overloadPol,
 		SpillDir:          *spillDir,
+		SpillSync:         syncPol,
+		SpillRecover:      *spillRec,
 	})
 	if err != nil {
 		return err
@@ -140,6 +148,10 @@ func run() error {
 			stats.RejectedPosts, stats.BlockedPosts, stats.SpilledEvents,
 			stats.ReloadedEvents, stats.SpillErrors, stats.ReadPauses,
 			srv.OverloadShed(), stats.SpillDepthHist)
+		if stats.SpillSyncs > 0 || stats.RecoveredEvents > 0 || stats.TornRecords > 0 {
+			fmt.Printf("sws: spill durability: syncs=%d recovered=%d torn=%d\n",
+				stats.SpillSyncs, stats.RecoveredEvents, stats.TornRecords)
+		}
 	}
 	return <-closed
 }

@@ -150,13 +150,33 @@ type Config struct {
 	// SpillDir is the directory OverloadSpill keeps its segment files
 	// in. Empty means a fresh private temp directory, removed at Stop.
 	// An explicit directory must be owned by exactly one runtime:
-	// leftover *.seg files in it are deleted as crash orphans at
-	// startup, and the runtime's own segments are deleted at Stop.
+	// without SpillRecover, leftover *.seg files in it are deleted as
+	// crash orphans at startup and the runtime's own segments are
+	// deleted at Stop; with SpillRecover they are scanned, repaired,
+	// and reloaded instead (see docs/spillq-format.md).
 	SpillDir string
 	// SpillSegmentBytes is the roll threshold of the spill segment
 	// files (default 256 KiB): also the granularity at which consumed
 	// disk space is returned.
 	SpillSegmentBytes int
+	// SpillSync selects when spilled records reach stable storage
+	// (default SpillSyncNone: only at segment seal). See the
+	// SpillSyncPolicy constants for the loss-window/throughput
+	// trade-off each policy buys.
+	SpillSync SpillSyncPolicy
+	// SpillSyncEvery is the SpillSyncInterval period (default 100ms):
+	// the upper bound on how much spilled state one crash can lose
+	// under that policy. Ignored by the other policies.
+	SpillSyncEvery time.Duration
+	// SpillRecover makes the spill store durable across restarts:
+	// Open recovers surviving segments in SpillDir instead of deleting
+	// them (torn tails truncated at the last CRC-valid record), the
+	// backlog reloads into the owning colors' FIFOs at startup, and
+	// Stop seals segments instead of deleting them. Requires an
+	// explicit SpillDir and OverloadSpill. Handlers must be registered
+	// in the same order across restarts — records reference handlers
+	// by registration index.
+	SpillRecover bool
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +247,22 @@ func (c Config) validate() error {
 	case OverloadReject, OverloadBlock, OverloadSpill:
 	default:
 		return fmt.Errorf("mely: invalid overload policy %d", int(c.OverloadPolicy))
+	}
+	switch c.SpillSync {
+	case SpillSyncNone, SpillSyncInterval, SpillSyncAlways:
+	default:
+		return fmt.Errorf("mely: invalid spill sync policy %d", int(c.SpillSync))
+	}
+	if c.SpillSyncEvery < 0 {
+		return fmt.Errorf("mely: negative spill sync interval")
+	}
+	if c.SpillRecover {
+		if c.OverloadPolicy != OverloadSpill {
+			return fmt.Errorf("mely: SpillRecover requires OverloadSpill")
+		}
+		if c.SpillDir == "" {
+			return fmt.Errorf("mely: SpillRecover requires an explicit SpillDir (a private temp directory cannot survive a restart)")
+		}
 	}
 	return nil
 }

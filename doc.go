@@ -160,9 +160,10 @@
 //
 // Spill is the graceful-degradation mode, in the lineage of segmented
 // disk-backed queues like timeq: when a color saturates, its queue
-// TAIL moves to append-only segment files under Config.SpillDir
-// (internal/spillq — batch appends, whole-segment reclaim, crash
-// orphans deleted at startup and Stop), while the in-memory head keeps
+// TAIL moves to mmap-backed, append-only segment files under
+// Config.SpillDir (internal/spillq — batch appends, whole-segment
+// reclaim, a versioned header and a CRC per record; the byte layout is
+// specified in docs/spillq-format.md), while the in-memory head keeps
 // executing. Every further post of that color goes to the tail until
 // the color drains below its low-water mark and the backlog reloads in
 // strict FIFO order — so per-color ordering holds across the disk
@@ -175,6 +176,19 @@
 // nil); events with pointerful payloads fall back to in-memory
 // delivery and count in SpillErrors.
 //
+// The spill store can also be a durability boundary. Config.SpillSync
+// picks when appended records reach stable storage (SpillSyncNone:
+// only at segment seal; SpillSyncInterval: at most once per
+// Config.SpillSyncEvery; SpillSyncAlways: every append batch, with
+// failed batches rolled back), and Config.SpillRecover turns startup
+// from delete-orphans into crash recovery: New scans SpillDir,
+// truncates torn tails at the last CRC-valid record, reloads intact
+// backlogs into each owning color's FIFO, and Stop keeps unconsumed
+// segments for the next run. Recovery needs OverloadSpill, an explicit
+// SpillDir, and the same handler-registration order across runs.
+// Without SpillRecover the v1 contract holds: crash orphans are
+// deleted at startup and segments at Stop.
+//
 // The edge cooperates instead of being policed: netpoll checks
 // Runtime.Saturated and pauses a saturated connection's read readiness
 // (resuming on drain, counted in ReadPauses), pushing overload into
@@ -182,7 +196,8 @@
 // which bypass Reject and Block precisely because the pause is their
 // backpressure. Stats exposes the whole story: the QueuedEvents and
 // SpilledNow gauges, SpilledEvents/ReloadedEvents traffic,
-// RejectedPosts, BlockedPosts, SpillErrors, and the per-color
+// RejectedPosts, BlockedPosts, SpillErrors, the durability counters
+// SpillSyncs/RecoveredEvents/TornRecords, and the per-color
 // spill-depth histogram SpillDepthHist.
 //
 // Idle workers whose steal probes keep failing back off exponentially:
@@ -198,4 +213,7 @@
 // regenerates every table and figure of the paper: see cmd/melybench
 // and EXPERIMENTS.md. (The simulator keeps the paper's color%ncores
 // placement; the runtime's default placement is the 64-bit mix.)
+// A one-page map of every layer — public API, scheduling core, spill
+// and timer subsystems, netpoll backends, servers, and the scenario
+// harness — is in docs/architecture.md.
 package mely

@@ -5,7 +5,8 @@ import "fmt"
 // Builtins returns the canonical gate scenarios, in gate-entry order:
 // the five legacy hand-written scenarios first (their records keep the
 // exact BENCH_baseline.json keys and order they always had), then the
-// fault-injection scenario the declarative harness adds. Each builtin
+// fault-injection scenarios the declarative harness adds, newest last
+// (so a baseline regeneration is append-only). Each builtin
 // has a committed twin under scenarios/ — a parity test asserts the
 // parsed files equal these literals, which is what makes a file-driven
 // `melybench -topology-dir scenarios` run and the code-driven
@@ -93,6 +94,28 @@ func Builtins() []*Spec {
 			},
 			Faults: []FaultSpec{
 				{Type: "spill-disk-latency", ExtraCycles: 1200},
+			},
+			Phases: []PhaseSpec{
+				{Name: "warmup", Cycles: 2_000_000},
+				{Name: "measure", Cycles: 20_000_000, Measure: true},
+				{Name: "drain", Drain: true},
+			},
+			SLOs: []SLOSpec{
+				{Phase: "drain", ZeroLoss: true},
+				{Phase: "drain", MaxInMem: 1024},
+			},
+		},
+		{
+			Name: "overload-recover",
+			Description: "Overload burst interrupted by a crash at the 500th spilled record: the store " +
+				"reopens with recovery (SyncAlways) and the zero-loss contract must hold across the restart",
+			Engine: "sim",
+			Sim: &SimSpec{
+				Workload: "overload",
+				Policies: []string{"mely", "mely+timeleft-WS"},
+			},
+			Faults: []FaultSpec{
+				{Type: "spill-crash-restart", AtSpilled: 500},
 			},
 			Phases: []PhaseSpec{
 				{Name: "warmup", Cycles: 2_000_000},

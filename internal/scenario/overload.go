@@ -28,10 +28,11 @@ import (
 // spill-disk-latency fault charges extra cycles per append and per
 // reload batch — a deterministic model of a slow spill disk.)
 const (
-	spillAppendCycles = 300   // charged per spilled record (batched append)
-	reloadBatchCycles = 2_000 // fixed cost per reload batch
-	reloadRecCycles   = 150   // plus per reloaded record
-	overloadQuickDiv  = 4     // burst-length divisor under -quick
+	spillAppendCycles  = 300    // charged per spilled record (batched append)
+	reloadBatchCycles  = 2_000  // fixed cost per reload batch
+	reloadRecCycles    = 150    // plus per reloaded record
+	spillRestartCycles = 25_000 // fixed cost of a crash + recovery reopen
+	overloadQuickDiv   = 4      // burst-length divisor under -quick
 )
 
 // DefaultOverloadParams returns the overload workload's defaults: a
@@ -100,16 +101,19 @@ type overloadColorState struct {
 // overloadState is the modeled admission layer (the workload-level
 // mirror of mely's admission struct, single-threaded in virtual time).
 type overloadState struct {
-	store    *spillq.Store
-	colors   map[equeue.Color]*overloadColorState
-	starved  []equeue.Color
-	inMem    int
-	maxInMem int
-	produced int
-	consumed int
-	spilled  int
-	reloaded int
-	err      error
+	store     *spillq.Store
+	colors    map[equeue.Color]*overloadColorState
+	starved   []equeue.Color
+	inMem     int
+	maxInMem  int
+	produced  int
+	consumed  int
+	spilled   int
+	reloaded  int
+	restartAt int // spill-crash-restart fault: crash at this spill count
+	restarted bool
+	recovered int // records the post-crash recovery rebuilt
+	err       error
 }
 
 func (st *overloadState) color(c equeue.Color) *overloadColorState {
@@ -125,6 +129,46 @@ func (st *overloadState) fail(format string, args ...any) {
 	if st.err == nil {
 		st.err = fmt.Errorf(format, args...)
 	}
+}
+
+// overloadStoreOptions picks the store configuration for a run: plain
+// ephemeral segments normally; SyncAlways + recovery when the
+// spill-crash-restart fault is armed, since a crashed store can only be
+// audited if every append was durable when it died.
+func overloadStoreOptions(faults simFaults) spillq.Options {
+	if faults.restartAt > 0 {
+		return spillq.Options{Sync: spillq.SyncAlways, Recover: true}
+	}
+	return spillq.Options{}
+}
+
+// crashRestart models a process crash at the spill boundary: the live
+// store is abandoned exactly as a killed process would leave it — no
+// Close, no final sync beyond what SyncAlways already forced — and a
+// fresh store recovers the directory. The model then audits recovery
+// against its own accounting: every record it believes is on disk must
+// come back, per color, before the run continues on the new store.
+func (st *overloadState) crashRestart(ctx *sim.Ctx) {
+	st.restarted = true
+	opts := overloadStoreOptions(simFaults{restartAt: st.restartAt})
+	opts.OnRecover = func(spillq.Record) { st.recovered++ }
+	fresh, err := spillq.Open(st.store.Dir(), opts)
+	if err != nil {
+		st.fail("crash-restart reopen: %v", err)
+		return
+	}
+	st.store = fresh
+	wantDisk := 0
+	for c, cs := range st.colors {
+		wantDisk += cs.disk
+		if got := fresh.Depth(uint64(c)); got != cs.disk {
+			st.fail("crash-restart: color %d recovered depth %d, model expects %d", c, got, cs.disk)
+		}
+	}
+	if st.recovered != wantDisk {
+		st.fail("crash-restart: recovered %d records, model expects %d on disk", st.recovered, wantDisk)
+	}
+	ctx.Charge(spillRestartCycles)
 }
 
 // buildOverload wires the skewed open-loop producer, the bounded
@@ -144,7 +188,11 @@ func buildOverload(p OverloadParams, pol policy.Config, opt Options, store *spil
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &overloadState{store: store, colors: make(map[equeue.Color]*overloadColorState)}
+	st := &overloadState{
+		store:     store,
+		colors:    make(map[equeue.Color]*overloadColorState),
+		restartAt: faults.restartAt,
+	}
 
 	var work, produce equeue.HandlerID
 
@@ -179,6 +227,12 @@ func buildOverload(p OverloadParams, pol policy.Config, opt Options, store *spil
 		cs.disk++
 		st.spilled++
 		ctx.Charge(spillAppendCycles + faults.spillExtra)
+		if st.restartAt > 0 && !st.restarted && st.spilled >= st.restartAt {
+			st.crashRestart(ctx)
+			if st.err != nil {
+				return
+			}
+		}
 		if cs.mem == 0 && !cs.starved {
 			// Nothing of this color in memory: no execution will ever
 			// trigger its reload, so queue it for starved pickup.
@@ -326,16 +380,20 @@ func measureOverload(s *Spec, pol policy.Config, opt Options, warm, win int64, d
 		return nil, nil, err
 	}
 	defer os.RemoveAll(dir)
-	store, err := spillq.Open(dir, spillq.Options{})
+	store, err := spillq.Open(dir, overloadStoreOptions(faults))
 	if err != nil {
 		return nil, nil, err
 	}
-	defer store.Close()
 
 	eng, st, err := buildOverload(p, pol, opt, store, faults)
 	if err != nil {
+		store.Close()
 		return nil, nil, err
 	}
+	// Close whatever store the run ends on: a crash-restart fault swaps
+	// st.store mid-run, abandoning the original (the crash), so closing
+	// the captured handle would touch a recovered-out-from-under store.
+	defer func() { st.store.Close() }()
 	run := sim.Measure(eng, warm, win)
 
 	// Drain to completion: the producer has a finite burst, so the
@@ -361,16 +419,23 @@ func measureOverload(s *Spec, pol policy.Config, opt Options, warm, win int64, d
 		if st.spilled == 0 {
 			return nil, nil, fmt.Errorf("overload never spilled: the producer no longer exceeds the bound")
 		}
-		if st.inMem != 0 || store.TotalDepth() != 0 {
-			return nil, nil, fmt.Errorf("overload did not drain: inMem=%d disk=%d", st.inMem, store.TotalDepth())
+		if st.inMem != 0 || st.store.TotalDepth() != 0 {
+			return nil, nil, fmt.Errorf("overload did not drain: inMem=%d disk=%d", st.inMem, st.store.TotalDepth())
 		}
 	}
 	if st.maxInMem > p.Bound {
 		return nil, nil, fmt.Errorf("overload bound violated: %d in memory, bound %d", st.maxInMem, p.Bound)
 	}
+	if st.restartAt > 0 && !st.restarted {
+		return nil, nil, fmt.Errorf("overload crash-restart never fired: only %d records spilled, fault armed at %d",
+			st.spilled, st.restartAt)
+	}
 	run.Payload["overload_produced"] = float64(st.produced)
 	run.Payload["overload_spilled"] = float64(st.spilled)
 	run.Payload["overload_reloaded"] = float64(st.reloaded)
 	run.Payload["overload_max_inmem"] = float64(st.maxInMem)
+	if st.restarted {
+		run.Payload["overload_recovered"] = float64(st.recovered)
+	}
 	return run, st, nil
 }

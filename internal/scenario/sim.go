@@ -43,6 +43,7 @@ type simFaults struct {
 	spillExtra   int64 // per spill append and per reload batch
 	handlerExtra int64 // added to every nth work event
 	handlerNth   int
+	restartAt    int // crash+recover the spill store at this spill count
 }
 
 func (s *Spec) simFaultPlan() simFaults {
@@ -57,6 +58,8 @@ func (s *Spec) simFaultPlan() simFaults {
 			if f.handlerNth <= 0 {
 				f.handlerNth = 1
 			}
+		case "spill-crash-restart":
+			f.restartAt = fault.AtSpilled
 		}
 	}
 	return f

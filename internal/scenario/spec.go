@@ -241,8 +241,9 @@ type PhaseSpec struct {
 
 // FaultSpec is one fault injection.
 type FaultSpec struct {
-	// Type is one of slow-handler, spill-disk-latency (sim), or
-	// slow-handler, conn-churn, core-pressure (live).
+	// Type is one of slow-handler, spill-disk-latency,
+	// spill-crash-restart (sim), or slow-handler, conn-churn,
+	// core-pressure (live).
 	Type string `json:"type"`
 	// Phase restricts a live fault to one phase (default: whole run).
 	// Sim faults are deterministic cost perturbations active for the
@@ -257,6 +258,13 @@ type FaultSpec struct {
 	ExtraCycles int64 `json:"extra_cycles,omitempty"`
 	// EveryNth stalls every Nth event/request (default 1 = all).
 	EveryNth int `json:"every_nth,omitempty"`
+	// AtSpilled arms the sim spill-crash-restart fault: after the
+	// AtSpilled-th record spills, the live store is abandoned exactly
+	// as a killed process would leave it and a fresh store recovers
+	// the directory (overload workload, SyncAlways). The run is
+	// charged a fixed restart cost, so a faulted scenario stays
+	// deterministic and gate-comparable.
+	AtSpilled int `json:"at_spilled,omitempty"`
 	// Stall is the live slow-handler sleep per stalled request.
 	Stall string `json:"stall,omitempty"`
 	// Rate is the live conn-churn dial rate, connections per second.

@@ -303,7 +303,7 @@ func (s *Spec) validateLive(fail func(string, error, string, ...any), phases map
 	}
 }
 
-var simFaultTypes = map[string]bool{"slow-handler": true, "spill-disk-latency": true}
+var simFaultTypes = map[string]bool{"slow-handler": true, "spill-disk-latency": true, "spill-crash-restart": true}
 var liveFaultTypes = map[string]bool{"slow-handler": true, "conn-churn": true, "core-pressure": true}
 
 func (s *Spec) validateFaults(fail func(string, error, string, ...any), phases map[string]*PhaseSpec) {
@@ -328,8 +328,23 @@ func (s *Spec) validateFaults(fail func(string, error, string, ...any), phases m
 			if f.Phase != "" {
 				fail(field+".phase", ErrBadFault, "sim faults are active for the whole run; drop phase")
 			}
-			if f.ExtraCycles <= 0 {
-				fail(field+".extra_cycles", ErrBadFault, "sim faults need extra_cycles > 0")
+			if f.Type == "spill-crash-restart" {
+				if f.AtSpilled <= 0 {
+					fail(field+".at_spilled", ErrBadFault, "spill-crash-restart needs at_spilled > 0")
+				}
+				if f.ExtraCycles != 0 {
+					fail(field+".extra_cycles", ErrBadFault, "spill-crash-restart charges a fixed restart cost; drop extra_cycles")
+				}
+				if s.Sim == nil || s.Sim.Workload != "overload" {
+					fail(field, ErrBadFault, "spill-crash-restart needs the overload workload")
+				}
+			} else {
+				if f.ExtraCycles <= 0 {
+					fail(field+".extra_cycles", ErrBadFault, "sim faults need extra_cycles > 0")
+				}
+				if f.AtSpilled != 0 {
+					fail(field+".at_spilled", ErrBadFault, "at_spilled is a spill-crash-restart knob")
+				}
 			}
 			if f.Type == "spill-disk-latency" && (s.Sim == nil || s.Sim.Workload != "overload") {
 				fail(field, ErrBadFault, "spill-disk-latency needs the overload workload")
@@ -376,6 +391,9 @@ func (s *Spec) validateFaults(fail func(string, error, string, ...any), phases m
 			}
 			if f.ExtraCycles != 0 {
 				fail(field+".extra_cycles", ErrBadFault, "extra_cycles is a sim fault knob")
+			}
+			if f.AtSpilled != 0 {
+				fail(field+".at_spilled", ErrBadFault, "at_spilled is a sim fault knob")
 			}
 		}
 		if f.EveryNth < 0 {

@@ -230,6 +230,36 @@ loads:`, 1),
 			field: "faults[0].rate",
 		},
 		{
+			name:  "crash-restart without at_spilled",
+			doc:   validSimDoc + "faults:\n  - type: spill-crash-restart\n",
+			want:  ErrBadFault,
+			field: "faults[0].at_spilled",
+		},
+		{
+			name:  "crash-restart with extra_cycles",
+			doc:   validSimDoc + "faults:\n  - type: spill-crash-restart\n    at_spilled: 10\n    extra_cycles: 5\n",
+			want:  ErrBadFault,
+			field: "faults[0].extra_cycles",
+		},
+		{
+			name:  "crash-restart outside overload workload",
+			doc:   validSimDoc + "faults:\n  - type: spill-crash-restart\n    at_spilled: 10\n",
+			want:  ErrBadFault,
+			field: "faults[0]",
+		},
+		{
+			name:  "at_spilled on another sim fault",
+			doc:   validSimDoc + "faults:\n  - type: slow-handler\n    extra_cycles: 5\n    at_spilled: 10\n",
+			want:  ErrBadFault,
+			field: "faults[0].at_spilled",
+		},
+		{
+			name:  "at_spilled on a live fault",
+			doc:   validLiveDoc + "faults:\n  - type: conn-churn\n    rate: 10\n    at_spilled: 10\n",
+			want:  ErrBadFault,
+			field: "faults[0].at_spilled",
+		},
+		{
 			name:  "live slow-handler scoped to a phase",
 			doc:   validLiveDoc + "faults:\n  - type: slow-handler\n    stall: 1ms\n    phase: run\n",
 			want:  ErrBadFault,

@@ -1,0 +1,71 @@
+package spillq
+
+import "testing"
+
+// BenchmarkSpillAppend measures single-record append throughput per
+// SyncPolicy (the numbers behind the durability-tuning table in the
+// README): the spread between none and always is the price of a
+// zero-loss crash window.
+func BenchmarkSpillAppend(b *testing.B) {
+	payload := make([]byte, 64)
+	for _, pol := range []SyncPolicy{SyncNone, SyncInterval, SyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			rec := []Record{{Handler: 1, Color: 7, Cost: 100, Tag: 1, Payload: payload}}
+			drain := make([]Record, 0, 4096)
+			b.SetBytes(int64(recHeaderBytes + len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Append(7, rec); err != nil {
+					b.Fatal(err)
+				}
+				// Keep the backlog bounded so the benchmark measures
+				// steady-state append, not disk fill.
+				if i%4096 == 4095 {
+					b.StopTimer()
+					drain = drain[:0]
+					if _, err := s.Reload(7, 4096, drain); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpillReload measures batch reload throughput out of sealed
+// mmap'd segments.
+func BenchmarkSpillReload(b *testing.B) {
+	payload := make([]byte, 64)
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := []Record{{Handler: 1, Color: 7, Cost: 100, Tag: 1, Payload: payload}}
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(7, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf := make([]Record, 0, 256)
+	b.SetBytes(int64(recHeaderBytes + len(payload)))
+	b.ResetTimer()
+	got := 0
+	for got < b.N {
+		buf = buf[:0]
+		buf, err = s.Reload(7, 256, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(buf) == 0 {
+			b.Fatalf("store drained early at %d/%d", got, b.N)
+		}
+		got += len(buf)
+	}
+}

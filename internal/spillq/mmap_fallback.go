@@ -1,0 +1,99 @@
+//go:build !linux
+
+package spillq
+
+import "os"
+
+// mapping on non-Linux platforms is a plain pread/pwrite shim with the
+// same surface as the Linux mmap backend: writeAt issues WriteAt,
+// slice reads into a scratch buffer, sync is File.Sync. Slower, but the
+// format on disk and every durability point are identical, so segments
+// written on one platform recover on any other.
+type mapping struct {
+	f       *os.File
+	size    int64
+	scratch []byte
+}
+
+func openMapping(path string, size int64, create bool) (*mapping, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if st.Size() > size {
+		size = st.Size()
+	}
+	return &mapping{f: f, size: size}, nil
+}
+
+func (m *mapping) grow(size int64) error {
+	if size <= m.size {
+		return nil
+	}
+	if err := m.f.Truncate(size); err != nil {
+		return err
+	}
+	m.size = size
+	return nil
+}
+
+func (m *mapping) writeAt(p []byte, off int64) {
+	// The file is pre-truncated to cover off+len(p); short writes on a
+	// regular file mean the disk is gone, which the next sync surfaces.
+	m.f.WriteAt(p, off) //nolint:errcheck
+}
+
+// slice returns the bytes at [off, off+n). Unlike the mmap backend this
+// copies through a scratch buffer; the same aliasing rule applies (valid
+// only until the next slice/grow/close).
+func (m *mapping) slice(off, n int64) []byte {
+	if int64(cap(m.scratch)) < n {
+		m.scratch = make([]byte, n)
+	}
+	buf := m.scratch[:n]
+	if _, err := m.f.ReadAt(buf, off); err != nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return buf
+}
+
+func (m *mapping) zeroRange(off, n int64) {
+	zero := make([]byte, n)
+	m.f.WriteAt(zero, off) //nolint:errcheck
+}
+
+func (m *mapping) sync() error {
+	return m.f.Sync()
+}
+
+func (m *mapping) syncFile() error {
+	return m.f.Sync()
+}
+
+func (m *mapping) truncate(size int64) error {
+	err := m.f.Truncate(size)
+	if err == nil && size < m.size {
+		m.size = size
+	}
+	return err
+}
+
+func (m *mapping) close() error {
+	return m.f.Close()
+}

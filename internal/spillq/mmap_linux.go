@@ -1,0 +1,151 @@
+//go:build linux
+
+package spillq
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mapping is the Linux segment I/O backend: the whole segment file is
+// mmap'd MAP_SHARED, so appends are memcpys into the page cache (one
+// Truncate when the file grows, no write syscalls per record) and
+// reloads decode straight out of the map (no read syscalls either).
+// Durability points issue msync(MS_SYNC) over the mapped range.
+//
+// The mapped length is chunk-rounded above the logical data size;
+// recovery and seal truncate the file back to its logical end, so the
+// slack never reaches disk as garbage — it reads back as zeros, which
+// the record scan recognizes as a clean tail.
+type mapping struct {
+	f    *os.File
+	data []byte
+	size int64
+}
+
+// openMapping maps path at size bytes (growing the file when shorter).
+// With create set the file must not exist yet.
+func openMapping(path string, size int64, create bool) (*mapping, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if st.Size() > size {
+		size = st.Size()
+	}
+	if size == 0 {
+		// Empty file (a zero-byte crash leftover): mmap of length 0 is
+		// EINVAL; leave it unmapped — header validation rejects it on
+		// size alone, and grow maps it if it is ever written.
+		return &mapping{f: f}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	return &mapping{f: f, data: data, size: size}, nil
+}
+
+// grow extends the file and remaps it at the new size (munmap + mmap —
+// the portable spelling of mremap; the chunk-rounded growth keeps it
+// rare).
+func (m *mapping) grow(size int64) error {
+	if size <= m.size {
+		return nil
+	}
+	if err := m.f.Truncate(size); err != nil {
+		return err
+	}
+	if m.data != nil {
+		if err := syscall.Munmap(m.data); err != nil {
+			return fmt.Errorf("munmap: %w", err)
+		}
+		m.data = nil
+	}
+	data, err := syscall.Mmap(int(m.f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("mmap: %w", err)
+	}
+	m.data, m.size = data, size
+	return nil
+}
+
+func (m *mapping) writeAt(p []byte, off int64) {
+	copy(m.data[off:], p)
+}
+
+// slice returns a zero-copy view of [off, off+n). The view aliases the
+// map: it is valid only until the next grow/close, and callers must
+// copy anything they retain.
+func (m *mapping) slice(off, n int64) []byte {
+	return m.data[off : off+n]
+}
+
+// zeroRange clears [off, off+n) in the map (rollback of unconfirmed
+// appends and in-place tail resets).
+func (m *mapping) zeroRange(off, n int64) {
+	b := m.data[off : off+n]
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// sync flushes the mapped pages to stable storage (msync MS_SYNC over
+// the whole map — segment-sized, so range trimming buys nothing).
+func (m *mapping) sync() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&m.data[0])), uintptr(len(m.data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("msync: %w", errno)
+	}
+	return nil
+}
+
+// syncFile flushes file metadata (the size set by Truncate) — msync
+// covers pages, not inodes.
+func (m *mapping) syncFile() error {
+	return m.f.Sync()
+}
+
+// truncate shrinks the file to size without touching the map (callers
+// only ever shrink to the logical end, below every live read offset, so
+// the now-past-EOF tail pages are never faulted again).
+func (m *mapping) truncate(size int64) error {
+	return m.f.Truncate(size)
+}
+
+// close unmaps and closes the file. The on-disk bytes are whatever the
+// kernel has (call sync first for durability).
+func (m *mapping) close() error {
+	var first error
+	if m.data != nil {
+		first = syscall.Munmap(m.data)
+		m.data = nil
+	}
+	if err := m.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,542 @@
+package spillq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func recOpts(extra func(*Options)) Options {
+	o := Options{Recover: true, Sync: SyncAlways}
+	if extra != nil {
+		extra(&o)
+	}
+	return o
+}
+
+// payloadRec builds a record whose Cost doubles as a sequence number
+// and whose payload encodes it, so both reload order and payload
+// integrity are checkable after recovery.
+func payloadRec(color uint64, seq int) Record {
+	p := make([]byte, 8)
+	binary.LittleEndian.PutUint64(p, uint64(seq))
+	return Record{Handler: 7, Color: color, Cost: int64(1000 + seq), Penalty: 2, Tag: 1, Payload: p}
+}
+
+func appendSeqs(t *testing.T, s *Store, color uint64, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := s.Append(color, []Record{payloadRec(color, i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// checkFIFO reloads everything for color and asserts the records come
+// back as seqs [from, from+n) in order, payloads intact.
+func checkFIFO(t *testing.T, s *Store, color uint64, from, n int) {
+	t.Helper()
+	recs, err := s.Reload(color, n+10, nil)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("reloaded %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		want := from + i
+		if r.Cost != int64(1000+want) {
+			t.Fatalf("record %d: cost %d, want %d (FIFO violated)", i, r.Cost, 1000+want)
+		}
+		if len(r.Payload) != 8 || binary.LittleEndian.Uint64(r.Payload) != uint64(want) {
+			t.Fatalf("record %d: payload %v, want seq %d", i, r.Payload, want)
+		}
+		if r.Handler != 7 || r.Color != color || r.Penalty != 2 || r.Tag != 1 {
+			t.Fatalf("record %d: header fields corrupted: %+v", i, r)
+		}
+	}
+}
+
+// TestRecoverAfterDurableClose is the clean restart path: a durable
+// Close seals everything, and a recovering Open reloads the full
+// backlog in FIFO order with exact consumed offsets (no duplicates).
+func TestRecoverAfterDurableClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const color, n = 42, 100
+	appendSeqs(t, s, color, 0, n)
+	if err := s.Close(); err != nil {
+		t.Fatalf("durable close: %v", err)
+	}
+
+	var seen []Record
+	s2, err := Open(dir, recOpts(func(o *Options) {
+		o.OnRecover = func(r Record) { seen = append(seen, r) }
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Recovered() != n {
+		t.Fatalf("Recovered() = %d, want %d", s2.Recovered(), n)
+	}
+	if s2.Torn() != 0 {
+		t.Fatalf("Torn() = %d, want 0", s2.Torn())
+	}
+	if len(seen) != n {
+		t.Fatalf("OnRecover saw %d records, want %d", len(seen), n)
+	}
+	for i, r := range seen {
+		if r.Cost != int64(1000+i) {
+			t.Fatalf("OnRecover record %d out of order: cost %d", i, r.Cost)
+		}
+		if r.Payload != nil {
+			t.Fatalf("OnRecover record %d has payload; headers only", i)
+		}
+	}
+	if d := s2.Depth(color); d != n {
+		t.Fatalf("Depth = %d, want %d", d, n)
+	}
+	checkFIFO(t, s2, color, 0, n)
+}
+
+// TestRecoverAbandonedStore is the crash path: the first store is
+// never closed (its mappings just leak, like a killed process), and
+// under SyncAlways every appended record must survive. The abandoned
+// tail still has its preallocation slack, which recovery must read as
+// a clean tail, not a torn one.
+func TestRecoverAbandonedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const color, n = 9, 64
+	appendSeqs(t, s, color, 0, n)
+	// No Close: simulated crash.
+
+	s2, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Recovered() != n {
+		t.Fatalf("Recovered() = %d, want %d", s2.Recovered(), n)
+	}
+	if s2.Torn() != 0 {
+		t.Fatalf("Torn() = %d, want 0 (zero slack is a clean tail)", s2.Torn())
+	}
+	checkFIFO(t, s2, color, 0, n)
+}
+
+// TestRecoverConsumedOffset: records reloaded before the crash must
+// not come back after it — the consumed offset in the segment header
+// is synced under SyncAlways.
+func TestRecoverConsumedOffset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const color, n, eaten = 5, 80, 30
+	appendSeqs(t, s, color, 0, n)
+	recs, err := s.Reload(color, eaten, nil)
+	if err != nil || len(recs) != eaten {
+		t.Fatalf("reload: %d records, err %v", len(recs), err)
+	}
+	// No Close: simulated crash after consuming `eaten` records.
+
+	s2, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Recovered(); got != n-eaten {
+		t.Fatalf("Recovered() = %d, want %d (consumed records must not replay)", got, n-eaten)
+	}
+	checkFIFO(t, s2, color, eaten, n-eaten)
+}
+
+// segFiles lists the store's segment files, oldest first.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRecoverTornTailTruncation kills a segment at every possible
+// offset: for each cut point the file is truncated there, recovery
+// must surface exactly the records wholly below the cut, and a
+// re-scan after recovery's own truncation must be stable.
+func TestRecoverTornTailTruncation(t *testing.T) {
+	const color, n = 3, 12
+	// Build one durable segment to take bytes from.
+	master := t.TempDir()
+	s, err := Open(master, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSeqs(t, s, color, 0, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := segFiles(t, master)
+	if len(files) != 1 {
+		t.Fatalf("want 1 segment, got %v", files)
+	}
+	whole, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recBytes := (len(whole) - segHeaderBytes) / n
+	if recBytes*n+segHeaderBytes != len(whole) {
+		t.Fatalf("segment size %d not header + %d equal records", len(whole), n)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	cuts := []int{0, 1, segHeaderBytes - 1, segHeaderBytes, len(whole) - 1, len(whole)}
+	for i := 0; i < 40; i++ {
+		cuts = append(cuts, rng.Intn(len(whole)+1))
+	}
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		path := filepath.Join(dir, filepath.Base(files[0]))
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, recOpts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantRecs := 0
+		if cut >= segHeaderBytes {
+			wantRecs = (cut - segHeaderBytes) / recBytes
+		}
+		if got := int(s2.Recovered()); got != wantRecs {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, got, wantRecs)
+		}
+		if wantRecs > 0 {
+			checkFIFO(t, s2, color, 0, wantRecs)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		// Recovery truncated the torn bytes: a second recovery must
+		// see a clean store with nothing new to repair.
+		s3, err := Open(dir, recOpts(nil))
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if s3.Torn() != 0 {
+			t.Fatalf("cut %d: second recovery still torn", cut)
+		}
+		s3.Close()
+	}
+}
+
+// TestRecoverCRCCorruption flips bytes inside a sealed segment: the
+// scan must stop at the first corrupt record, keep everything before
+// it, and count the truncation as a torn tail.
+func TestRecoverCRCCorruption(t *testing.T) {
+	const color, n = 8, 10
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSeqs(t, s, color, 0, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := segFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want 1 segment, got %v", files)
+	}
+	whole, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recBytes := (len(whole) - segHeaderBytes) / n
+
+	// Corrupt one payload byte of record k.
+	const k = 6
+	off := segHeaderBytes + k*recBytes + recHeaderBytes
+	whole[off] ^= 0xff
+	if err := os.WriteFile(files[0], whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := int(s2.Recovered()); got != k {
+		t.Fatalf("recovered %d records, want %d (scan stops at corruption)", got, k)
+	}
+	if s2.Torn() != 1 {
+		t.Fatalf("Torn() = %d, want 1", s2.Torn())
+	}
+	checkFIFO(t, s2, color, 0, k)
+}
+
+// TestRecoverBadHeader: a segment whose header fails validation is
+// discarded whole (nothing in it is trustworthy), and counted torn.
+func TestRecoverBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, fmt.Sprintf("c%016x-%06d.seg", uint64(1), 0))
+	junk := make([]byte, 4096)
+	for i := range junk {
+		junk[i] = byte(i)
+	}
+	if err := os.WriteFile(path, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A non-segment file must survive recovery untouched.
+	keep := filepath.Join(dir, "keep.txt")
+	if err := os.WriteFile(keep, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Recovered() != 0 || s.Torn() != 1 {
+		t.Fatalf("Recovered=%d Torn=%d, want 0/1", s.Recovered(), s.Torn())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("bad-header segment not removed: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("non-segment file was touched: %v", err)
+	}
+}
+
+// TestRecoverMultiSegmentOrder spans several sealed segments plus an
+// open tail and checks global FIFO across the chain after a crash.
+func TestRecoverMultiSegmentOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(func(o *Options) { o.SegmentBytes = 1 << 10 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const color, n = 77, 200 // ~41 bytes/record: spans multiple 1 KiB segments
+	appendSeqs(t, s, color, 0, n)
+	if len(segFiles(t, dir)) < 3 {
+		t.Fatalf("want >=3 segments, got %d", len(segFiles(t, dir)))
+	}
+	// No Close: simulated crash.
+	s2, err := Open(dir, recOpts(func(o *Options) { o.SegmentBytes = 1 << 10 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Recovered() != n {
+		t.Fatalf("Recovered() = %d, want %d", s2.Recovered(), n)
+	}
+	checkFIFO(t, s2, color, 0, n)
+	// Everything consumed: a durable Close reclaims all files.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := segFiles(t, dir); len(left) != 0 {
+		t.Fatalf("consumed segments not reclaimed: %v", left)
+	}
+}
+
+// TestRecoverAppendAfterRecovery: a recovered chain keeps accepting
+// appends, new records land after the recovered backlog, and sequence
+// numbers do not collide with surviving files.
+func TestRecoverAppendAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(func(o *Options) { o.SegmentBytes = 1 << 10 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const color = 4
+	appendSeqs(t, s, color, 0, 50)
+	s2reopen := func() *Store {
+		s2, err := Open(dir, recOpts(func(o *Options) { o.SegmentBytes = 1 << 10 }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s2
+	}
+	// Crash, recover, append more, verify order spans the boundary.
+	s2 := s2reopen()
+	appendSeqs(t, s2, color, 50, 50)
+	if d := s2.Depth(color); d != 100 {
+		t.Fatalf("Depth = %d, want 100", d)
+	}
+	checkFIFO(t, s2, color, 0, 100)
+	s2.Close()
+	_ = s
+}
+
+// TestConcurrentAppendSyncReload is the -race stress: concurrent
+// appenders per color race reloads and interval syncs.
+func TestConcurrentAppendSyncReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(func(o *Options) {
+		o.Sync = SyncInterval
+		o.SyncEvery = time.Millisecond
+		o.SegmentBytes = 4 << 10
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const colors, perColor = 8, 300
+	var wg sync.WaitGroup
+	for c := 0; c < colors; c++ {
+		color := uint64(c + 1)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perColor; i++ {
+				if err := s.Append(color, []Record{payloadRec(color, i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			got := 0
+			var buf []Record
+			for got < perColor {
+				buf = buf[:0]
+				buf, err := s.Reload(color, 32, buf)
+				if err != nil {
+					t.Errorf("reload: %v", err)
+					return
+				}
+				for _, r := range buf {
+					if r.Cost != int64(1000+got) {
+						t.Errorf("color %d: got cost %d at pos %d (FIFO violated)", color, r.Cost, got)
+						return
+					}
+					got++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.TotalDepth() != 0 {
+		t.Fatalf("TotalDepth = %d after draining, want 0", s.TotalDepth())
+	}
+	if s.Syncs() == 0 {
+		t.Fatal("no syncs recorded under SyncInterval")
+	}
+}
+
+// TestGoldenSegmentBytes pins the exact on-disk bytes against the
+// format spec in docs/spillq-format.md: if this test and the doc
+// disagree with the implementation, the format changed and the version
+// must be bumped.
+func TestGoldenSegmentBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, recOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const color = 0xdeadbeef
+	rec := Record{Handler: 3, Color: color, Cost: 500, Penalty: -1, Tag: 2, Payload: []byte("mely")}
+	if err := s.Append(color, []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := segFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want 1 segment, got %v", files)
+	}
+	if base := filepath.Base(files[0]); base != "c00000000deadbeef-000000.seg" {
+		t.Fatalf("segment name %q, want c00000000deadbeef-000000.seg", base)
+	}
+	got, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Segment header: 32 bytes, as specified in docs/spillq-format.md.
+	hdr := make([]byte, segHeaderBytes)
+	copy(hdr[0:4], "MSPQ")                          // magic
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)      // format version
+	binary.LittleEndian.PutUint16(hdr[6:8], 0)      // flags
+	binary.LittleEndian.PutUint64(hdr[8:16], color) // color
+	binary.LittleEndian.PutUint64(hdr[16:24], 0)    // segment sequence
+	binary.LittleEndian.PutUint32(hdr[24:28], 32)   // consumed offset
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(hdr[0:24]))
+
+	// Record: 33-byte header + payload.
+	body := make([]byte, recHeaderBytes-4)
+	binary.LittleEndian.PutUint32(body[0:4], 4)                    // payload length
+	binary.LittleEndian.PutUint32(body[4:8], 3)                    // handler
+	binary.LittleEndian.PutUint64(body[8:16], color)               // color
+	binary.LittleEndian.PutUint64(body[16:24], 500)                // cost
+	binary.LittleEndian.PutUint32(body[24:28], uint32(0xffffffff)) // penalty -1
+	body[28] = 2                                                   // tag
+	crc := crc32.ChecksumIEEE(body)
+	crc = crc32.Update(crc, crc32.IEEETable, []byte("mely"))
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
+
+	want := append(append(append(hdr, crcb[:]...), body...), []byte("mely")...)
+	if len(got) != len(want) {
+		t.Fatalf("segment is %d bytes, want %d (sealed files are truncated to their logical end)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: got %#02x, want %#02x\ngot:  %x\nwant: %x", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestSyncPolicyCounters: SyncAlways syncs every batch, SyncNone only
+// at seal.
+func TestSyncPolicyCounters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(1, []Record{payloadRec(1, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Syncs(); got < 5 {
+		t.Fatalf("SyncAlways issued %d syncs for 5 batches, want >= 5", got)
+	}
+	s.Close()
+
+	dir2 := t.TempDir()
+	s2, err := Open(dir2, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s2.Append(1, []Record{payloadRec(1, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.Syncs(); got != 0 {
+		t.Fatalf("SyncNone issued %d syncs with no seal, want 0", got)
+	}
+	s2.Close()
+}

@@ -89,6 +89,70 @@ func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
 	}
 }
 
+// SpillSyncPolicy selects when spilled records reach stable storage
+// (Config.SpillSync): the loss-on-crash vs append-throughput dial of
+// the spill store. Irrelevant without Config.SpillRecover in the sense
+// that a non-recovering runtime deletes its segments anyway — but the
+// syncs still happen as configured, so measure with the policy you
+// deploy.
+type SpillSyncPolicy int
+
+const (
+	// SpillSyncNone (the default) syncs only when a segment fills and
+	// seals: a crash can lose each spilling color's open tail, up to
+	// ~SpillSegmentBytes of records per color.
+	SpillSyncNone SpillSyncPolicy = iota
+	// SpillSyncInterval additionally syncs the open tail at most once
+	// per Config.SpillSyncEvery: a crash loses at most one interval's
+	// appends per color.
+	SpillSyncInterval
+	// SpillSyncAlways syncs every spilled batch before the append
+	// returns: zero loss window — a record accepted onto disk survives
+	// any crash — at a large throughput cost (one msync per append;
+	// see BenchmarkSpillAppend and the README's tuning table).
+	SpillSyncAlways
+)
+
+func (p SpillSyncPolicy) String() string {
+	switch p {
+	case SpillSyncNone:
+		return "none"
+	case SpillSyncInterval:
+		return "interval"
+	case SpillSyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("SpillSyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSpillSyncPolicy parses a spill sync policy name
+// (none|interval|always).
+func ParseSpillSyncPolicy(s string) (SpillSyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return SpillSyncNone, nil
+	case "interval":
+		return SpillSyncInterval, nil
+	case "always":
+		return SpillSyncAlways, nil
+	default:
+		return 0, fmt.Errorf("mely: unknown spill sync policy %q (none|interval|always)", s)
+	}
+}
+
+// internal maps the public enum onto the store's.
+func (p SpillSyncPolicy) internal() spillq.SyncPolicy {
+	switch p {
+	case SpillSyncInterval:
+		return spillq.SyncInterval
+	case SpillSyncAlways:
+		return spillq.SyncAlways
+	default:
+		return spillq.SyncNone
+	}
+}
+
 // PostContext is Post with cancellation: under OverloadBlock a bounded
 // runtime makes posters wait for queue space, and ctx bounds that wait.
 // Under every other configuration it behaves exactly like Post.
@@ -267,7 +331,33 @@ func newAdmission(r *Runtime, cfg Config) (*admission, error) {
 			dir = tmp
 			a.ownDir = true
 		}
-		store, err := spillq.Open(dir, spillq.Options{SegmentBytes: cfg.SpillSegmentBytes})
+		opts := spillq.Options{
+			SegmentBytes: cfg.SpillSegmentBytes,
+			Sync:         cfg.SpillSync.internal(),
+			SyncEvery:    cfg.SpillSyncEvery,
+			Recover:      cfg.SpillRecover,
+		}
+		// Recovery: the store replays surviving record headers during
+		// Open (per-color FIFO order); aggregate them per color here,
+		// then adopt each backlog below — after the store is wired —
+		// so the colors start out spilling with the right disk depth
+		// and weighted cost, and reloading begins immediately.
+		type recAgg struct{ n, cost int64 }
+		var backlogs map[equeue.Color]*recAgg
+		if cfg.SpillRecover {
+			backlogs = make(map[equeue.Color]*recAgg)
+			opts.OnRecover = func(rec spillq.Record) {
+				color := equeue.Color(rec.Color)
+				ag := backlogs[color]
+				if ag == nil {
+					ag = &recAgg{}
+					backlogs[color] = ag
+				}
+				ag.n++
+				ag.cost += weightedSpillCost(rec.Cost, rec.Penalty)
+			}
+		}
+		store, err := spillq.Open(dir, opts)
 		if err != nil {
 			if a.ownDir {
 				os.RemoveAll(dir)
@@ -275,8 +365,37 @@ func newAdmission(r *Runtime, cfg Config) (*admission, error) {
 			return nil, fmt.Errorf("mely: %w", err)
 		}
 		a.store = store
+		for color, ag := range backlogs {
+			a.adoptRecovered(color, ag.n, ag.cost)
+		}
 	}
 	return a, nil
+}
+
+// adoptRecovered publishes one color's crash-recovered disk backlog
+// into the admission state: the color starts out spilling (new posts
+// route to disk behind the backlog, preserving per-color FIFO across
+// the restart), the records count as pending work, the steal-worthiness
+// mirror sees the disk cost, and the reload machinery starts pulling
+// the backlog into memory immediately — recovered events need no
+// triggering execution, they flow in under the normal headroom-bounded
+// batches (leftovers park as starved and drain on completions).
+func (a *admission) adoptRecovered(color equeue.Color, n, cost int64) {
+	a.r.pending.Add(n)
+	s := a.shard(color)
+	s.mu.Lock()
+	st := s.colors[color]
+	if st == nil {
+		st = &colorAdm{}
+		s.colors[color] = st
+	}
+	st.disk += n
+	st.diskCost += cost
+	st.spilling = true
+	st.reloading = true
+	s.mu.Unlock()
+	a.r.syncSpillMirror(color, n, cost)
+	a.reload(color)
 }
 
 // close shuts the spill store down and releases blocked posters.

@@ -357,8 +357,10 @@ func (r *Runtime) Stop() {
 	r.wg.Wait()
 	if r.adm != nil {
 		// Workers are gone; nothing reloads anymore. Tear the spill
-		// store down (spilled events are dropped exactly like queued
-		// ones) and delete its segments.
+		// store down: without SpillRecover the segments are deleted
+		// (spilled events are dropped exactly like queued ones); with
+		// it Close is durable — open tails are sealed and the backlog
+		// survives for the next runtime's recovery.
 		r.adm.close()
 	}
 	// Events still queued were dropped and will never complete: release

@@ -217,6 +217,13 @@ func (c CoreStats) MeanStealBatch() float64 {
 //	                                     or disk failure; event kept in memory,
 //	                                     or — reload failure only — dropped)
 //	SpillDepthHist            histogram  disk depth at spill: ≤16,≤64,≤256,≤1k,≤4k,>4k
+//	SpillSyncs                counter    msync/fsync durability points issued by
+//	                                     the spill store (Config.SpillSync)
+//	RecoveredEvents           counter    spilled events recovered from surviving
+//	                                     segments at startup (Config.SpillRecover;
+//	                                     set once at New, constant afterwards)
+//	TornRecords               counter    torn segment tails truncated (or unusable
+//	                                     segments discarded) during that recovery
 type Stats struct {
 	Cores []CoreStats
 	// StealCostEstimate is the monitored cost of one steal, the
@@ -260,6 +267,18 @@ type Stats struct {
 	BlockedPosts   int64
 	SpillErrors    int64
 	SpillDepthHist [SpillDepthBuckets]int64
+
+	// Spill durability counters (Config.SpillSync / SpillRecover).
+	// SpillSyncs counts the store's msync/fsync durability points;
+	// RecoveredEvents is the backlog recovered from surviving segments
+	// at New (constant afterwards); TornRecords counts the torn tails
+	// recovery truncated (or unusable segments it discarded) getting
+	// there — a nonzero value means the previous process died inside
+	// an unsynced append, which is exactly the loss window the
+	// configured SpillSyncPolicy promises.
+	SpillSyncs      int64
+	RecoveredEvents int64
+	TornRecords     int64
 }
 
 // Stats snapshots the runtime's counters. It is safe while running;
@@ -295,6 +314,9 @@ func (r *Runtime) Stats() Stats {
 		s.SpillErrors = a.spillErrs.Load()
 		if a.store != nil {
 			s.SpilledNow = a.store.TotalDepth()
+			s.SpillSyncs = a.store.Syncs()
+			s.RecoveredEvents = a.store.Recovered()
+			s.TornRecords = a.store.Torn()
 		}
 		for b := range s.SpillDepthHist {
 			s.SpillDepthHist[b] = a.depthHist[b].Load()

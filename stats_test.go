@@ -22,6 +22,7 @@ func cumulativeTotals(s Stats) []int64 {
 		s.TimersCanceled,
 		s.PollWakeups, s.PollEvents, s.WriteStalls, s.ReadPauses,
 		s.SpilledEvents, s.ReloadedEvents, s.RejectedPosts, s.BlockedPosts, s.SpillErrors,
+		s.SpillSyncs, s.RecoveredEvents, s.TornRecords,
 	}
 	for _, b := range t.StealBatchHist {
 		out = append(out, b)
