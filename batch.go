@@ -110,6 +110,9 @@ func (r *Runtime) postBatch(batch []BatchEvent, external bool) error {
 		ev.Penalty = lastPen
 		ev.Slab = true
 		ev.Data = be.Data
+		if r.obsOn && r.obsSeq.Add(1)&r.obsMask == 0 {
+			ev.PostNanos = r.now()
+		}
 
 		// Group by owning core without moving events: per-core index
 		// chains in batch order. The owner is resolved once per

@@ -4,14 +4,23 @@
 // steals and color migrations on the virtual timeline.
 //
 //	melytrace -workload unbalanced -policy melyws -cycles 20000000 -o trace.json
+//
+// Two auxiliary modes operate on live-runtime observability artifacts
+// instead of running the simulator (both used by CI's observability
+// job):
+//
+//	melytrace -metrics-diff before.txt after.txt   # counter monotonicity between two /metrics scrapes
+//	melytrace -validate-trace dump.json            # flight-recorder dump sanity + span census
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/policy"
 	"github.com/melyruntime/mely/internal/sfsmodel"
 	"github.com/melyruntime/mely/internal/sim"
@@ -55,8 +64,17 @@ func run() error {
 		out          = flag.String("o", "trace.json", "output file")
 		seed         = flag.Int64("seed", 42, "simulation seed")
 		clients      = flag.Int("clients", 800, "clients (sws workload)")
+		metricsDiff  = flag.Bool("metrics-diff", false, "compare two /metrics scrape files (args: before after); fail on any counter that decreased or disappeared")
+		validate     = flag.String("validate-trace", "", "validate a flight-recorder dump (Chrome trace-event JSON) and print a span census")
 	)
 	flag.Parse()
+
+	if *metricsDiff {
+		return runMetricsDiff(flag.Args())
+	}
+	if *validate != "" {
+		return runValidateTrace(*validate)
+	}
 
 	pol, err := parsePolicy(*policyName)
 	if err != nil {
@@ -100,5 +118,79 @@ func run() error {
 	fmt.Printf("melytrace: %d spans (%d exec, %d steals, %d failed steals) -> %s\n",
 		rec.Len(), rec.Count(sim.TraceExec), rec.Count(sim.TraceSteal),
 		rec.Count(sim.TraceFailedSteal), *out)
+	return nil
+}
+
+// runMetricsDiff is CI's counter-monotonicity gate: given two /metrics
+// scrapes of one process (before and after load), every counter-typed
+// series must be present and non-decreasing in the second.
+func runMetricsDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-metrics-diff needs exactly two scrape files (before after)")
+	}
+	parse := func(path string) (map[string]float64, error) {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := obs.ParseExposition(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(samples) == 0 {
+			return nil, fmt.Errorf("%s: no samples (empty scrape?)", path)
+		}
+		return samples, nil
+	}
+	before, err := parse(args[0])
+	if err != nil {
+		return err
+	}
+	after, err := parse(args[1])
+	if err != nil {
+		return err
+	}
+	if violations := obs.MonotonicViolations(before, after); violations != nil {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "melytrace: VIOLATION:", v)
+		}
+		return fmt.Errorf("%d counter monotonicity violations between %s and %s",
+			len(violations), args[0], args[1])
+	}
+	fmt.Printf("melytrace: %d series before, %d after, all counters monotonic\n",
+		len(before), len(after))
+	return nil
+}
+
+// runValidateTrace checks that a flight-recorder dump is a well-formed
+// Chrome trace-event array and prints a census of its spans.
+func runValidateTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		Ts    float64 `json:"ts"`
+		TID   int     `json:"tid"`
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("%s is not a Chrome trace-event array: %w", path, err)
+	}
+	byPhase := map[string]int{}
+	tracks := map[int]bool{}
+	for i, ev := range events {
+		if ev.Name == "" || ev.Phase == "" {
+			return fmt.Errorf("%s: event %d has no name/ph", path, i)
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("%s: event %d (%s) has negative timestamp", path, i, ev.Name)
+		}
+		byPhase[ev.Phase]++
+		tracks[ev.TID] = true
+	}
+	fmt.Printf("melytrace: %s: %d events on %d tracks (%d spans, %d instants, %d metadata)\n",
+		path, len(events), len(tracks), byPhase["X"], byPhase["i"], byPhase["M"])
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"os/signal"
 
 	"github.com/melyruntime/mely"
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/sfs"
 )
 
@@ -40,6 +41,8 @@ func run() error {
 		spillSync      = flag.String("spill-sync", "none", "spill durability policy: none|interval|always")
 		spillRecover   = flag.Bool("spill-recover", false, "recover spilled backlogs from -spill-dir at startup and keep them across restarts (needs -overload spill and an explicit -spill-dir)")
 		shedOverload   = flag.Bool("shed-overload", false, "answer READs with OVERLOADED while the runtime is saturated instead of queuing crypto work (needs -max-queued or -max-queued-color)")
+		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/*, and /debug/trace on this side address (empty = off)")
+		traceDump      = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT")
 	)
 	flag.Parse()
 	if *psk == "" {
@@ -69,6 +72,30 @@ func run() error {
 		return err
 	}
 	defer rt.Close()
+
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.MuxConfig{
+			Metrics: rt.WriteMetrics, Trace: rt.DumpTrace,
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("sfsd: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+	if *traceDump != "" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sfsd: "+format+"\n", args...)
+		}
+		stopSig := obs.DumpOnSIGQUIT(*traceDump, rt.DumpTrace, logf)
+		defer stopSig()
+		defer func() {
+			if err := obs.DumpToFile(*traceDump, rt.DumpTrace); err != nil {
+				logf("flight-recorder dump failed: %v", err)
+			}
+		}()
+	}
+
 	if *shedOverload && !rt.Bounded() {
 		return fmt.Errorf("-shed-overload needs a bounded runtime (-max-queued or -max-queued-color)")
 	}

@@ -17,6 +17,7 @@ import (
 
 	"github.com/melyruntime/mely"
 	"github.com/melyruntime/mely/internal/netpoll"
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/sws"
 )
 
@@ -63,6 +64,8 @@ func run() error {
 		spillSync   = flag.String("spill-sync", "none", "spill durability policy: none|interval|always")
 		spillRec    = flag.Bool("spill-recover", false, "recover spilled backlogs from -spill-dir at startup and keep them across restarts (needs -overload spill and an explicit -spill-dir)")
 		shed        = flag.Bool("shed-overload", false, "answer 503 while the runtime is saturated (needs -max-queued)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/*, and /debug/trace on this side address (empty = off)")
+		traceDump   = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT")
 	)
 	flag.Parse()
 
@@ -96,6 +99,29 @@ func run() error {
 		return err
 	}
 	defer rt.Close()
+
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, obs.MuxConfig{
+			Metrics: rt.WriteMetrics, Trace: rt.DumpTrace,
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("sws: debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+	if *traceDump != "" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sws: "+format+"\n", args...)
+		}
+		stopSig := obs.DumpOnSIGQUIT(*traceDump, rt.DumpTrace, logf)
+		defer stopSig()
+		defer func() {
+			if err := obs.DumpToFile(*traceDump, rt.DumpTrace); err != nil {
+				logf("flight-recorder dump failed: %v", err)
+			}
+		}()
+	}
 
 	files := make(map[string][]byte, *nfiles)
 	for i := 0; i < *nfiles; i++ {

@@ -10,16 +10,26 @@
 // bounds from the CLI:
 //
 //	swsload -addr localhost:8080 -clients 50 -burst 64 -burst-pause 10ms
+//
+// -scrape points at the server's -debug-addr metrics endpoint; the
+// injector then scrapes it before and after the run and reports the
+// server-side view — events executed, steals, spills, and the sampled
+// queue-delay/execution-time percentiles — next to its own client-side
+// throughput numbers.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/melyruntime/mely/internal/loadgen"
+	"github.com/melyruntime/mely/internal/obs"
 )
 
 func main() {
@@ -41,8 +51,17 @@ func run() error {
 		idle     = flag.Int("idle-conns", 0, "extra silent connections held open the whole run (C10K shape; pairs with sws -backend epoll)")
 		burst    = flag.Int("burst", 0, "open-loop burst mode: pipeline this many requests per gulp regardless of service rate (0 = closed loop; pairs with sws -max-queued)")
 		burstGap = flag.Duration("burst-pause", 0, "pause between one client's bursts")
+		scrape   = flag.String("scrape", "", "scrape this /metrics URL (the server's -debug-addr) before and after the run and report the server-side delta")
 	)
 	flag.Parse()
+
+	var before map[string]float64
+	if *scrape != "" {
+		var err error
+		if before, err = scrapeMetrics(*scrape); err != nil {
+			return fmt.Errorf("pre-run scrape: %w", err)
+		}
+	}
 
 	paths := make([]string, *nfiles)
 	for i := range paths {
@@ -67,5 +86,62 @@ func run() error {
 		*clients, res.Elapsed.Round(time.Millisecond), res.Requests, res.Errors, res.Connects)
 	fmt.Printf("throughput: %.1f KRequests/s, %.1f MB/s read\n",
 		res.KRequestsPS, float64(res.BytesRead)/res.Elapsed.Seconds()/(1<<20))
+
+	if *scrape != "" {
+		after, err := scrapeMetrics(*scrape)
+		if err != nil {
+			return fmt.Errorf("post-run scrape: %w", err)
+		}
+		reportServerSide(before, after)
+	}
 	return nil
+}
+
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return obs.ParseExposition(string(body))
+}
+
+// sumSeries sums every sample of one family across its label sets
+// (e.g. the per-core mely_events_total rows).
+func sumSeries(samples map[string]float64, name string) float64 {
+	var sum float64
+	for key, v := range samples {
+		if key == name || strings.HasPrefix(key, name+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func reportServerSide(before, after map[string]float64) {
+	delta := func(name string) float64 { return sumSeries(after, name) - sumSeries(before, name) }
+	fmt.Printf("server: events=%.0f steals=%.0f stolen-events=%.0f spilled=%.0f reloaded=%.0f rejected=%.0f\n",
+		delta("mely_events_total"), delta("mely_steals_total"),
+		delta("mely_stolen_events_total"), delta("mely_spilled_events_total"),
+		delta("mely_reloaded_events_total"), delta("mely_rejected_posts_total"))
+	// Percentiles come from the full-history histogram; under a fresh
+	// server that is the run itself. Bucket upper bounds, so read as
+	// "at most".
+	pct := func(name string, q float64) string {
+		v, ok := obs.HistogramQuantile(after, name, q)
+		if !ok {
+			return "n/a"
+		}
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	fmt.Printf("server: queue-delay p50≤%s p99≤%s, exec-time p50≤%s p99≤%s (sampled, bucket upper bounds)\n",
+		pct("mely_queue_delay_seconds", 0.50), pct("mely_queue_delay_seconds", 0.99),
+		pct("mely_exec_time_seconds", 0.50), pct("mely_exec_time_seconds", 0.99))
 }

@@ -130,6 +130,24 @@ type Config struct {
 	// level and pay extra cascades (still correct, just costlier).
 	TimerWheelLevels int
 
+	// ObsSampleRate is the live-observability sampling period: one in
+	// every ObsSampleRate posted events carries a timestamp from post to
+	// execution, feeding the per-core queue-delay and execution-time
+	// histograms (Stats.Cores[i].QueueDelayHist / ExecTimeHist) and the
+	// per-color delay attribution. Rounded up to a power of two. 0 means
+	// the default of 64 (≈1.6% of events, within noise of the posting
+	// hot path); 1 samples every event; negative disables the latency
+	// histograms entirely.
+	ObsSampleRate int
+	// TraceRing is the per-core flight-recorder capacity in records
+	// (rounded up to a power of two). The recorder is always on: every
+	// execution, steal, re-home, spill, reload, timer firing, and poll
+	// wakeup appends one fixed-size record, overwriting the oldest, and
+	// Runtime.DumpTrace renders the rings as Chrome trace JSON on
+	// demand. 0 means the default of 4096 records per core (~128 KiB
+	// per core); negative disables the recorder.
+	TraceRing int
+
 	// MaxQueuedEvents bounds the runtime-wide number of in-memory
 	// queued events (0 = unlimited, the pre-overload behavior). Once
 	// the bound is reached, posting follows OverloadPolicy. Unbounded
@@ -207,6 +225,12 @@ func (c Config) withDefaults() Config {
 	if c.TimerWheelLevels == 0 {
 		c.TimerWheelLevels = 4
 	}
+	if c.ObsSampleRate == 0 {
+		c.ObsSampleRate = 64
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 4096
+	}
 	return c
 }
 
@@ -236,6 +260,13 @@ func (c Config) validate() error {
 	if c.TimerWheelLevels < 0 || c.TimerWheelLevels > timerwheel.MaxLevels {
 		return fmt.Errorf("mely: timer wheel levels %d out of range [1, %d]",
 			c.TimerWheelLevels, timerwheel.MaxLevels)
+	}
+	if c.ObsSampleRate > 1<<30 {
+		return fmt.Errorf("mely: obs sample rate %d too large", c.ObsSampleRate)
+	}
+	if c.TraceRing > 1<<24 {
+		return fmt.Errorf("mely: trace ring size %d too large (max %d records per core)",
+			c.TraceRing, 1<<24)
 	}
 	if c.MaxQueuedEvents < 0 || c.MaxQueuedPerColor < 0 {
 		return fmt.Errorf("mely: negative queue bound")

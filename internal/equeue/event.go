@@ -67,6 +67,12 @@ type Event struct {
 	// long as it sits there.
 	Slab bool
 
+	// PostNanos is the observability sampling stamp: when nonzero, the
+	// event was selected by the runtime's latency sampler and carries
+	// its post time (nanoseconds since the runtime epoch) to execution,
+	// where the queue delay is observed. Zero on unsampled events.
+	PostNanos int64
+
 	// Footprint is the number of bytes of the data set the handler
 	// touches, DataID identifies that data set for the cache model, and
 	// DataSize is the data set's full size (zero means Footprint — the

@@ -244,6 +244,7 @@ func (sh *pollShard) run() {
 			sh.wakeups.Add(1)
 			sh.harvested.Add(int64(n))
 			sh.batchHist[mely.PollBatchBucket(n)].Add(1)
+			sh.be.s.cfg.Runtime.TracePollWakeup(n)
 		}
 
 		// Close requests first: a connection closed by a handler must

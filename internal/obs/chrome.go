@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent mirrors internal/trace's entry shape — "X" complete
+// events plus "i" instants with microsecond timestamps — so live
+// flight-recorder dumps open in Perfetto exactly like simulator runs.
+type chromeEvent struct {
+	Name     string         `json:"name"`
+	Phase    string         `json:"ph"`
+	TsMicros float64        `json:"ts"`
+	DurUs    float64        `json:"dur,omitempty"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Scope    string         `json:"s,omitempty"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// ChromeConfig parameterizes a flight-recorder dump.
+type ChromeConfig struct {
+	// HandlerName resolves a handler id to a span label; nil or an
+	// empty return falls back to "handler <id>".
+	HandlerName func(id uint32) string
+}
+
+func (c ChromeConfig) handlerName(id uint32) string {
+	if c.HandlerName != nil {
+		if s := c.HandlerName(id); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("handler %d", id)
+}
+
+const microsPerNano = 1e-3
+
+// WriteChrome dumps per-core flight-recorder rings (track per core)
+// plus an optional auxiliary ring (spill/reload/poll track) as a Chrome
+// trace-event JSON array. Timestamps are nanoseconds since the
+// runtime's epoch, rendered in microseconds.
+func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) error {
+	out := []chromeEvent{} // never nil: an empty dump must encode as []
+	var scratch []Event
+	addMeta := func(tid int, label string) {
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   tid,
+			Args:  map[string]any{"name": label},
+		})
+	}
+	decode := func(tid int, evs []Event) {
+		for _, ev := range evs {
+			ce := chromeEvent{
+				Phase:    "X",
+				TsMicros: float64(ev.Ts) * microsPerNano,
+				DurUs:    float64(ev.Dur) * microsPerNano,
+				TID:      tid,
+			}
+			switch ev.Kind {
+			case KindExec:
+				id := ev.N &^ StolenFlag
+				ce.Name = cfg.handlerName(id)
+				ce.Args = map[string]any{"color": ev.Arg}
+				if ev.N&StolenFlag != 0 {
+					ce.Args["stolen"] = true
+				}
+			case KindSteal:
+				ce.Name = fmt.Sprintf("STEAL ×%d", ev.N)
+				ce.Args = map[string]any{"victim": ev.Arg, "colors": ev.N}
+			case KindPost:
+				ce.Name = "post " + cfg.handlerName(ev.N)
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+				ce.Args = map[string]any{"color": ev.Arg}
+			case KindReHome:
+				ce.Name = "re-home"
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+				ce.Args = map[string]any{"color": ev.Arg, "home": ev.N}
+			case KindSpill:
+				ce.Name = "spill"
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+				ce.Args = map[string]any{"color": ev.Arg, "disk_depth": ev.N}
+			case KindReload:
+				ce.Name = fmt.Sprintf("reload ×%d", ev.N)
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+				ce.Args = map[string]any{"color": ev.Arg}
+			case KindTimerFire:
+				ce.Name = "timer"
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+				ce.Args = map[string]any{
+					"color":  ev.Arg,
+					"lag_us": float64(ev.Dur) * microsPerNano,
+				}
+			case KindPollWake:
+				ce.Name = fmt.Sprintf("poll ×%d", ev.N)
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+			default:
+				continue
+			}
+			out = append(out, ce)
+		}
+	}
+	for core, r := range perCore {
+		if r == nil {
+			continue
+		}
+		addMeta(core, fmt.Sprintf("core %d", core))
+		scratch = r.Snapshot(scratch[:0])
+		decode(core, scratch)
+	}
+	if aux != nil {
+		tid := len(perCore)
+		addMeta(tid, "io/spill")
+		scratch = aux.Snapshot(scratch[:0])
+		decode(tid, scratch)
+	}
+	// Perfetto tolerates unordered input, but sorted output diffs
+	// cleanly and streams better in chrome://tracing.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Phase == "M" != (out[j].Phase == "M") {
+			return out[i].Phase == "M"
+		}
+		return out[i].TsMicros < out[j].TsMicros
+	})
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+)
+
+// DebugServer is the optional observability side listener servers mount
+// with -debug-addr: a plain HTTP server running NewMux (so /metrics,
+// /debug/pprof/*, /debug/trace, /debug/vars) on its own socket, kept
+// off the data path and off by default.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr and serves the observability mux in
+// a background goroutine. Close the returned server to stop it.
+func StartDebugServer(addr string, cfg MuxConfig) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: NewMux(cfg)}}
+	go d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return d, nil
+}
+
+// Addr is the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener; in-flight scrapes are abandoned.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// DumpToFile writes one dump (e.g. Runtime.DumpTrace) to path,
+// truncating any previous dump there.
+func DumpToFile(path string, dump func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

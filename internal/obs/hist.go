@@ -1,0 +1,108 @@
+// Package obs is the live-runtime observability toolkit: sampled
+// power-of-two latency histograms, the per-core flight-recorder ring,
+// Chrome trace-event emission for live runs, Prometheus text-format
+// exposition helpers, and the /metrics + /debug mux the demo servers
+// mount on a side listener.
+//
+// The package is deliberately free of any dependency on the runtime
+// itself: the root mely package imports obs for its hot-path primitives
+// (Hist, Ring) and renders its Stats through the writers here, so obs
+// stays importable from both sides — the runtime below and the
+// commands/harness above — without a cycle.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumLatencyBuckets is the bucket count of Hist: power-of-two bucket
+// widths from 256ns up to ~17s, with the last bucket catching
+// everything beyond. Coarse on purpose — the histogram is updated on a
+// sampled hot path, and a factor-of-two resolution is plenty to tell a
+// 2µs queue delay from a 2ms one.
+const NumLatencyBuckets = 28
+
+// latMinShift anchors bucket 0 at durations below 1<<latMinShift ns.
+const latMinShift = 8
+
+// LatencyBucket maps a duration in nanoseconds to its bucket index:
+// bucket 0 holds d < 256ns, bucket i holds d in [2^(i+7), 2^(i+8)),
+// and the last bucket holds everything from ~17s up.
+func LatencyBucket(nanos int64) int {
+	if nanos <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(nanos)) - latMinShift
+	if b < 0 {
+		return 0
+	}
+	if b >= NumLatencyBuckets {
+		return NumLatencyBuckets - 1
+	}
+	return b
+}
+
+// LatencyUpperNanos is the exclusive upper bound of bucket i in
+// nanoseconds (math.MaxInt64 for the overflow bucket).
+func LatencyUpperNanos(i int) int64 {
+	if i >= NumLatencyBuckets-1 {
+		return math.MaxInt64
+	}
+	return 1 << (latMinShift + i)
+}
+
+// Hist is a concurrent power-of-two latency histogram: one atomic add
+// per observation on the bucket, one on the sum. Snapshots are
+// bucket-wise atomic but not mutually consistent, exactly like the
+// runtime's other counters.
+type Hist struct {
+	buckets [NumLatencyBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Hist) Observe(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	h.buckets[LatencyBucket(nanos)].Add(1)
+	h.sum.Add(nanos)
+}
+
+// Load copies the bucket counts into counts and returns the sum of the
+// observed durations in nanoseconds.
+func (h *Hist) Load(counts *[NumLatencyBuckets]int64) (sumNanos int64) {
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	return h.sum.Load()
+}
+
+// Quantile computes the q-quantile (0 < q <= 1) of a bucket-count
+// snapshot, reported as the upper bound of the bucket where the
+// cumulative count crosses q — the conservative (pessimistic) read a
+// gate should use. Zero observations yield zero.
+func Quantile(counts *[NumLatencyBuckets]int64, q float64) time.Duration {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return time.Duration(LatencyUpperNanos(i))
+		}
+	}
+	return time.Duration(LatencyUpperNanos(NumLatencyBuckets - 1))
+}

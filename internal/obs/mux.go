@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// MuxConfig wires a runtime's render callbacks into the debug mux
+// without obs depending on the runtime package.
+type MuxConfig struct {
+	// Metrics renders a Prometheus text exposition (Runtime.WriteMetrics).
+	Metrics func(w io.Writer) error
+	// Trace dumps the flight recorder as Chrome trace JSON
+	// (Runtime.DumpTrace). Optional; /debug/trace 404s when nil.
+	Trace func(w io.Writer) error
+	// MinScrapeInterval caches the rendered /metrics payload for this
+	// long, so aggressive scrapers cost one Stats() snapshot per window
+	// instead of one per request. Default 250ms; negative disables.
+	MinScrapeInterval time.Duration
+}
+
+// NewMux returns the debug handler the demo servers mount on
+// -debug-addr: /metrics (Prometheus text format), /debug/trace
+// (Chrome trace JSON), /debug/pprof/* and /debug/vars.
+func NewMux(cfg MuxConfig) *http.ServeMux {
+	if cfg.MinScrapeInterval == 0 {
+		cfg.MinScrapeInterval = 250 * time.Millisecond
+	}
+	mux := http.NewServeMux()
+	if cfg.Metrics != nil {
+		cache := &scrapeCache{render: cfg.Metrics, ttl: cfg.MinScrapeInterval}
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			body, err := cache.get()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write(body)
+		})
+	}
+	if cfg.Trace != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := cfg.Trace(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// scrapeCache memoizes the rendered exposition for a short TTL — the
+// "snapshot-delta poller": scrapers share one Stats() walk per window.
+type scrapeCache struct {
+	render func(w io.Writer) error
+	ttl    time.Duration
+
+	mu   sync.Mutex
+	at   time.Time
+	body []byte
+}
+
+type byteSink struct{ b []byte }
+
+func (s *byteSink) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (c *scrapeCache) get() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ttl > 0 && c.body != nil && time.Since(c.at) < c.ttl {
+		return c.body, nil
+	}
+	var sink byteSink
+	if err := c.render(&sink); err != nil {
+		return nil, err
+	}
+	c.body = sink.b
+	c.at = time.Now()
+	return c.body, nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package obs
+
+import "io"
+
+// DumpOnSIGQUIT is a no-op where SIGQUIT does not exist; use the
+// -trace-dump exit path or /debug/trace instead.
+func DumpOnSIGQUIT(path string, dump func(io.Writer) error, logf func(format string, args ...any)) (stop func()) {
+	return func() {}
+}

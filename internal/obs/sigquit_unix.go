@@ -1,0 +1,39 @@
+//go:build unix
+
+package obs
+
+import (
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnSIGQUIT installs a handler that writes the flight recorder to
+// path on every SIGQUIT (^\) without killing the process — the live
+// equivalent of a core dump for the event timeline. Replaces Go's
+// default SIGQUIT stack-dump-and-exit behavior while installed; the
+// returned stop function restores it.
+func DumpOnSIGQUIT(path string, dump func(io.Writer) error, logf func(format string, args ...any)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := DumpToFile(path, dump); err != nil {
+					logf("flight-recorder dump failed: %v", err)
+				} else {
+					logf("flight recorder dumped to %s", path)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

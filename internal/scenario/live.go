@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"runtime"
 	"sort"
 	"strings"
@@ -16,6 +18,7 @@ import (
 	"github.com/melyruntime/mely"
 	"github.com/melyruntime/mely/internal/loadgen"
 	"github.com/melyruntime/mely/internal/netpoll"
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/sfs"
 	"github.com/melyruntime/mely/internal/sws"
 )
@@ -74,6 +77,11 @@ type liveServer struct {
 	paths     []string
 	psk       []byte
 	fileBytes int
+	// dbg is the observability side listener, mounted only when the
+	// spec declares a metrics SLO (max_queue_delay_p99): the gate
+	// scrapes /metrics over real HTTP, the same surface -debug-addr
+	// serves in production.
+	dbg *obs.DebugServer
 }
 
 // shed reports the server's shed counter (503s or OVERLOADED statuses).
@@ -85,6 +93,9 @@ func (ls *liveServer) shed() int64 {
 }
 
 func (ls *liveServer) close() {
+	if ls.dbg != nil {
+		_ = ls.dbg.Close()
+	}
 	if ls.sws != nil {
 		_ = ls.sws.Close()
 	}
@@ -110,20 +121,38 @@ func buildLiveServer(s *Spec, sv *ServerSpec) (*liveServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt, err := mely.New(mely.Config{
+	cfg := mely.Config{
 		Cores:             sv.Cores,
 		Policy:            pol,
 		MaxQueuedEvents:   sv.MaxQueued,
 		MaxQueuedPerColor: sv.MaxQueuedColor,
 		OverloadPolicy:    opol,
 		SpillDir:          sv.SpillDir,
-	})
+	}
+	if s.wantsMetricsSLO() {
+		// The queue-delay gate needs samples even in a short -quick
+		// window; sample every event for the gated run.
+		cfg.ObsSampleRate = 1
+	}
+	rt, err := mely.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	ls := &liveServer{spec: sv, rt: rt}
+	if s.wantsMetricsSLO() {
+		ls.dbg, err = obs.StartDebugServer("127.0.0.1:0", obs.MuxConfig{
+			Metrics: rt.WriteMetrics,
+			Trace:   rt.DumpTrace,
+			// The gate scrapes exactly once per server; serve it fresh.
+			MinScrapeInterval: -1,
+		})
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+	}
 	if err := rt.Start(); err != nil {
-		rt.Close()
+		ls.close()
 		return nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -337,18 +366,35 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 	}
 
 	var total mely.CoreStats
+	var qdHist, etHist mely.LatencySnapshot
 	var shed, served int64
 	for _, ls := range servers {
 		t := ls.rt.Stats().Total()
 		total.StealAttempts += t.StealAttempts
 		total.Steals += t.Steals
 		total.StolenColors += t.StolenColors
+		mergeLatency(&qdHist, t.QueueDelayHist)
+		mergeLatency(&etHist, t.ExecTimeHist)
 		shed += ls.shed()
 		if ls.sws != nil {
 			served += ls.sws.Served()
 		}
 		if ls.sfs != nil {
 			served += ls.sfs.Sent()
+		}
+	}
+
+	// The metrics gate reads the worst per-server queue-delay p99 off a
+	// real /metrics scrape — the same HTTP surface and exposition path
+	// dashboards use, not a shortcut through Stats().
+	var scrapedQD time.Duration
+	if s.wantsMetricsSLO() {
+		for name, ls := range servers {
+			qd, err := scrapeQueueDelayP99(ls.dbg.Addr())
+			if err != nil {
+				return nil, fmt.Errorf("%s: server %q: %w", s.Name, name, err)
+			}
+			scrapedQD = max(scrapedQD, qd)
 		}
 	}
 
@@ -377,7 +423,18 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 			"rss_mb":   rssMB,
 		},
 	}
-	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB)
+	// Server-side sampled latency, fleet-wide (bucket upper bounds;
+	// zero when sampling is off or nothing was sampled). These land in
+	// melybench -scenario-out next to the client-side percentiles.
+	if qdHist.Count() > 0 {
+		rec.Payload["queue_delay_p50_ms"] = float64(qdHist.Quantile(0.50)) / float64(time.Millisecond)
+		rec.Payload["queue_delay_p99_ms"] = float64(qdHist.Quantile(0.99)) / float64(time.Millisecond)
+	}
+	if etHist.Count() > 0 {
+		rec.Payload["exec_p50_ms"] = float64(etHist.Quantile(0.50)) / float64(time.Millisecond)
+		rec.Payload["exec_p99_ms"] = float64(etHist.Quantile(0.99)) / float64(time.Millisecond)
+	}
+	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB, scrapedQD)
 	for _, slo := range rec.SLOs {
 		if !slo.Pass {
 			return rec, fmt.Errorf("%s: SLO %s on phase %q violated: %g (limit %g)",
@@ -575,7 +632,7 @@ func (l *latRecorder) percentiles() (p50, p99 time.Duration) {
 // aggregate. SLOs attach to phases for readability, but the metrics all
 // come from the measure window (latency, errors, throughput) or the
 // whole run (RSS).
-func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64) []SLOResult {
+func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD time.Duration) []SLOResult {
 	var out []SLOResult
 	for _, slo := range s.SLOs {
 		if slo.MinKEventsPerSec > 0 {
@@ -612,8 +669,74 @@ func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64) []SLOResult {
 				Pass: rssMB <= float64(slo.MaxRSSMB),
 			})
 		}
+		if slo.MaxQueueDelayP99 != "" {
+			limit := mustDuration(slo.MaxQueueDelayP99)
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_queue_delay_p99",
+				Limit: float64(limit) / float64(time.Millisecond),
+				Value: float64(scrapedQD) / float64(time.Millisecond),
+				Pass:  scrapedQD <= limit,
+			})
+		}
 	}
 	return out
+}
+
+// wantsMetricsSLO reports whether any SLO gates on a live /metrics
+// scrape (the servers then mount debug listeners and sample every
+// event).
+func (s *Spec) wantsMetricsSLO() bool {
+	for i := range s.SLOs {
+		if s.SLOs[i].MaxQueueDelayP99 != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeLatency folds one server's latency snapshot into a fleet-wide
+// aggregate.
+func mergeLatency(dst *mely.LatencySnapshot, src mely.LatencySnapshot) {
+	for b := range src.Buckets {
+		dst.Buckets[b] += src.Buckets[b]
+	}
+	dst.Sum += src.Sum
+}
+
+// scrapeQueueDelayP99 GETs one server's /metrics and extracts the
+// queue-delay p99 across its cores (a bucket upper bound, like any
+// Prometheus histogram_quantile). A scrape with no samples gates at 0
+// only if the histogram rendered at all; a missing histogram is an
+// error — the gate must not silently pass on a broken exposition.
+func scrapeQueueDelayP99(addr string) (time.Duration, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("scrape %s: %s", addr, resp.Status)
+	}
+	samples, err := obs.ParseExposition(string(body))
+	if err != nil {
+		return 0, fmt.Errorf("scrape %s: %w", addr, err)
+	}
+	qd, ok := obs.HistogramQuantile(samples, "mely_queue_delay_seconds", 0.99)
+	if !ok {
+		// Zero samples (an idle measure phase) is a trivial pass, but
+		// only if the histogram actually rendered.
+		for key := range samples {
+			if strings.HasPrefix(key, "mely_queue_delay_seconds_count") {
+				return 0, nil
+			}
+		}
+		return 0, fmt.Errorf("scrape %s: no mely_queue_delay_seconds histogram", addr)
+	}
+	return time.Duration(qd * float64(time.Second)), nil
 }
 
 // startLiveFaults launches the fault injectors scoped to the named

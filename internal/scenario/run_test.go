@@ -96,3 +96,56 @@ func TestRunLiveQuick(t *testing.T) {
 		t.Fatalf("live record payload = %v, want latency percentiles", rec.Payload)
 	}
 }
+
+// TestRunLiveMetricsSLO: declaring max_queue_delay_p99 mounts a debug
+// listener per server, scrapes its real /metrics after the measure
+// phase, and gates on the queue-delay p99 — and the record always
+// carries the server-side sampled percentiles in its payload.
+func TestRunLiveMetricsSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenario spins real servers")
+	}
+	spec := &Spec{
+		Name:   "live-metrics-slo",
+		Engine: "live",
+		Servers: []ServerSpec{
+			{Name: "web", Kind: "sws", Cores: 2},
+		},
+		Loads: []LoadSpec{
+			{Server: "web", Clients: 2},
+		},
+		Phases: []PhaseSpec{
+			{Name: "run", Duration: "1s", Measure: true},
+		},
+		SLOs: []SLOSpec{
+			// Loopback 1KB files: a 30s queue-delay bound only fails if
+			// the scrape plumbing itself is broken.
+			{Phase: "run", MaxQueueDelayP99: "30s"},
+		},
+	}
+	res, err := Run(spec, Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := res.Records[0]
+	var sawGate bool
+	for _, slo := range rec.SLOs {
+		if slo.Check == "max_queue_delay_p99" {
+			sawGate = true
+			if !slo.Pass {
+				t.Errorf("queue-delay gate failed: %g ms (limit %g ms)", slo.Value, slo.Limit)
+			}
+			if slo.Value <= 0 {
+				t.Errorf("gate value = %g, want a positive scraped p99", slo.Value)
+			}
+		}
+	}
+	if !sawGate {
+		t.Fatalf("no max_queue_delay_p99 SLO evaluated: %+v", rec.SLOs)
+	}
+	for _, key := range []string{"queue_delay_p50_ms", "queue_delay_p99_ms", "exec_p50_ms", "exec_p99_ms"} {
+		if rec.Payload[key] <= 0 {
+			t.Errorf("payload[%s] = %g, want positive sampled latency", key, rec.Payload[key])
+		}
+	}
+}

@@ -293,6 +293,12 @@ type SLOSpec struct {
 	MaxErrorRatePct float64 `json:"max_error_rate_pct,omitempty"`
 	// MaxRSSMB caps the sampled peak heap footprint (live).
 	MaxRSSMB int `json:"max_rss_mb,omitempty"`
+	// MaxQueueDelayP99 caps the server-side sampled queue-delay p99 —
+	// the post→execute wait inside the runtime, not the client-visible
+	// latency — gated by scraping each server's live /metrics endpoint
+	// after the measure phase (live). Declaring it forces every
+	// server's runtime to ObsSampleRate 1 so quick runs have samples.
+	MaxQueueDelayP99 string `json:"max_queue_delay_p99,omitempty"`
 }
 
 // Load reads, parses, and validates one spec file (.yaml, .yml, or

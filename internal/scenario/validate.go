@@ -413,17 +413,20 @@ func (s *Spec) validateSLOs(fail func(string, error, string, ...any), phases map
 			fail(field, ErrNegativeCount, "SLO limits must be non-negative")
 		}
 		if !slo.ZeroLoss && slo.MaxInMem == 0 && slo.MinKEventsPerSec == 0 &&
-			slo.MaxP99 == "" && slo.MaxErrorRatePct == 0 && slo.MaxRSSMB == 0 {
+			slo.MaxP99 == "" && slo.MaxErrorRatePct == 0 && slo.MaxRSSMB == 0 &&
+			slo.MaxQueueDelayP99 == "" {
 			fail(field, ErrBadSLO, "SLO asserts nothing")
 		}
 		overloadSim := s.Engine == "sim" && s.Sim != nil && s.Sim.Workload == "overload"
 		if (slo.ZeroLoss || slo.MaxInMem > 0) && !overloadSim {
 			fail(field, ErrBadSLO, "zero_loss/max_inmem are sim overload checks")
 		}
-		if (slo.MaxP99 != "" || slo.MaxErrorRatePct > 0 || slo.MaxRSSMB > 0) && s.Engine != "live" {
-			fail(field, ErrBadSLO, "max_p99/max_error_rate_pct/max_rss_mb are live checks")
+		if (slo.MaxP99 != "" || slo.MaxErrorRatePct > 0 || slo.MaxRSSMB > 0 ||
+			slo.MaxQueueDelayP99 != "") && s.Engine != "live" {
+			fail(field, ErrBadSLO, "max_p99/max_error_rate_pct/max_rss_mb/max_queue_delay_p99 are live checks")
 		}
 		checkDuration(fail, field+".max_p99", slo.MaxP99)
+		checkDuration(fail, field+".max_queue_delay_p99", slo.MaxQueueDelayP99)
 	}
 }
 

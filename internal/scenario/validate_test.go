@@ -206,6 +206,18 @@ loads:`, 1),
 			field: "slos[0]",
 		},
 		{
+			name:  "metrics SLO on a sim scenario",
+			doc:   validSimDoc + "slos:\n  - phase: measure\n    max_queue_delay_p99: 10ms\n",
+			want:  ErrBadSLO,
+			field: "slos[0]",
+		},
+		{
+			name:  "metrics SLO with a bad duration",
+			doc:   validLiveDoc + "slos:\n  - phase: run\n    max_queue_delay_p99: quickly\n",
+			want:  ErrBadDuration,
+			field: "slos[0].max_queue_delay_p99",
+		},
+		{
 			name:  "unknown fault type",
 			doc:   validSimDoc + "faults:\n  - type: meteor-strike\n    extra_cycles: 5\n",
 			want:  ErrUnknownFault,

@@ -1,0 +1,360 @@
+package mely
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/obs"
+	"github.com/melyruntime/mely/internal/spinlock"
+)
+
+// This file is the live-observability bridge: the sampled latency
+// instrumentation fed from the hot path (observeExec), the per-color
+// delay attribution, the flight-recorder plumbing (traceAux,
+// TracePollWakeup, DumpTrace), and the Prometheus text exposition
+// (WriteMetrics). The primitives live in internal/obs; servers mount
+// them over HTTP with obs.NewMux:
+//
+//	mux := obs.NewMux(obs.MuxConfig{Metrics: rt.WriteMetrics, Trace: rt.DumpTrace})
+//	go http.Serve(listener, mux)
+
+// colorDelayEntry is one tracked color's sampled-delay attribution.
+// samples == 0 marks a free slot (color 0 is a valid color).
+type colorDelayEntry struct {
+	color   Color
+	samples int64
+	delay   int64
+}
+
+// colorDelayTable attributes sampled queue delay to a core's hottest
+// colors: a fixed ColorTopK-entry table with Misra-Gries-style
+// eviction (a sample of an untracked color decrements the smallest
+// entry; the slot turns over once it empties). Hot colors survive the
+// churn, so the attribution is exact for a stable hot set and
+// conservative (undercounted) for the tail. Writers are the core's own
+// worker on sampled events only; Stats snapshots concurrently, so the
+// table carries its own spinlock rather than relying on c.lock.
+type colorDelayTable struct {
+	mu      spinlock.Lock
+	entries [ColorTopK]colorDelayEntry
+}
+
+// note records one sampled queue delay for color.
+func (t *colorDelayTable) note(color Color, delayNanos int64) {
+	t.mu.Lock()
+	minIdx, freeIdx := -1, -1
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.samples == 0 {
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+			continue
+		}
+		if e.color == color {
+			e.samples++
+			e.delay += delayNanos
+			t.mu.Unlock()
+			return
+		}
+		if minIdx < 0 || e.samples < t.entries[minIdx].samples {
+			minIdx = i
+		}
+	}
+	if freeIdx >= 0 {
+		t.entries[freeIdx] = colorDelayEntry{color: color, samples: 1, delay: delayNanos}
+		t.mu.Unlock()
+		return
+	}
+	// Full: decay the smallest entry; claim its slot once it empties.
+	e := &t.entries[minIdx]
+	e.samples--
+	if e.samples == 0 {
+		*e = colorDelayEntry{color: color, samples: 1, delay: delayNanos}
+	}
+	t.mu.Unlock()
+}
+
+// snapshot copies the live entries, most-sampled first.
+func (t *colorDelayTable) snapshot() []ColorDelay {
+	t.mu.Lock()
+	entries := t.entries
+	t.mu.Unlock()
+	var out []ColorDelay
+	for i := range entries {
+		if entries[i].samples > 0 {
+			out = append(out, ColorDelay{
+				Color:   entries[i].color,
+				Samples: entries[i].samples,
+				Delay:   time.Duration(entries[i].delay),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].Color < out[j].Color
+	})
+	return out
+}
+
+// observeExec is the execution-side half of the latency sampling and
+// the flight recorder's exec record. Called by execute only when the
+// event is sampled or the recorder is on; start is the execution start
+// already measured for the profiler, so the instrumentation adds no
+// clock reads.
+func (r *Runtime) observeExec(c *rcore, ev *equeue.Event, start time.Time, elapsed int64) {
+	startRel := start.Sub(r.epoch).Nanoseconds()
+	if post := ev.PostNanos; post != 0 {
+		d := startRel - post
+		if d < 0 {
+			d = 0
+		}
+		c.stats.qdelayHist.Observe(d)
+		c.stats.execTimeHist.Observe(elapsed)
+		c.colorDelays.note(Color(ev.Color), d)
+	}
+	if c.ring != nil {
+		n := uint32(ev.Handler)
+		if ev.Stolen {
+			n |= obs.StolenFlag
+		}
+		c.ring.Append(obs.KindExec, startRel, elapsed, uint64(ev.Color), n)
+	}
+}
+
+// traceAux appends one record to the shared auxiliary flight-recorder
+// track (spill, reload — actions not attributable to one worker).
+func (r *Runtime) traceAux(k obs.Kind, dur int64, arg uint64, n uint32) {
+	if r.ringAux != nil {
+		r.ringAux.Append(k, r.now(), dur, arg, n)
+	}
+}
+
+// TracePollWakeup records a poller-shard wakeup that harvested the
+// given number of readiness events on the flight recorder's auxiliary
+// track. Called by readiness backends (internal/netpoll); a no-op when
+// the recorder is off.
+func (r *Runtime) TracePollWakeup(events int) {
+	if r.ringAux != nil {
+		r.ringAux.Append(obs.KindPollWake, r.now(), 0, 0, uint32(clampUint32(int64(events))))
+	}
+}
+
+func clampUint32(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > int64(^uint32(0)) {
+		return int64(^uint32(0))
+	}
+	return v
+}
+
+// DumpTrace renders the flight recorder — every core's ring plus the
+// auxiliary track — as a Chrome trace-event JSON array (the format
+// internal/trace emits for simulator runs): open the dump in Perfetto
+// or chrome://tracing to see executions, steal batches, lease
+// re-homes, spills, reloads, timer firings, and poll wakeups on a
+// per-core timeline. Cheap and safe while the runtime runs; records
+// overwritten mid-dump are dropped. With Config.TraceRing negative the
+// dump is an empty array.
+func (r *Runtime) DumpTrace(w io.Writer) error {
+	rings := make([]*obs.Ring, len(r.cores))
+	for i, c := range r.cores {
+		rings[i] = c.ring
+	}
+	hs := *r.handlers.Load()
+	cfg := obs.ChromeConfig{HandlerName: func(id uint32) string {
+		if int(id) < len(hs) {
+			return hs[id].name
+		}
+		return ""
+	}}
+	return obs.WriteChrome(w, rings, r.ringAux, cfg)
+}
+
+// Latency-histogram bucket bounds in seconds, shared by every
+// mely_*_seconds histogram rendered from a LatencySnapshot.
+func latencyUppersSeconds() []float64 {
+	uppers := make([]float64, LatencyBuckets-1)
+	for i := range uppers {
+		uppers[i] = float64(obs.LatencyUpperNanos(i)) / 1e9
+	}
+	return uppers
+}
+
+// WriteMetrics renders the full Stats snapshot in the Prometheus text
+// exposition format (version 0.0.4): every counter, gauge, and
+// histogram of Stats/CoreStats as a typed mely_* series, per-core
+// series labeled core="i". See docs/observability.md for the
+// inventory. Serve it over HTTP with obs.NewMux, which also caches the
+// rendered payload briefly so aggressive scrapers share one snapshot.
+func (r *Runtime) WriteMetrics(w io.Writer) error {
+	s := r.Stats()
+	m := obs.NewMetricsWriter(w)
+
+	coreLabel := func(i int) string { return `core="` + strconv.Itoa(i) + `"` }
+
+	counter := func(name, help string, get func(CoreStats) float64) {
+		m.Family(name, "counter", help)
+		for i, c := range s.Cores {
+			m.Sample(name, coreLabel(i), get(c))
+		}
+	}
+	counter("mely_events_total", "Events executed, per core.",
+		func(c CoreStats) float64 { return float64(c.Events) })
+	counter("mely_exec_seconds_total", "Total handler execution time, per core.",
+		func(c CoreStats) float64 { return c.ExecTime.Seconds() })
+	counter("mely_steals_total", "Successful steals performed by this core.",
+		func(c CoreStats) float64 { return float64(c.Steals) })
+	counter("mely_remote_steals_total", "Steals that crossed a cache boundary.",
+		func(c CoreStats) float64 { return float64(c.RemoteSteals) })
+	counter("mely_steal_attempts_total", "Steal probes, including failures.",
+		func(c CoreStats) float64 { return float64(c.StealAttempts) })
+	counter("mely_failed_steals_total", "Steal probes that found nothing.",
+		func(c CoreStats) float64 { return float64(c.FailedSteals) })
+	counter("mely_steal_seconds_total", "Time spent in successful steal transactions.",
+		func(c CoreStats) float64 { return c.StealTime.Seconds() })
+	counter("mely_stolen_events_total", "Migrated events executed on this core.",
+		func(c CoreStats) float64 { return float64(c.StolenEvents) })
+	counter("mely_stolen_seconds_total", "Handler time of migrated events (stolen time).",
+		func(c CoreStats) float64 { return c.StolenTime.Seconds() })
+	counter("mely_stolen_colors_total", "Colors migrated here by this core's steals.",
+		func(c CoreStats) float64 { return float64(c.StolenColors) })
+	counter("mely_parks_total", "Idle worker sleeps.",
+		func(c CoreStats) float64 { return float64(c.Parks) })
+	counter("mely_backoff_parks_total", "Parks shortened by the steal-throttling backoff.",
+		func(c CoreStats) float64 { return float64(c.BackoffParks) })
+	counter("mely_posted_here_total", "Enqueues landing on this core.",
+		func(c CoreStats) float64 { return float64(c.PostedHere) })
+	counter("mely_batched_events_total", "Events delivered through PostBatch core groups.",
+		func(c CoreStats) float64 { return float64(c.BatchedEvents) })
+	counter("mely_color_queue_churns_total", "ColorQueue link/unlink pairs.",
+		func(c CoreStats) float64 { return float64(c.ColorQueueChurns) })
+	counter("mely_panics_total", "Handler panics contained by the worker.",
+		func(c CoreStats) float64 { return float64(c.Panics) })
+	counter("mely_timers_fired_total", "Timers expired by this core's wheel.",
+		func(c CoreStats) float64 { return float64(c.TimersFired) })
+
+	m.Family("mely_queue_length", "gauge", "Instantaneous per-core queue length.")
+	for i, c := range s.Cores {
+		m.Sample("mely_queue_length", coreLabel(i), float64(c.Queued))
+	}
+	m.Family("mely_timers_pending", "gauge", "Armed timers on this core's wheel.")
+	for i, c := range s.Cores {
+		m.Sample("mely_timers_pending", coreLabel(i), float64(c.TimersPending))
+	}
+
+	// Steal batch size: a per-core histogram over colors-per-steal. The
+	// sum is exact (StolenColors), the count is Steals.
+	m.Family("mely_steal_batch_colors", "histogram",
+		"Colors migrated per successful steal, per core.")
+	stealUppers := []float64{1, 2, 4, 8, 16}
+	for i, c := range s.Cores {
+		m.Histogram("mely_steal_batch_colors", coreLabel(i),
+			stealUppers, c.StealBatchHist[:], float64(c.StolenColors))
+	}
+
+	// Timer firing lag: bucket counts only — the lag sum is not
+	// tracked, so _sum is rendered as 0 (quantiles via buckets remain
+	// exact at bucket resolution).
+	m.Family("mely_timer_lag_seconds", "histogram",
+		"Timer firing lag (harvest minus deadline), per core; _sum not tracked (0).")
+	timerUppers := []float64{100e-6, 1e-3, 2e-3, 10e-3, 100e-3}
+	for i, c := range s.Cores {
+		m.Histogram("mely_timer_lag_seconds", coreLabel(i),
+			timerUppers, c.TimerLagHist[:], 0)
+	}
+
+	// Sampled latency histograms (Config.ObsSampleRate).
+	latUppers := latencyUppersSeconds()
+	m.Family("mely_queue_delay_seconds", "histogram",
+		"Sampled post-to-execution delay, per core (one in ObsSampleRate events).")
+	for i, c := range s.Cores {
+		m.Histogram("mely_queue_delay_seconds", coreLabel(i),
+			latUppers, c.QueueDelayHist.Buckets[:], c.QueueDelayHist.Sum.Seconds())
+	}
+	m.Family("mely_exec_time_seconds", "histogram",
+		"Sampled handler execution time, per core (one in ObsSampleRate events).")
+	for i, c := range s.Cores {
+		m.Histogram("mely_exec_time_seconds", coreLabel(i),
+			latUppers, c.ExecTimeHist.Buckets[:], c.ExecTimeHist.Sum.Seconds())
+	}
+
+	// Per-color top-K delay attribution: gauges, not counters — table
+	// membership churns with the hot set, so series come and go.
+	m.Family("mely_color_delay_samples", "gauge",
+		"Sampled events per tracked hot color (top-K attribution table).")
+	for i, c := range s.Cores {
+		for _, cd := range c.TopColorDelays {
+			m.Sample("mely_color_delay_samples",
+				coreLabel(i)+`,color="`+strconv.FormatUint(uint64(cd.Color), 10)+`"`,
+				float64(cd.Samples))
+		}
+	}
+	m.Family("mely_color_delay_mean_seconds", "gauge",
+		"Mean sampled queue delay per tracked hot color.")
+	for i, c := range s.Cores {
+		for _, cd := range c.TopColorDelays {
+			m.Sample("mely_color_delay_mean_seconds",
+				coreLabel(i)+`,color="`+strconv.FormatUint(uint64(cd.Color), 10)+`"`,
+				cd.Mean().Seconds())
+		}
+	}
+
+	// Runtime-wide series.
+	single := func(name, typ, help string, v float64) {
+		m.Family(name, typ, help)
+		m.Sample(name, "", v)
+	}
+	single("mely_steal_cost_estimate_seconds", "gauge",
+		"Monitored cost of one steal (the time-left heuristic's threshold).",
+		s.StealCostEstimate.Seconds())
+	single("mely_pending_events", "gauge",
+		"Posted-but-not-completed events.", float64(s.Pending))
+	single("mely_timers_canceled_total", "counter",
+		"Timer firings averted by Cancel.", float64(s.TimersCanceled))
+	single("mely_poll_wakeups_total", "counter",
+		"Poll wait returns across all readiness sources.", float64(s.PollWakeups))
+	single("mely_poll_events_total", "counter",
+		"Readiness events harvested across all sources.", float64(s.PollEvents))
+	m.Family("mely_poll_batch_events", "histogram",
+		"Readiness events harvested per poll wakeup.")
+	m.Histogram("mely_poll_batch_events", "",
+		[]float64{1, 4, 16, 64, 256}, s.PollBatchHist[:], float64(s.PollEvents))
+	single("mely_write_stalls_total", "counter",
+		"Writes queued on kernel backpressure.", float64(s.WriteStalls))
+	single("mely_read_pauses_total", "counter",
+		"Read pauses on saturated data colors.", float64(s.ReadPauses))
+	single("mely_queued_events", "gauge",
+		"In-memory queued events, runtime-wide.", float64(s.QueuedEvents))
+	single("mely_spilled_events_total", "counter",
+		"Events appended to the spill store.", float64(s.SpilledEvents))
+	single("mely_reloaded_events_total", "counter",
+		"Events reloaded from the spill store.", float64(s.ReloadedEvents))
+	single("mely_spilled_now", "gauge",
+		"Events currently on disk.", float64(s.SpilledNow))
+	single("mely_rejected_posts_total", "counter",
+		"Posts failed with ErrOverloaded.", float64(s.RejectedPosts))
+	single("mely_blocked_posts_total", "counter",
+		"Posts that waited under OverloadBlock.", float64(s.BlockedPosts))
+	single("mely_spill_errors_total", "counter",
+		"Spill fallbacks (unencodable payload or disk failure).", float64(s.SpillErrors))
+	m.Family("mely_spill_depth_records", "histogram",
+		"Per-color disk depth observed at each spill append; _sum not tracked (0).")
+	m.Histogram("mely_spill_depth_records", "",
+		[]float64{16, 64, 256, 1024, 4096}, s.SpillDepthHist[:], 0)
+	single("mely_spill_syncs_total", "counter",
+		"msync/fsync durability points issued by the spill store.", float64(s.SpillSyncs))
+	single("mely_recovered_events_total", "counter",
+		"Spilled events recovered from surviving segments at startup.", float64(s.RecoveredEvents))
+	single("mely_torn_records_total", "counter",
+		"Torn segment tails truncated during recovery.", float64(s.TornRecords))
+
+	return m.Flush()
+}

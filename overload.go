@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/spillq"
 )
 
@@ -879,6 +880,7 @@ func (a *admission) reload(color equeue.Color) {
 		// keep routing behind the tail until this batch is in the
 		// queues.
 		a.reloaded.Add(n)
+		a.r.traceAux(obs.KindReload, 0, uint64(color), uint32(clampUint32(n)))
 		for i := range buf {
 			a.r.enqueue(a.r.eventFromRecord(&buf[i]))
 		}
@@ -946,6 +948,7 @@ func (a *admission) appendRecord(color equeue.Color, rec spillq.Record) error {
 	}
 	a.spilled.Add(1)
 	a.depthHist[spillDepthBucket(st.disk)].Add(1)
+	a.r.traceAux(obs.KindSpill, 0, uint64(color), uint32(clampUint32(st.disk)))
 	disk, cost := st.disk, st.diskCost
 	var doReload bool
 	if st.mem == 0 && !st.reloading {
@@ -1072,7 +1075,11 @@ func (r *Runtime) spillBuilt(ev *equeue.Event) {
 	r.evPool.Put(ev)
 }
 
-// eventFromRecord rebuilds a pooled event from a reloaded record.
+// eventFromRecord rebuilds a pooled event from a reloaded record. The
+// latency sampler re-stamps here: a reloaded event's queue delay is
+// measured from its reload, not its original post — the disk dwell is
+// observable separately (SpilledEvents/SpilledNow), and folding it in
+// would let one spill burst dominate the delay histogram for good.
 func (r *Runtime) eventFromRecord(rec *spillq.Record) *equeue.Event {
 	ev := r.evPool.Get().(*equeue.Event)
 	*ev = equeue.Event{
@@ -1081,6 +1088,9 @@ func (r *Runtime) eventFromRecord(rec *spillq.Record) *equeue.Event {
 		Cost:    rec.Cost,
 		Penalty: rec.Penalty,
 		Data:    decodeSpillPayload(rec.Tag, rec.Payload),
+	}
+	if r.obsOn && r.obsSeq.Add(1)&r.obsMask == 0 {
+		ev.PostNanos = r.now()
 	}
 	return ev
 }

@@ -11,6 +11,7 @@ import (
 
 	"github.com/melyruntime/mely/internal/affinity"
 	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/policy"
 	"github.com/melyruntime/mely/internal/profile"
 	"github.com/melyruntime/mely/internal/spinlock"
@@ -89,6 +90,10 @@ type rstats struct {
 	panics           atomic.Int64
 	timersFired      atomic.Int64
 	timerLagHist     [TimerLagBuckets]atomic.Int64
+	// Sampled latency histograms (Config.ObsSampleRate): queue delay
+	// (post→execute) and handler execution time.
+	qdelayHist   obs.Hist
+	execTimeHist obs.Hist
 }
 
 type rcore struct {
@@ -132,6 +137,12 @@ type rcore struct {
 	timerBuf []*timerwheel.Entry
 	entryBuf []*timerwheel.Entry
 	stats    rstats
+
+	// ring is the core's flight-recorder buffer (nil when
+	// Config.TraceRing is negative); colorDelays attributes sampled
+	// queue delay to the core's hottest colors.
+	ring        *obs.Ring
+	colorDelays colorDelayTable
 }
 
 // inTransitMarker occupies a color's table slot while a steal migrates
@@ -194,6 +205,15 @@ type Runtime struct {
 	// Spill admission, the spillq bridge). Nil on unbounded runtimes,
 	// which therefore pay nothing on the posting hot path.
 	adm *admission
+
+	// Live observability (see obs.go): obsMask selects one in
+	// Config.ObsSampleRate posts for latency sampling (obsOn false
+	// disables), and ringAux is the shared flight-recorder track for
+	// off-core actions (spill, reload, poll wakeups).
+	obsOn   bool
+	obsMask uint64
+	obsSeq  atomic.Uint64
+	ringAux *obs.Ring
 }
 
 // AddPollSource registers a readiness-event source whose sample is
@@ -250,6 +270,17 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	r.evPool.New = func() any { return &equeue.Event{} }
 	r.scratch.New = func() any { return &batchScratch{} }
+	if cfg.ObsSampleRate > 0 {
+		rate := uint64(1)
+		for rate < uint64(cfg.ObsSampleRate) {
+			rate <<= 1
+		}
+		r.obsOn = true
+		r.obsMask = rate - 1
+	}
+	if cfg.TraceRing > 0 {
+		r.ringAux = obs.NewRing(cfg.TraceRing)
+	}
 	empty := make([]handlerEntry, 0, 16)
 	r.handlers.Store(&empty)
 	stealCap := pol.MaxStealColors
@@ -269,6 +300,9 @@ func New(cfg Config) (*Runtime, error) {
 			setBuf:    make([]equeue.EventSet, 0, stealCap),
 		}
 		c.wheel.Owner = i
+		if cfg.TraceRing > 0 {
+			c.ring = obs.NewRing(cfg.TraceRing)
+		}
 		if pol.Layout == policy.ListLayout {
 			c.list = equeue.NewListQueue()
 		} else {
@@ -507,6 +541,11 @@ func (r *Runtime) buildEvent(hs []handlerEntry, h Handler, color Color, data any
 		Penalty: r.pol.EffectivePenalty(entry.penalty),
 		Data:    data,
 	}
+	if r.obsOn && r.obsSeq.Add(1)&r.obsMask == 0 {
+		// Sampled for latency observation: the stamp rides to execution,
+		// where the queue delay is measured (see observeExec).
+		ev.PostNanos = r.now()
+	}
 	return ev, nil
 }
 
@@ -554,6 +593,9 @@ func (r *Runtime) enqueue(ev *equeue.Event) {
 		}
 		c.syncDiskLen()
 		c.stats.postedHere.Add(1)
+		if ev.PostNanos != 0 && c.ring != nil {
+			c.ring.Append(obs.KindPost, ev.PostNanos, 0, uint64(ev.Color), uint32(ev.Handler))
+		}
 		c.lock.Unlock()
 		c.unpark()
 		return
@@ -623,6 +665,9 @@ func (r *Runtime) deliverLocked(c *rcore, owner int, ev *equeue.Event) (*equeue.
 			// of timer color-affinity).
 			r.table.SetOwner(ev.Color, home)
 			r.migrateTimersOnReHome(c, ev.Color, home)
+			if c.ring != nil {
+				c.ring.Append(obs.KindReHome, r.now(), 0, uint64(ev.Color), uint32(home))
+			}
 			return nil, false
 		}
 		if c.list != nil {
@@ -757,6 +802,9 @@ func (r *Runtime) execute(c *rcore, ev *equeue.Event) {
 	if ev.Stolen {
 		c.stats.stolenEvents.Add(1)
 		c.stats.stolenExecNanos.Add(elapsed)
+	}
+	if ev.PostNanos != 0 || c.ring != nil {
+		r.observeExec(c, ev, start, elapsed)
 	}
 	color := ev.Color
 	slabbed := ev.Slab
@@ -1020,6 +1068,10 @@ func (r *Runtime) stealOnce(c *rcore) bool {
 		r.migrateTimersOnSteal(c, v, colors)
 
 		dt := time.Since(start).Nanoseconds()
+		if c.ring != nil {
+			c.ring.Append(obs.KindSteal, start.Sub(r.epoch).Nanoseconds(), dt,
+				uint64(vid), uint32(len(colors)))
+		}
 		c.stats.steals.Add(1)
 		c.stats.stolenColors.Add(int64(len(colors)))
 		c.stats.batchHist[stealBatchBucket(len(colors))].Add(1)

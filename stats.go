@@ -1,6 +1,82 @@
 package mely
 
-import "time"
+import (
+	"sort"
+	"time"
+
+	"github.com/melyruntime/mely/internal/obs"
+)
+
+// LatencyBuckets is the length of the power-of-two latency histograms
+// (CoreStats.QueueDelayHist / ExecTimeHist): bucket 0 holds durations
+// below 256ns, bucket i holds [2^(i+7), 2^(i+8)) ns, and the last
+// bucket everything from ~17s up. LatencyBucketUpper reports the
+// boundaries.
+const LatencyBuckets = obs.NumLatencyBuckets
+
+// LatencyBucketUpper is the exclusive upper bound of latency-histogram
+// bucket i (the last bucket is unbounded and reports math.MaxInt64 ns).
+func LatencyBucketUpper(i int) time.Duration {
+	return time.Duration(obs.LatencyUpperNanos(i))
+}
+
+// LatencySnapshot is a sampled latency distribution: power-of-two
+// buckets plus the sum of the observed durations. Populated only when
+// Config.ObsSampleRate is not negative, from one in every
+// ObsSampleRate events.
+type LatencySnapshot struct {
+	Buckets [LatencyBuckets]int64
+	Sum     time.Duration
+}
+
+// Count is the number of sampled observations.
+func (l LatencySnapshot) Count() int64 {
+	var n int64
+	for _, c := range l.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Quantile reports the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the cumulative count crosses q — a conservative
+// (pessimistic) estimate with power-of-two resolution. Zero when
+// nothing was sampled.
+func (l LatencySnapshot) Quantile(q float64) time.Duration {
+	return obs.Quantile(&l.Buckets, q)
+}
+
+// merge folds another snapshot into l.
+func (l *LatencySnapshot) merge(o LatencySnapshot) {
+	for b := range l.Buckets {
+		l.Buckets[b] += o.Buckets[b]
+	}
+	l.Sum += o.Sum
+}
+
+// ColorDelay is one color's sampled queue-delay attribution: how many
+// sampled events of the color were observed and their summed
+// post-to-execution delay. The per-core tables track the top
+// ColorTopK most-frequently-sampled colors with a space-saving
+// (Misra-Gries-style) eviction, so the attribution is approximate
+// under adversarial color churn but exact for a stable hot set.
+type ColorDelay struct {
+	Color   Color
+	Samples int64
+	Delay   time.Duration
+}
+
+// Mean is the color's mean sampled queue delay.
+func (c ColorDelay) Mean() time.Duration {
+	if c.Samples == 0 {
+		return 0
+	}
+	return c.Delay / time.Duration(c.Samples)
+}
+
+// ColorTopK is the per-core capacity of the sampled per-color
+// queue-delay attribution table (CoreStats.TopColorDelays).
+const ColorTopK = 8
 
 // StealBatchBuckets is the length of the steal batch-size histogram in
 // CoreStats.StealBatchHist; see that field for the bucket boundaries.
@@ -157,6 +233,16 @@ type CoreStats struct {
 	// TimersPending is the instantaneous number of armed timers on this
 	// core's wheel.
 	TimersPending int
+	// QueueDelayHist is the sampled post-to-execution delay
+	// distribution of events executed on this core, and ExecTimeHist
+	// the sampled handler execution times, both in power-of-two buckets
+	// (see LatencyBuckets). Empty when Config.ObsSampleRate is
+	// negative. TopColorDelays attributes the sampled queue delay to
+	// the core's hottest colors (up to ColorTopK entries, most-sampled
+	// first).
+	QueueDelayHist LatencySnapshot
+	ExecTimeHist   LatencySnapshot
+	TopColorDelays []ColorDelay
 }
 
 // MeanStealBatch is the average number of colors migrated per
@@ -199,6 +285,9 @@ func (c CoreStats) MeanStealBatch() float64 {
 //	Cores[i].TimersFired      counter    timers expired by this core's wheel
 //	Cores[i].TimerLagHist     histogram  firing lag: ≤100µs,≤1ms,≤2ms,≤10ms,≤100ms,>100ms
 //	Cores[i].TimersPending    gauge      armed timers on this core's wheel
+//	Cores[i].QueueDelayHist   histogram  sampled post→execute delay (power-of-two)
+//	Cores[i].ExecTimeHist     histogram  sampled handler time (power-of-two)
+//	Cores[i].TopColorDelays   estimate   top-K per-color sampled delay attribution
 //	StealCostEstimate         estimate   monitored cost of one steal
 //	Pending                   gauge      posted-but-not-completed events
 //	TimersCanceled            counter    firings averted by Cancel
@@ -350,6 +439,9 @@ func (r *Runtime) Stats() Stats {
 		for b := range cs.TimerLagHist {
 			cs.TimerLagHist[b] = c.stats.timerLagHist[b].Load()
 		}
+		cs.QueueDelayHist.Sum = time.Duration(c.stats.qdelayHist.Load(&cs.QueueDelayHist.Buckets))
+		cs.ExecTimeHist.Sum = time.Duration(c.stats.execTimeHist.Load(&cs.ExecTimeHist.Buckets))
+		cs.TopColorDelays = c.colorDelays.snapshot()
 		s.Cores[i] = cs
 	}
 	if r.adm == nil {
@@ -393,6 +485,37 @@ func (s Stats) Total() CoreStats {
 			t.TimerLagHist[b] += c.TimerLagHist[b]
 		}
 		t.TimersPending += c.TimersPending
+		t.QueueDelayHist.merge(c.QueueDelayHist)
+		t.ExecTimeHist.merge(c.ExecTimeHist)
+		t.TopColorDelays = append(t.TopColorDelays, c.TopColorDelays...)
 	}
+	t.TopColorDelays = mergeColorDelays(t.TopColorDelays)
 	return t
+}
+
+// mergeColorDelays folds per-core attribution rows for the same color
+// together and orders the result most-sampled first.
+func mergeColorDelays(rows []ColorDelay) []ColorDelay {
+	if len(rows) == 0 {
+		return nil
+	}
+	byColor := make(map[Color]ColorDelay, len(rows))
+	for _, row := range rows {
+		agg := byColor[row.Color]
+		agg.Color = row.Color
+		agg.Samples += row.Samples
+		agg.Delay += row.Delay
+		byColor[row.Color] = agg
+	}
+	out := make([]ColorDelay, 0, len(byColor))
+	for _, row := range byColor {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].Color < out[j].Color
+	})
+	return out
 }

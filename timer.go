@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/melyruntime/mely/internal/equeue"
+	"github.com/melyruntime/mely/internal/obs"
 	"github.com/melyruntime/mely/internal/timerwheel"
 )
 
@@ -174,6 +175,9 @@ func (r *Runtime) fireTimer(c *rcore, e *timerwheel.Entry, now int64) {
 	lag := now - e.When
 	c.stats.timersFired.Add(1)
 	c.stats.timerLagHist[timerLagBucket(lag)].Add(1)
+	if c.ring != nil {
+		c.ring.Append(obs.KindTimerFire, now, lag, uint64(e.Color), 1)
+	}
 
 	// The handler id was validated at arm time and handlers never
 	// unregister, so buildEvent cannot fail here.
