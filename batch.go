@@ -37,10 +37,10 @@ type BatchEvent struct {
 // Saturated first or use PostBatchEdge where the edge-backpressure
 // contract applies.
 func (r *Runtime) PostBatch(batch []BatchEvent) error {
-	return r.postBatch(batch, true)
+	return r.postBatch(batch, true, 0, 0)
 }
 
-func (r *Runtime) postBatch(batch []BatchEvent, external bool) error {
+func (r *Runtime) postBatch(batch []BatchEvent, external bool, ptrace, pspan uint64) error {
 	n := len(batch)
 	if n == 0 {
 		return nil
@@ -64,7 +64,7 @@ func (r *Runtime) postBatch(batch []BatchEvent, external bool) error {
 			}
 		}
 		for _, be := range batch {
-			if err := r.post(nil, be.Handler, be.Color, be.Data, external); err != nil {
+			if err := r.post(nil, be.Handler, be.Color, be.Data, external, ptrace, pspan); err != nil {
 				return err
 			}
 		}
@@ -87,6 +87,13 @@ func (r *Runtime) postBatch(batch []BatchEvent, external bool) error {
 	)
 	s := r.scratch.Get().(*batchScratch)
 	s.prepare(n, len(r.cores))
+	var nextSpan uint64
+	if r.traceOn {
+		// One atomic for the whole batch: reserve a block of span ids
+		// and hand them out sequentially (ids need only be unique per
+		// runtime, not dense in post order across posters).
+		nextSpan = r.traceSeq.Add(uint64(n)) - uint64(n) + 1
+	}
 	// With no color deviated anywhere, Owner == Hash for every color:
 	// resolution is pure math and the color→owner memo is unnecessary
 	// (grouping by Hash is deterministic, so one color still cannot
@@ -112,6 +119,15 @@ func (r *Runtime) postBatch(batch []BatchEvent, external bool) error {
 		ev.Data = be.Data
 		if r.obsOn && r.obsSeq.Add(1)&r.obsMask == 0 {
 			ev.PostNanos = r.now()
+		}
+		if r.traceOn {
+			ev.SpanID = nextSpan
+			if ptrace != 0 {
+				ev.TraceID, ev.ParentSpan = ptrace, pspan
+			} else {
+				ev.TraceID = nextSpan // each external batch entry founds its own trace
+			}
+			nextSpan++
 		}
 
 		// Group by owning core without moving events: per-core index
@@ -320,7 +336,8 @@ func (r *Runtime) deliverGroup(owner int, slab []equeue.Event, next []int32, hea
 
 // PostBatch posts a batch from inside a handler (see Runtime.PostBatch).
 // Like Ctx.Post, it is an internal continuation: never rejected or
-// blocked by an overload bound.
+// blocked by an overload bound. With tracing on, every entry of the
+// batch becomes a child span of the posting handler's event.
 func (ctx *Ctx) PostBatch(batch []BatchEvent) error {
-	return ctx.r.postBatch(batch, false)
+	return ctx.r.postBatch(batch, false, ctx.ev.TraceID, ctx.ev.SpanID)
 }

@@ -11,6 +11,15 @@
 //
 //	melytrace -metrics-diff before.txt after.txt   # counter monotonicity between two /metrics scrapes
 //	melytrace -validate-trace dump.json            # flight-recorder dump sanity + span census
+//	melytrace -flow dump.json [-trace-id N]        # reconstruct causal chains as indented trees
+//
+// -flow rebuilds the causal-flow index (obs.FlowIndex) from a dump
+// taken with Config.TraceRing enabled and prints each trace as an
+// indented tree: one line per hop with its queue delay and handler
+// execution time, critical-path hops marked with '*'. It exits nonzero
+// when the busiest trace is broken — an orphan span whose nonzero
+// parent is missing from the dump — which is CI's chain-integrity
+// gate.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/melyruntime/mely/internal/obs"
@@ -66,6 +76,8 @@ func run() error {
 		clients      = flag.Int("clients", 800, "clients (sws workload)")
 		metricsDiff  = flag.Bool("metrics-diff", false, "compare two /metrics scrape files (args: before after); fail on any counter that decreased or disappeared")
 		validate     = flag.String("validate-trace", "", "validate a flight-recorder dump (Chrome trace-event JSON) and print a span census")
+		flow         = flag.String("flow", "", "reconstruct causal chains from a flight-recorder dump and print them as indented trees")
+		traceID      = flag.Uint64("trace-id", 0, "with -flow: print only this trace (default: all, busiest first)")
 	)
 	flag.Parse()
 
@@ -74,6 +86,9 @@ func run() error {
 	}
 	if *validate != "" {
 		return runValidateTrace(*validate)
+	}
+	if *flow != "" {
+		return runFlow(*flow, *traceID)
 	}
 
 	pol, err := parsePolicy(*policyName)
@@ -160,6 +175,123 @@ func runMetricsDiff(args []string) error {
 	fmt.Printf("melytrace: %d series before, %d after, all counters monotonic\n",
 		len(before), len(after))
 	return nil
+}
+
+// runFlow rebuilds causal chains from a flight-recorder dump and
+// prints them as indented trees, one line per hop with its queue delay
+// and handler execution time; hops on the trace's critical path (the
+// chain bounding its end-to-end latency) are marked with '*'. With
+// traceID nonzero only that trace prints; otherwise every trace, the
+// busiest first. Exits with an error when the busiest trace is broken:
+// an orphan span claiming a parent the dump does not contain.
+func runFlow(path string, traceID uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	idx, parseErr := obs.ParseFlowDump(f)
+	f.Close()
+	if parseErr != nil {
+		return parseErr
+	}
+	if len(idx.Spans) == 0 {
+		return fmt.Errorf("%s: no flow spans — was the runtime's TraceRing enabled?", path)
+	}
+
+	var traces []uint64
+	if traceID != 0 {
+		if len(idx.Traces[traceID]) == 0 {
+			return fmt.Errorf("%s: no spans for trace %#x", path, traceID)
+		}
+		traces = []uint64{traceID}
+	} else {
+		for t := range idx.Traces {
+			if t != 0 {
+				traces = append(traces, t)
+			}
+		}
+		// Busiest first; ties toward the lower id so output is stable.
+		sort.Slice(traces, func(i, j int) bool {
+			ni, nj := len(idx.Traces[traces[i]]), len(idx.Traces[traces[j]])
+			if ni != nj {
+				return ni > nj
+			}
+			return traces[i] < traces[j]
+		})
+	}
+
+	for _, t := range traces {
+		printFlowTrace(idx, t)
+	}
+
+	busiest := idx.BusiestTrace()
+	var broken []*obs.FlowSpan
+	for _, s := range idx.Orphans {
+		if s.Trace == busiest {
+			broken = append(broken, s)
+		}
+	}
+	fmt.Printf("melytrace: %d spans in %d traces, %d orphans; busiest trace %#x: %d spans, depth %d\n",
+		len(idx.Spans), len(idx.Traces), len(idx.Orphans), busiest,
+		len(idx.Traces[busiest]), idx.Depth(busiest))
+	if len(broken) > 0 {
+		for _, s := range broken {
+			fmt.Fprintf(os.Stderr, "melytrace: BROKEN: span %#x (handler %s) claims missing parent %#x\n",
+				s.Span, s.Handler, s.Parent)
+		}
+		return fmt.Errorf("busiest trace %#x is broken: %d orphan spans with a nonzero parent", busiest, len(broken))
+	}
+	return nil
+}
+
+// printFlowTrace renders one trace as an indented tree.
+func printFlowTrace(idx *obs.FlowIndex, t uint64) {
+	spans := idx.Traces[t]
+	crit := map[uint64]bool{}
+	for _, s := range idx.CriticalPath(t) {
+		crit[s.Span] = true
+	}
+	state := "connected"
+	if !idx.Connected(t) {
+		state = "BROKEN"
+	}
+	first, last := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.End > last {
+			last = s.End
+		}
+	}
+	fmt.Printf("trace %#x: %d spans, depth %d, %.0fµs end-to-end, %s\n",
+		t, len(spans), idx.Depth(t), last-first, state)
+	var walk func(s *obs.FlowSpan, depth int)
+	walk = func(s *obs.FlowSpan, depth int) {
+		mark := " "
+		if crit[s.Span] {
+			mark = "*"
+		}
+		stolen := ""
+		if s.Stolen {
+			stolen = " (stolen)"
+		}
+		fmt.Printf("  %s %s%s [span %#x core %d color %#x] queued %.0fµs, ran %.0fµs%s\n",
+			mark, strings.Repeat("  ", depth), s.Handler, s.Span, s.Core, s.Color,
+			idx.QueueDelayMicros(s), s.ExecMicros(), stolen)
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range spans {
+		// Roots, plus orphan subtree heads (parent missing from the
+		// dump): everything else prints under its parent.
+		if s.Parent == 0 {
+			walk(s, 0)
+			continue
+		}
+		if _, ok := idx.Spans[s.Parent]; !ok {
+			fmt.Printf("    … missing parent %#x:\n", s.Parent)
+			walk(s, 1)
+		}
+	}
 }
 
 // runValidateTrace checks that a flight-recorder dump is a well-formed

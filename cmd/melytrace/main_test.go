@@ -1,0 +1,126 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/melyruntime/mely"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns what it printed (runFlow writes its trees with fmt.Printf).
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// TestRunFlowReconstructsChain drives a real runtime through a
+// three-hop handler chain, dumps its flight recorder, and checks that
+// -flow rebuilds the same chain: one connected trace of depth 3 with
+// the hops nested in causal order and per-hop queue/exec durations.
+func TestRunFlowReconstructsChain(t *testing.T) {
+	rt, err := mely.New(mely.Config{Cores: 2, ObsSampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	hLeaf := rt.Register("leaf", func(ctx *mely.Ctx) { close(done) })
+	hMid := rt.Register("mid", func(ctx *mely.Ctx) {
+		if err := ctx.Post(hLeaf, 3, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	hRoot := rt.Register("root", func(ctx *mely.Ctx) {
+		if err := ctx.Post(hMid, 2, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.Post(hRoot, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("chain never completed")
+	}
+
+	path := filepath.Join(t.TempDir(), "flight.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DumpTrace(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, err := captureStdout(t, func() error { return runFlow(path, 0) })
+	if err != nil {
+		t.Fatalf("runFlow: %v\noutput:\n%s", err, out)
+	}
+	rootAt := strings.Index(out, "root [span")
+	midAt := strings.Index(out, "mid [span")
+	leafAt := strings.Index(out, "leaf [span")
+	if rootAt < 0 || midAt < 0 || leafAt < 0 || !(rootAt < midAt && midAt < leafAt) {
+		t.Errorf("hops missing or out of causal order:\n%s", out)
+	}
+	for _, want := range []string{"connected", "queued", "ran", "depth 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BROKEN") {
+		t.Errorf("chain reported broken:\n%s", out)
+	}
+
+	// -trace-id with an id absent from the dump is an explicit error,
+	// not an empty print.
+	if _, err := captureStdout(t, func() error { return runFlow(path, 0xdeadbeef) }); err == nil {
+		t.Error("runFlow with an unknown -trace-id succeeded")
+	}
+}
+
+// TestRunFlowFailsOnBrokenChain: an orphan span (nonzero parent absent
+// from the dump) in the busiest trace must fail the run — this is CI's
+// chain-integrity gate.
+func TestRunFlowFailsOnBrokenChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.json")
+	dump := `[
+ {"name":"a","ph":"X","ts":0,"dur":10,"tid":0,"args":{"trace":1,"span":1}},
+ {"name":"b","ph":"X","ts":20,"dur":5,"tid":1,"args":{"trace":1,"span":3,"parent":2}}
+]`
+	if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return runFlow(path, 0) })
+	if err == nil {
+		t.Fatalf("runFlow accepted a broken busiest trace:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q does not name the broken chain", err)
+	}
+	if !strings.Contains(out, "missing parent") {
+		t.Errorf("output does not flag the orphan subtree:\n%s", out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"github.com/melyruntime/mely"
 	"github.com/melyruntime/mely/internal/obs"
@@ -42,6 +43,7 @@ func run() error {
 		spillRecover   = flag.Bool("spill-recover", false, "recover spilled backlogs from -spill-dir at startup and keep them across restarts (needs -overload spill and an explicit -spill-dir)")
 		shedOverload   = flag.Bool("shed-overload", false, "answer READs with OVERLOADED while the runtime is saturated instead of queuing crypto work (needs -max-queued or -max-queued-color)")
 		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/*, and /debug/trace on this side address (empty = off)")
+		scrapeEvery    = flag.Duration("debug-scrape-interval", 250*time.Millisecond, "cache the rendered /metrics payload this long, so aggressive scrapers share one stats snapshot per window (0 = default 250ms, negative = no caching)")
 		traceDump      = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT")
 	)
 	flag.Parse()
@@ -76,6 +78,7 @@ func run() error {
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.MuxConfig{
 			Metrics: rt.WriteMetrics, Trace: rt.DumpTrace,
+			MinScrapeInterval: *scrapeEvery,
 		})
 		if err != nil {
 			return err

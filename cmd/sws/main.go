@@ -65,7 +65,9 @@ func run() error {
 		spillRec    = flag.Bool("spill-recover", false, "recover spilled backlogs from -spill-dir at startup and keep them across restarts (needs -overload spill and an explicit -spill-dir)")
 		shed        = flag.Bool("shed-overload", false, "answer 503 while the runtime is saturated (needs -max-queued)")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/*, and /debug/trace on this side address (empty = off)")
+		scrapeEvery = flag.Duration("debug-scrape-interval", 250*time.Millisecond, "cache the rendered /metrics payload this long, so aggressive scrapers share one stats snapshot per window (0 = default 250ms, negative = no caching)")
 		traceDump   = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT")
+		stallAfter  = flag.Duration("stall-threshold", 0, "flag a handler stuck longer than this: a stall record with the goroutine stack lands in the flight recorder and mely_stalled_cores goes up (0 = watchdog off)")
 	)
 	flag.Parse()
 
@@ -94,6 +96,7 @@ func run() error {
 		SpillDir:          *spillDir,
 		SpillSync:         syncPol,
 		SpillRecover:      *spillRec,
+		StallThreshold:    *stallAfter,
 	})
 	if err != nil {
 		return err
@@ -103,6 +106,7 @@ func run() error {
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.MuxConfig{
 			Metrics: rt.WriteMetrics, Trace: rt.DumpTrace,
+			MinScrapeInterval: *scrapeEvery,
 		})
 		if err != nil {
 			return err

@@ -147,6 +147,24 @@ type Config struct {
 	// demand. 0 means the default of 4096 records per core (~128 KiB
 	// per core); negative disables the recorder.
 	TraceRing int
+	// StallThreshold arms the stall watchdog: a sampler goroutine that
+	// checks each core's last-progress stamp and, when a handler has
+	// been executing longer than the threshold, emits a KindStall
+	// flight-recorder record carrying the stalled span's trace id,
+	// captures a full goroutine stack (Runtime.LastStallStack), counts
+	// the episode (Stats mely_stalls_total / mely_stalled_cores), and —
+	// if StallDumpPath is set — writes an automatic DumpTrace. One
+	// record per episode: a core stuck in one handler is reported once
+	// until that handler returns. 0 (the default) disables the watchdog
+	// entirely; thresholds under 1ms are rejected (the stamp check runs
+	// at threshold/4, floored at 10ms — finer stalls need a profiler,
+	// not a watchdog).
+	StallThreshold time.Duration
+	// StallDumpPath, when non-empty, makes the stall watchdog write the
+	// flight recorder to this file (Chrome trace JSON, overwritten per
+	// episode) the moment a stall is detected, so the trace context
+	// around the stall survives even if the process must be killed.
+	StallDumpPath string
 
 	// MaxQueuedEvents bounds the runtime-wide number of in-memory
 	// queued events (0 = unlimited, the pre-overload behavior). Once
@@ -267,6 +285,12 @@ func (c Config) validate() error {
 	if c.TraceRing > 1<<24 {
 		return fmt.Errorf("mely: trace ring size %d too large (max %d records per core)",
 			c.TraceRing, 1<<24)
+	}
+	if c.StallThreshold < 0 {
+		return fmt.Errorf("mely: negative stall threshold")
+	}
+	if c.StallThreshold > 0 && c.StallThreshold < time.Millisecond {
+		return fmt.Errorf("mely: stall threshold %v below the 1ms floor", c.StallThreshold)
 	}
 	if c.MaxQueuedEvents < 0 || c.MaxQueuedPerColor < 0 {
 		return fmt.Errorf("mely: negative queue bound")

@@ -73,6 +73,17 @@ type Event struct {
 	// where the queue delay is observed. Zero on unsampled events.
 	PostNanos int64
 
+	// TraceID/SpanID/ParentSpan are the causal-tracing identifiers
+	// (Dapper-style span/parent model): SpanID names this event,
+	// TraceID groups every event derived from one ingress root, and
+	// ParentSpan links to the event whose handler posted this one (zero
+	// for roots). All three stay zero when the runtime's flight
+	// recorder is disabled, so an untraced runtime pays nothing — the
+	// fields ride in the event struct either way but are never written.
+	TraceID    uint64
+	SpanID     uint64
+	ParentSpan uint64
+
 	// Footprint is the number of bytes of the data set the handler
 	// touches, DataID identifies that data set for the cache model, and
 	// DataSize is the data set's full size (zero means Footprint — the

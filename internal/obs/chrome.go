@@ -13,6 +13,9 @@ import (
 type chromeEvent struct {
 	Name     string         `json:"name"`
 	Phase    string         `json:"ph"`
+	Cat      string         `json:"cat,omitempty"`
+	ID       string         `json:"id,omitempty"`
+	BindPt   string         `json:"bp,omitempty"`
 	TsMicros float64        `json:"ts"`
 	DurUs    float64        `json:"dur,omitempty"`
 	PID      int            `json:"pid"`
@@ -54,6 +57,31 @@ func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) erro
 			Args:  map[string]any{"name": label},
 		})
 	}
+	// Flow-arrow bookkeeping: an exec record whose Parent names another
+	// exec record's Span becomes a Perfetto flow edge, rendered as an
+	// arrow from the parent slice to the child slice across tracks.
+	type execLoc struct {
+		tid        int
+		start, end float64
+	}
+	type flowEdge struct {
+		parent, child uint64
+		childTID      int
+		childTs       float64
+	}
+	spanLocs := map[uint64]execLoc{}
+	var edges []flowEdge
+	flowIDs := func(ev Event, args map[string]any) {
+		if ev.Trace != 0 {
+			args["trace"] = ev.Trace
+		}
+		if ev.Span != 0 {
+			args["span"] = ev.Span
+		}
+		if ev.Parent != 0 {
+			args["parent"] = ev.Parent
+		}
+	}
 	decode := func(tid int, evs []Event) {
 		for _, ev := range evs {
 			ce := chromeEvent{
@@ -70,6 +98,13 @@ func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) erro
 				if ev.N&StolenFlag != 0 {
 					ce.Args["stolen"] = true
 				}
+				flowIDs(ev, ce.Args)
+				if ev.Span != 0 {
+					spanLocs[ev.Span] = execLoc{tid, ce.TsMicros, ce.TsMicros + ce.DurUs}
+					if ev.Parent != 0 {
+						edges = append(edges, flowEdge{ev.Parent, ev.Span, tid, ce.TsMicros})
+					}
+				}
 			case KindSteal:
 				ce.Name = fmt.Sprintf("STEAL ×%d", ev.N)
 				ce.Args = map[string]any{"victim": ev.Arg, "colors": ev.N}
@@ -77,6 +112,7 @@ func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) erro
 				ce.Name = "post " + cfg.handlerName(ev.N)
 				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
 				ce.Args = map[string]any{"color": ev.Arg}
+				flowIDs(ev, ce.Args)
 			case KindReHome:
 				ce.Name = "re-home"
 				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
@@ -85,6 +121,7 @@ func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) erro
 				ce.Name = "spill"
 				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
 				ce.Args = map[string]any{"color": ev.Arg, "disk_depth": ev.N}
+				flowIDs(ev, ce.Args)
 			case KindReload:
 				ce.Name = fmt.Sprintf("reload ×%d", ev.N)
 				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
@@ -96,9 +133,19 @@ func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) erro
 					"color":  ev.Arg,
 					"lag_us": float64(ev.Dur) * microsPerNano,
 				}
+				flowIDs(ev, ce.Args)
 			case KindPollWake:
 				ce.Name = fmt.Sprintf("poll ×%d", ev.N)
 				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+			case KindStall:
+				ce.Name = "STALL"
+				ce.Phase, ce.Scope, ce.DurUs = "i", "t", 0
+				ce.Args = map[string]any{
+					"core":       ev.Arg,
+					"handler":    ev.N,
+					"stalled_us": float64(ev.Dur) * microsPerNano,
+				}
+				flowIDs(ev, ce.Args)
 			default:
 				continue
 			}
@@ -118,6 +165,30 @@ func WriteChrome(w io.Writer, perCore []*Ring, aux *Ring, cfg ChromeConfig) erro
 		addMeta(tid, "io/spill")
 		scratch = aux.Snapshot(scratch[:0])
 		decode(tid, scratch)
+	}
+	// Emit one flow "s"/"f" pair per parent→child edge whose parent
+	// exec record is still in the rings. The start point is clamped
+	// inside the parent slice (a handler usually posts before it
+	// returns, and Perfetto drops arrows that run backwards in time);
+	// the finish binds to the enclosing child slice (bp "e").
+	for _, e := range edges {
+		loc, ok := spanLocs[e.parent]
+		if !ok {
+			continue
+		}
+		sTs := loc.end
+		if e.childTs < sTs {
+			sTs = e.childTs
+		}
+		if sTs < loc.start {
+			sTs = loc.start
+		}
+		id := fmt.Sprintf("%x", e.child)
+		out = append(out,
+			chromeEvent{Name: "flow", Phase: "s", Cat: "flow", ID: id,
+				TsMicros: sTs, TID: loc.tid},
+			chromeEvent{Name: "flow", Phase: "f", Cat: "flow", ID: id, BindPt: "e",
+				TsMicros: e.childTs, TID: e.childTID})
 	}
 	// Perfetto tolerates unordered input, but sorted output diffs
 	// cleanly and streams better in chrome://tracing.

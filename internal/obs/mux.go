@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"time"
 )
@@ -21,6 +23,14 @@ type MuxConfig struct {
 	// long, so aggressive scrapers cost one Stats() snapshot per window
 	// instead of one per request. Default 250ms; negative disables.
 	MinScrapeInterval time.Duration
+	// Vars are per-mux variables merged into this mux's /debug/vars
+	// view (shadowing a same-named global). They are deliberately NOT
+	// registered with expvar.Publish: the expvar registry is global to
+	// the process, so two debug muxes in one process — two servers in
+	// one test binary, say — publishing the same name would panic. The
+	// mux renders them directly instead; each server's /debug/vars
+	// shows its own values.
+	Vars map[string]expvar.Var
 }
 
 // NewMux returns the debug handler the demo servers mount on
@@ -51,7 +61,35 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 			}
 		})
 	}
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		emit := func(name, val string) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", name, val)
+		}
+		// Process-wide globals (cmdline, memstats, anything the app
+		// published itself) via the read-only expvar.Do walk; per-mux
+		// vars shadow same-named globals.
+		expvar.Do(func(kv expvar.KeyValue) {
+			if _, shadowed := cfg.Vars[kv.Key]; !shadowed {
+				emit(kv.Key, kv.Value.String())
+			}
+		})
+		names := make([]string, 0, len(cfg.Vars))
+		for n := range cfg.Vars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			emit(n, cfg.Vars[n].String())
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTwoDebugServersVarsIsolated is the regression test for the
+// expvar namespacing bug: the expvar registry is process-global, so
+// two debug muxes in one process (two servers in one test binary)
+// could not publish a same-named per-server variable — the second
+// expvar.Publish panics — and /debug/vars showed every server the same
+// global view. Per-mux MuxConfig.Vars are rendered directly by each
+// mux without touching the registry: both servers coexist, each
+// reporting its own values, with the process globals still present.
+func TestTwoDebugServersVarsIsolated(t *testing.T) {
+	newServer := func(name string, port int) *DebugServer {
+		n := new(expvar.String)
+		n.Set(name)
+		p := new(expvar.Int)
+		p.Set(int64(port))
+		d, err := StartDebugServer("127.0.0.1:0", MuxConfig{
+			Vars: map[string]expvar.Var{
+				"server_name": n,
+				"server_port": p,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	a := newServer("alpha", 1)
+	b := newServer("beta", 2)
+
+	get := func(d *DebugServer) string {
+		resp, err := http.Get("http://" + d.Addr() + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Fatalf("content type %q, want application/json", ct)
+		}
+		return string(body)
+	}
+
+	av, bv := get(a), get(b)
+	if !strings.Contains(av, `"server_name": "alpha"`) || strings.Contains(av, "beta") {
+		t.Errorf("server A vars leaked or missing:\n%s", av)
+	}
+	if !strings.Contains(bv, `"server_name": "beta"`) || strings.Contains(bv, "alpha") {
+		t.Errorf("server B vars leaked or missing:\n%s", bv)
+	}
+	// The read-only walk still surfaces the process globals.
+	for _, body := range []string{av, bv} {
+		if !strings.Contains(body, `"cmdline"`) {
+			t.Errorf("/debug/vars lost the global cmdline var:\n%s", body)
+		}
+	}
+}

@@ -268,3 +268,90 @@ func TestMonotonicViolations(t *testing.T) {
 		t.Error("identical scrapes must not violate")
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the degenerate inputs a live
+// scrape can produce: an empty scrape, a histogram whose buckets exist
+// but hold zero samples, and a histogram with a single finite bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	if _, ok := HistogramQuantile(map[string]float64{}, "x", 0.5); ok {
+		t.Error("empty scrape: want ok=false")
+	}
+	zero := map[string]float64{
+		`x_bucket{le="0.001"}`: 0,
+		`x_bucket{le="+Inf"}`:  0,
+	}
+	if _, ok := HistogramQuantile(zero, "x", 0.5); ok {
+		t.Error("all-zero buckets: want ok=false (no samples)")
+	}
+	one := map[string]float64{`x_bucket{le="0.25"}`: 7}
+	for _, q := range []float64{0, 0.5, 1} {
+		got, ok := HistogramQuantile(one, "x", q)
+		if !ok || got != 0.25 {
+			t.Errorf("one-bucket q=%v: got %v (ok=%v), want 0.25", q, got, ok)
+		}
+	}
+	// Only the +Inf bucket, no finite bound to report: degrades to 0
+	// rather than +Inf or a panic.
+	inf := map[string]float64{`x_bucket{le="+Inf"}`: 3}
+	got, ok := HistogramQuantile(inf, "x", 0.99)
+	if !ok || got != 0 {
+		t.Errorf("+Inf-only histogram: got %v (ok=%v), want 0 ok=true", got, ok)
+	}
+}
+
+// TestMonotonicViolationsDisappearingSeries: a counter series present
+// in the first scrape and gone from the second (a core removed, a
+// label set renamed) is a violation, while a gauge or a brand-new
+// series is not.
+func TestMonotonicViolationsDisappearingSeries(t *testing.T) {
+	before := map[string]float64{
+		`mely_events_total{core="0"}`: 4,
+		`mely_events_total{core="1"}`: 9,
+		"mely_run_queue_len":          3, // gauge: free to vanish
+	}
+	after := map[string]float64{
+		`mely_events_total{core="0"}`: 5,
+		// core="1" gone between scrapes
+		`mely_events_total{core="2"}`: 1, // new series: fine
+	}
+	v := MonotonicViolations(before, after)
+	if len(v) != 1 || !strings.Contains(v[0], `core="1"`) || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations = %v, want exactly the disappeared core=1 counter", v)
+	}
+}
+
+// TestRingSnapshotRacesWrap drives a tiny ring so hard that every
+// snapshot races slot reuse mid-wrap: the meta-word protocol must
+// never surface a torn record (mixed fields from two different
+// appends), checked here by the Ts==Arg invariant every writer
+// maintains. Run under -race this also proves the protocol is
+// data-race-free.
+func TestRingSnapshotRacesWrap(t *testing.T) {
+	r := NewRing(8) // tiny: a snapshot of 8 always overlaps a wrap
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.AppendFlow(KindExec, int64(i), 1, uint64(i), 1,
+					uint64(i), uint64(i), uint64(i))
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		for _, ev := range r.Snapshot(nil) {
+			if uint64(ev.Ts) != ev.Arg || ev.Trace != ev.Span || ev.Span != ev.Parent || uint64(ev.Ts) != ev.Trace {
+				t.Fatalf("torn record survived a wrapping snapshot: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -36,6 +36,11 @@ const (
 	// KindPollWake: a poller shard woke up. N is the number of readiness
 	// events harvested.
 	KindPollWake
+	// KindStall: the stall watchdog caught a handler exceeding the
+	// configured threshold. Ts is the detection time, Dur the elapsed
+	// execution time so far, Arg the stalled core, N the handler id;
+	// the flow fields carry the stalled span's trace/span ids.
+	KindStall
 
 	numKinds
 )
@@ -54,6 +59,7 @@ var kindNames = [numKinds]string{
 	KindReload:    "reload",
 	KindTimerFire: "timer",
 	KindPollWake:  "poll",
+	KindStall:     "stall",
 }
 
 // String names the kind for trace output.
@@ -65,16 +71,20 @@ func (k Kind) String() string {
 }
 
 // Event is a decoded flight-recorder record. Ts and Dur are
-// nanoseconds relative to the runtime's epoch.
+// nanoseconds relative to the runtime's epoch. Trace/Span/Parent are
+// the causal-flow identifiers (zero on records of untraced actions).
 type Event struct {
-	Ts   int64
-	Dur  int64
-	Arg  uint64
-	N    uint32
-	Kind Kind
+	Ts     int64
+	Dur    int64
+	Arg    uint64
+	Trace  uint64
+	Span   uint64
+	Parent uint64
+	N      uint32
+	Kind   Kind
 }
 
-// slot holds one record as four independent atomics. Appends under a
+// slot holds one record as independent atomics. Appends under a
 // concurrent Snapshot can tear across fields; the meta word is
 // invalidated first and written last so a torn read usually surfaces as
 // KindNone and gets skipped. The residual window (reader loads meta,
@@ -82,15 +92,18 @@ type Event struct {
 // records' fields — tolerable for a flight recorder, and filtered
 // further by the decode-time sanity checks in chrome.go.
 type slot struct {
-	ts   atomic.Int64
-	dur  atomic.Int64
-	arg  atomic.Uint64
-	meta atomic.Uint64 // kind | uint64(n)<<8
+	ts     atomic.Int64
+	dur    atomic.Int64
+	arg    atomic.Uint64
+	trace  atomic.Uint64
+	span   atomic.Uint64
+	parent atomic.Uint64
+	meta   atomic.Uint64 // kind | uint64(n)<<8
 }
 
 // Ring is a fixed-size lock-free flight-recorder buffer. Appends are a
-// fetch-add plus four atomic stores — cheap enough to leave on in
-// production. One Ring belongs to one core (plus one shared auxiliary
+// fetch-add plus a handful of atomic stores — cheap enough to leave on
+// in production. One Ring belongs to one core (plus one shared auxiliary
 // ring for off-core actions: spill, reload, poll wakeups).
 type Ring struct {
 	mask  uint64
@@ -114,11 +127,23 @@ func (r *Ring) Cap() int { return len(r.slots) }
 // Append records one event, overwriting the oldest slot once the ring
 // is full. Safe for concurrent use from any goroutine.
 func (r *Ring) Append(k Kind, ts, dur int64, arg uint64, n uint32) {
+	r.AppendFlow(k, ts, dur, arg, n, 0, 0, 0)
+}
+
+// AppendFlow is Append carrying the causal-flow identifiers: the
+// record's trace id, its own span id, and the span that caused it
+// (zero when unknown). The ids ride the same invalidate-first meta
+// protocol as the other fields, so a torn read still surfaces as
+// KindNone and is skipped.
+func (r *Ring) AppendFlow(k Kind, ts, dur int64, arg uint64, n uint32, trace, span, parent uint64) {
 	s := &r.slots[(r.pos.Add(1)-1)&r.mask]
 	s.meta.Store(0)
 	s.ts.Store(ts)
 	s.dur.Store(dur)
 	s.arg.Store(arg)
+	s.trace.Store(trace)
+	s.span.Store(span)
+	s.parent.Store(parent)
 	s.meta.Store(uint64(k) | uint64(n)<<8)
 }
 
@@ -139,11 +164,14 @@ func (r *Ring) Snapshot(dst []Event) []Event {
 			continue
 		}
 		ev := Event{
-			Ts:   s.ts.Load(),
-			Dur:  s.dur.Load(),
-			Arg:  s.arg.Load(),
-			N:    uint32(m >> 8),
-			Kind: k,
+			Ts:     s.ts.Load(),
+			Dur:    s.dur.Load(),
+			Arg:    s.arg.Load(),
+			Trace:  s.trace.Load(),
+			Span:   s.span.Load(),
+			Parent: s.parent.Load(),
+			N:      uint32(m >> 8),
+			Kind:   k,
 		}
 		if s.meta.Load() != m {
 			continue

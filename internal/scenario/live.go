@@ -78,9 +78,10 @@ type liveServer struct {
 	psk       []byte
 	fileBytes int
 	// dbg is the observability side listener, mounted only when the
-	// spec declares a metrics SLO (max_queue_delay_p99): the gate
-	// scrapes /metrics over real HTTP, the same surface -debug-addr
-	// serves in production.
+	// spec declares a metrics SLO (max_queue_delay_p99) or a trace SLO
+	// (max_chain_depth / chain_complete): the gates scrape /metrics and
+	// /debug/trace over real HTTP, the same surface -debug-addr serves
+	// in production.
 	dbg *obs.DebugServer
 }
 
@@ -139,7 +140,7 @@ func buildLiveServer(s *Spec, sv *ServerSpec) (*liveServer, error) {
 		return nil, err
 	}
 	ls := &liveServer{spec: sv, rt: rt}
-	if s.wantsMetricsSLO() {
+	if s.wantsMetricsSLO() || s.wantsTraceSLO() {
 		ls.dbg, err = obs.StartDebugServer("127.0.0.1:0", obs.MuxConfig{
 			Metrics: rt.WriteMetrics,
 			Trace:   rt.DumpTrace,
@@ -398,6 +399,21 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 		}
 	}
 
+	// The chain gates read each server's flight recorder off a real
+	// /debug/trace scrape and reconstruct the causal flows; depth is the
+	// fleet-wide deepest chain, completeness ANDs across servers.
+	chainDepth, chainOK := 0, true
+	if s.wantsTraceSLO() {
+		for name, ls := range servers {
+			d, ok, err := scrapeFlowChains(ls.dbg.Addr())
+			if err != nil {
+				return nil, fmt.Errorf("%s: server %q: %w", s.Name, name, err)
+			}
+			chainDepth = max(chainDepth, d)
+			chainOK = chainOK && ok
+		}
+	}
+
 	rssMB := float64(peakHeap.Load()) / (1 << 20)
 	krps := 0.0
 	if measured.elapsed > 0 {
@@ -434,7 +450,10 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 		rec.Payload["exec_p50_ms"] = float64(etHist.Quantile(0.50)) / float64(time.Millisecond)
 		rec.Payload["exec_p99_ms"] = float64(etHist.Quantile(0.99)) / float64(time.Millisecond)
 	}
-	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB, scrapedQD)
+	if s.wantsTraceSLO() {
+		rec.Payload["chain_depth"] = float64(chainDepth)
+	}
+	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB, scrapedQD, chainDepth, chainOK)
 	for _, slo := range rec.SLOs {
 		if !slo.Pass {
 			return rec, fmt.Errorf("%s: SLO %s on phase %q violated: %g (limit %g)",
@@ -632,7 +651,7 @@ func (l *latRecorder) percentiles() (p50, p99 time.Duration) {
 // aggregate. SLOs attach to phases for readability, but the metrics all
 // come from the measure window (latency, errors, throughput) or the
 // whole run (RSS).
-func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD time.Duration) []SLOResult {
+func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD time.Duration, chainDepth int, chainOK bool) []SLOResult {
 	var out []SLOResult
 	for _, slo := range s.SLOs {
 		if slo.MinKEventsPerSec > 0 {
@@ -678,6 +697,23 @@ func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD tim
 				Pass:  scrapedQD <= limit,
 			})
 		}
+		if slo.MaxChainDepth > 0 {
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_chain_depth",
+				Limit: float64(slo.MaxChainDepth), Value: float64(chainDepth),
+				Pass: chainDepth <= slo.MaxChainDepth,
+			})
+		}
+		if slo.ChainComplete {
+			v := 0.0
+			if chainOK {
+				v = 1
+			}
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "chain_complete",
+				Limit: 1, Value: v, Pass: chainOK,
+			})
+		}
 	}
 	return out
 }
@@ -692,6 +728,43 @@ func (s *Spec) wantsMetricsSLO() bool {
 		}
 	}
 	return false
+}
+
+// wantsTraceSLO reports whether any SLO gates on a flight-recorder
+// dump (max_chain_depth / chain_complete): the servers then mount
+// debug listeners so the gate can scrape /debug/trace.
+func (s *Spec) wantsTraceSLO() bool {
+	for i := range s.SLOs {
+		if s.SLOs[i].MaxChainDepth > 0 || s.SLOs[i].ChainComplete {
+			return true
+		}
+	}
+	return false
+}
+
+// scrapeFlowChains GETs one server's /debug/trace, rebuilds the causal
+// flows, and reports the deepest chain plus whether the busiest trace
+// is fully connected. An empty dump (no traced spans yet) is depth 0
+// and trivially complete — the SLO gates on load having run, not on
+// the recorder surviving idle.
+func scrapeFlowChains(addr string) (depth int, complete bool, err error) {
+	resp, err := http.Get("http://" + addr + "/debug/trace")
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("trace scrape %s: %s", addr, resp.Status)
+	}
+	idx, err := obs.ParseFlowDump(resp.Body)
+	if err != nil {
+		return 0, false, fmt.Errorf("trace scrape %s: %w", addr, err)
+	}
+	for t := range idx.Traces {
+		depth = max(depth, idx.Depth(t))
+	}
+	busiest := idx.BusiestTrace()
+	return depth, busiest == 0 || idx.Connected(busiest), nil
 }
 
 // mergeLatency folds one server's latency snapshot into a fleet-wide

@@ -149,3 +149,61 @@ func TestRunLiveMetricsSLO(t *testing.T) {
 		}
 	}
 }
+
+// TestRunLiveChainSLO: declaring chain_complete/max_chain_depth makes
+// the harness scrape each server's /debug/trace after the measure
+// phase, rebuild the causal flows, and gate on chain structure. An sws
+// request is a multi-hop chain (read post → parse → respond), so the
+// dump must reconstruct connected traces of depth ≥ 1 under load.
+func TestRunLiveChainSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenario spins real servers")
+	}
+	spec := &Spec{
+		Name:   "live-chain-slo",
+		Engine: "live",
+		Servers: []ServerSpec{
+			{Name: "web", Kind: "sws", Cores: 2},
+		},
+		Loads: []LoadSpec{
+			{Server: "web", Clients: 2},
+		},
+		Phases: []PhaseSpec{
+			{Name: "run", Duration: "1s", Measure: true},
+		},
+		SLOs: []SLOSpec{
+			// A generous depth cap: the gate is that chains RECONSTRUCT,
+			// not that they stay shallow.
+			{Phase: "run", MaxChainDepth: 64, ChainComplete: true},
+		},
+	}
+	res, err := Run(spec, Options{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := res.Records[0]
+	var sawDepth, sawComplete bool
+	for _, slo := range rec.SLOs {
+		switch slo.Check {
+		case "max_chain_depth":
+			sawDepth = true
+			if !slo.Pass {
+				t.Errorf("chain-depth gate failed: %g (limit %g)", slo.Value, slo.Limit)
+			}
+			if slo.Value < 1 {
+				t.Errorf("chain depth = %g, want >= 1 under load (no spans reconstructed?)", slo.Value)
+			}
+		case "chain_complete":
+			sawComplete = true
+			if !slo.Pass {
+				t.Error("chain-complete gate failed: busiest trace has orphan spans")
+			}
+		}
+	}
+	if !sawDepth || !sawComplete {
+		t.Fatalf("chain SLOs not evaluated: %+v", rec.SLOs)
+	}
+	if rec.Payload["chain_depth"] < 1 {
+		t.Errorf("payload[chain_depth] = %g, want >= 1", rec.Payload["chain_depth"])
+	}
+}

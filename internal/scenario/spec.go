@@ -299,6 +299,15 @@ type SLOSpec struct {
 	// after the measure phase (live). Declaring it forces every
 	// server's runtime to ObsSampleRate 1 so quick runs have samples.
 	MaxQueueDelayP99 string `json:"max_queue_delay_p99,omitempty"`
+	// MaxChainDepth caps the deepest causal chain (root→leaf hops)
+	// reconstructed from each server's flight-recorder dump, scraped
+	// from /debug/trace after the measure phase (live). Declaring it —
+	// or chain_complete — mounts every server's debug listener.
+	MaxChainDepth int `json:"max_chain_depth,omitempty"`
+	// ChainComplete asserts the busiest trace in each server's
+	// post-measure dump is fully connected: no span claims a parent
+	// absent from the dump (live).
+	ChainComplete bool `json:"chain_complete,omitempty"`
 }
 
 // Load reads, parses, and validates one spec file (.yaml, .yml, or

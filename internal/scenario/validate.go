@@ -409,12 +409,13 @@ func (s *Spec) validateSLOs(fail func(string, error, string, ...any), phases map
 		if _, ok := phases[slo.Phase]; !ok {
 			fail(field+".phase", ErrSLOPhase, "%q", slo.Phase)
 		}
-		if slo.MaxInMem < 0 || slo.MaxRSSMB < 0 || slo.MinKEventsPerSec < 0 || slo.MaxErrorRatePct < 0 {
+		if slo.MaxInMem < 0 || slo.MaxRSSMB < 0 || slo.MinKEventsPerSec < 0 || slo.MaxErrorRatePct < 0 ||
+			slo.MaxChainDepth < 0 {
 			fail(field, ErrNegativeCount, "SLO limits must be non-negative")
 		}
 		if !slo.ZeroLoss && slo.MaxInMem == 0 && slo.MinKEventsPerSec == 0 &&
 			slo.MaxP99 == "" && slo.MaxErrorRatePct == 0 && slo.MaxRSSMB == 0 &&
-			slo.MaxQueueDelayP99 == "" {
+			slo.MaxQueueDelayP99 == "" && slo.MaxChainDepth == 0 && !slo.ChainComplete {
 			fail(field, ErrBadSLO, "SLO asserts nothing")
 		}
 		overloadSim := s.Engine == "sim" && s.Sim != nil && s.Sim.Workload == "overload"
@@ -422,8 +423,8 @@ func (s *Spec) validateSLOs(fail func(string, error, string, ...any), phases map
 			fail(field, ErrBadSLO, "zero_loss/max_inmem are sim overload checks")
 		}
 		if (slo.MaxP99 != "" || slo.MaxErrorRatePct > 0 || slo.MaxRSSMB > 0 ||
-			slo.MaxQueueDelayP99 != "") && s.Engine != "live" {
-			fail(field, ErrBadSLO, "max_p99/max_error_rate_pct/max_rss_mb/max_queue_delay_p99 are live checks")
+			slo.MaxQueueDelayP99 != "" || slo.MaxChainDepth > 0 || slo.ChainComplete) && s.Engine != "live" {
+			fail(field, ErrBadSLO, "max_p99/max_error_rate_pct/max_rss_mb/max_queue_delay_p99/max_chain_depth/chain_complete are live checks")
 		}
 		checkDuration(fail, field+".max_p99", slo.MaxP99)
 		checkDuration(fail, field+".max_queue_delay_p99", slo.MaxQueueDelayP99)

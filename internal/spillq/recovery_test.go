@@ -454,7 +454,10 @@ func TestGoldenSegmentBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	const color = 0xdeadbeef
-	rec := Record{Handler: 3, Color: color, Cost: 500, Penalty: -1, Tag: 2, Payload: []byte("mely")}
+	rec := Record{
+		Handler: 3, Color: color, Cost: 500, Penalty: -1, Tag: 2, Payload: []byte("mely"),
+		TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00, ParentSpan: 0x0123456789abcdef,
+	}
 	if err := s.Append(color, []Record{rec}); err != nil {
 		t.Fatal(err)
 	}
@@ -476,14 +479,14 @@ func TestGoldenSegmentBytes(t *testing.T) {
 	// Segment header: 32 bytes, as specified in docs/spillq-format.md.
 	hdr := make([]byte, segHeaderBytes)
 	copy(hdr[0:4], "MSPQ")                          // magic
-	binary.LittleEndian.PutUint16(hdr[4:6], 2)      // format version
+	binary.LittleEndian.PutUint16(hdr[4:6], 3)      // format version
 	binary.LittleEndian.PutUint16(hdr[6:8], 0)      // flags
 	binary.LittleEndian.PutUint64(hdr[8:16], color) // color
 	binary.LittleEndian.PutUint64(hdr[16:24], 0)    // segment sequence
 	binary.LittleEndian.PutUint32(hdr[24:28], 32)   // consumed offset
 	binary.LittleEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(hdr[0:24]))
 
-	// Record: 33-byte header + payload.
+	// Record: 57-byte header + payload.
 	body := make([]byte, recHeaderBytes-4)
 	binary.LittleEndian.PutUint32(body[0:4], 4)                    // payload length
 	binary.LittleEndian.PutUint32(body[4:8], 3)                    // handler
@@ -491,6 +494,9 @@ func TestGoldenSegmentBytes(t *testing.T) {
 	binary.LittleEndian.PutUint64(body[16:24], 500)                // cost
 	binary.LittleEndian.PutUint32(body[24:28], uint32(0xffffffff)) // penalty -1
 	body[28] = 2                                                   // tag
+	binary.LittleEndian.PutUint64(body[29:37], 0x1122334455667788) // trace id
+	binary.LittleEndian.PutUint64(body[37:45], 0x99aabbccddeeff00) // span id
+	binary.LittleEndian.PutUint64(body[45:53], 0x0123456789abcdef) // parent span
 	crc := crc32.ChecksumIEEE(body)
 	crc = crc32.Update(crc, crc32.IEEETable, []byte("mely"))
 	var crcb [4]byte

@@ -69,11 +69,19 @@ type Record struct {
 	// stores both verbatim.
 	Tag     uint8
 	Payload []byte
+	// TraceID/SpanID/ParentSpan carry the event's causal identifiers
+	// across the disk round-trip so a spilled hop stays inside its
+	// trace (all zero with tracing off). Stored verbatim.
+	TraceID    uint64
+	SpanID     uint64
+	ParentSpan uint64
 }
 
-// On-disk layout, format version 2 (docs/spillq-format.md is the
+// On-disk layout, format version 3 (docs/spillq-format.md is the
 // normative spec; the golden-segment test cross-checks these numbers
-// against the doc's byte tables).
+// against the doc's byte tables). Version 3 widens the record header
+// with the three causal-trace identifiers; v2 segments fail the
+// header version check and are treated as unrecoverable.
 const (
 	// segHeaderBytes is the segment header: magic "MSPQ" (4), format
 	// version (u16), flags (u16), color (u64), segment sequence (u64),
@@ -84,10 +92,10 @@ const (
 	// recHeaderBytes is the fixed prefix of every record: CRC32 over
 	// the rest of the header plus the payload (u32), payload length
 	// (u32), handler (i32), color (u64), cost (i64), penalty (i32),
-	// tag (u8).
-	recHeaderBytes = 4 + 4 + 4 + 8 + 8 + 4 + 1
+	// tag (u8), trace id (u64), span id (u64), parent span (u64).
+	recHeaderBytes = 4 + 4 + 4 + 8 + 8 + 4 + 1 + 8 + 8 + 8
 
-	formatVersion = 2
+	formatVersion = 3
 	magic         = "MSPQ"
 
 	// maxPayload bounds the payload-length field during recovery: a
@@ -461,11 +469,14 @@ func checkRecord(m *mapping, off, size int64) (Record, int64, bool) {
 		return Record{}, 0, false
 	}
 	rec := Record{
-		Handler: int32(binary.LittleEndian.Uint32(h[8:])),
-		Color:   binary.LittleEndian.Uint64(h[12:]),
-		Cost:    int64(binary.LittleEndian.Uint64(h[20:])),
-		Penalty: int32(binary.LittleEndian.Uint32(h[28:])),
-		Tag:     h[32],
+		Handler:    int32(binary.LittleEndian.Uint32(h[8:])),
+		Color:      binary.LittleEndian.Uint64(h[12:]),
+		Cost:       int64(binary.LittleEndian.Uint64(h[20:])),
+		Penalty:    int32(binary.LittleEndian.Uint32(h[28:])),
+		Tag:        h[32],
+		TraceID:    binary.LittleEndian.Uint64(h[33:]),
+		SpanID:     binary.LittleEndian.Uint64(h[41:]),
+		ParentSpan: binary.LittleEndian.Uint64(h[49:]),
 	}
 	want := binary.LittleEndian.Uint32(h[0:])
 	crc := crc32.ChecksumIEEE(m.slice(off+4, recHeaderBytes-4))
@@ -559,6 +570,9 @@ func (s *Store) Append(color uint64, recs []Record) error {
 		binary.LittleEndian.PutUint64(hdr[20:], uint64(rec.Cost))
 		binary.LittleEndian.PutUint32(hdr[28:], uint32(rec.Penalty))
 		hdr[32] = rec.Tag
+		binary.LittleEndian.PutUint64(hdr[33:], rec.TraceID)
+		binary.LittleEndian.PutUint64(hdr[41:], rec.SpanID)
+		binary.LittleEndian.PutUint64(hdr[49:], rec.ParentSpan)
 		crc := crc32.ChecksumIEEE(hdr[4:])
 		crc = crc32.Update(crc, crc32.IEEETable, rec.Payload)
 		binary.LittleEndian.PutUint32(hdr[0:], crc)

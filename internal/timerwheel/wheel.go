@@ -80,6 +80,14 @@ type Entry struct {
 	Handler int32
 	Data    any
 
+	// TraceID/SpanID carry the arming context's causal identifiers —
+	// the trace and span of the event whose handler armed this timer
+	// (zero when armed from outside a handler or with tracing off). The
+	// fired event inherits them as its lineage, so a timer hop stays
+	// inside its chain. Set before Add, like the other exported fields.
+	TraceID uint64
+	SpanID  uint64
+
 	// slot list links (the due list uses the same links). level -1
 	// means the due list; -2 means unlinked.
 	next, prev  *Entry

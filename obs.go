@@ -2,6 +2,7 @@ package mely
 
 import (
 	"io"
+	goruntime "runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -123,7 +124,11 @@ func (r *Runtime) observeExec(c *rcore, ev *equeue.Event, start time.Time, elaps
 		if ev.Stolen {
 			n |= obs.StolenFlag
 		}
-		c.ring.Append(obs.KindExec, startRel, elapsed, uint64(ev.Color), n)
+		// The exec record carries the causal ids: chains are
+		// reconstructed from exec records alone (posts are sampled),
+		// so this is the one per-event flow cost — three atomic stores.
+		c.ring.AppendFlow(obs.KindExec, startRel, elapsed, uint64(ev.Color), n,
+			ev.TraceID, ev.SpanID, ev.ParentSpan)
 	}
 }
 
@@ -132,6 +137,15 @@ func (r *Runtime) observeExec(c *rcore, ev *equeue.Event, start time.Time, elaps
 func (r *Runtime) traceAux(k obs.Kind, dur int64, arg uint64, n uint32) {
 	if r.ringAux != nil {
 		r.ringAux.Append(k, r.now(), dur, arg, n)
+	}
+}
+
+// traceAuxFlow is traceAux carrying causal ids (spill records: the
+// spilled event's lineage rides to disk and back, and the record lets
+// the renderer show where in a chain the disk round-trip happened).
+func (r *Runtime) traceAuxFlow(k obs.Kind, dur int64, arg uint64, n uint32, trace, span, parent uint64) {
+	if r.ringAux != nil {
+		r.ringAux.AppendFlow(k, r.now(), dur, arg, n, trace, span, parent)
 	}
 }
 
@@ -176,6 +190,79 @@ func (r *Runtime) DumpTrace(w io.Writer) error {
 		return ""
 	}}
 	return obs.WriteChrome(w, rings, r.ringAux, cfg)
+}
+
+// stallStackBytes bounds the goroutine dump captured per stall episode.
+const stallStackBytes = 1 << 18
+
+// stallWatchdog is the Config.StallThreshold sampler: a goroutine that
+// periodically (threshold/4, floored at 10ms) compares each core's
+// last-progress stamp against the clock. A handler executing past the
+// threshold is reported once per episode — a KindStall record on the
+// auxiliary track carrying the stalled span's ids, a full goroutine
+// dump (LastStallStack), the per-core stall counter — and the
+// mely_stalled_cores gauge tracks how many cores are currently stuck.
+// Started by Start, stopped by Stop; runs only when stallOn.
+func (r *Runtime) stallWatchdog() {
+	defer r.wg.Done()
+	threshold := r.cfg.StallThreshold.Nanoseconds()
+	tick := r.cfg.StallThreshold / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stallStop:
+			r.stalledCores.Store(0)
+			return
+		case <-t.C:
+		}
+		now := r.now()
+		stalled := int32(0)
+		for _, c := range r.cores {
+			st := c.execStart.Load()
+			if st == 0 || now-st < threshold {
+				continue
+			}
+			stalled++
+			if c.stalled.Swap(true) {
+				continue // this episode was already reported
+			}
+			r.noteStall(c, now, now-st)
+		}
+		r.stalledCores.Store(stalled)
+	}
+}
+
+// noteStall records one fresh stall episode on core c.
+func (r *Runtime) noteStall(c *rcore, now, elapsed int64) {
+	c.stats.stalls.Add(1)
+	if r.ringAux != nil {
+		r.ringAux.AppendFlow(obs.KindStall, now, elapsed, uint64(c.id),
+			uint32(c.execHandler.Load()), c.execTrace.Load(), c.execSpan.Load(), 0)
+	}
+	buf := make([]byte, stallStackBytes)
+	buf = buf[:goruntime.Stack(buf, true)]
+	r.stallMu.Lock()
+	r.lastStallStack = buf
+	r.stallMu.Unlock()
+	if p := r.cfg.StallDumpPath; p != "" {
+		// Automatic flight-recorder dump: the trace context around the
+		// stall survives even if the operator has to kill the process.
+		_ = obs.DumpToFile(p, r.DumpTrace)
+	}
+}
+
+// LastStallStack returns the full goroutine dump captured at the most
+// recent stall episode, or nil when the watchdog has never fired. The
+// returned bytes are the watchdog's own buffer; treat them as
+// read-only.
+func (r *Runtime) LastStallStack() []byte {
+	r.stallMu.Lock()
+	defer r.stallMu.Unlock()
+	return r.lastStallStack
 }
 
 // Latency-histogram bucket bounds in seconds, shared by every
@@ -240,6 +327,8 @@ func (r *Runtime) WriteMetrics(w io.Writer) error {
 		func(c CoreStats) float64 { return float64(c.Panics) })
 	counter("mely_timers_fired_total", "Timers expired by this core's wheel.",
 		func(c CoreStats) float64 { return float64(c.TimersFired) })
+	counter("mely_stalls_total", "Stall-watchdog episodes (handler exceeded StallThreshold).",
+		func(c CoreStats) float64 { return float64(c.Stalls) })
 
 	m.Family("mely_queue_length", "gauge", "Instantaneous per-core queue length.")
 	for i, c := range s.Cores {
@@ -317,6 +406,9 @@ func (r *Runtime) WriteMetrics(w io.Writer) error {
 		s.StealCostEstimate.Seconds())
 	single("mely_pending_events", "gauge",
 		"Posted-but-not-completed events.", float64(s.Pending))
+	single("mely_stalled_cores", "gauge",
+		"Cores currently stuck in a handler past StallThreshold (0 with the watchdog off).",
+		float64(s.StalledCores))
 	single("mely_timers_canceled_total", "counter",
 		"Timer firings averted by Cancel.", float64(s.TimersCanceled))
 	single("mely_poll_wakeups_total", "counter",

@@ -158,7 +158,7 @@ func (p SpillSyncPolicy) internal() spillq.SyncPolicy {
 // runtime makes posters wait for queue space, and ctx bounds that wait.
 // Under every other configuration it behaves exactly like Post.
 func (r *Runtime) PostContext(ctx context.Context, h Handler, color Color, data any) error {
-	return r.post(ctx, h, color, data, true)
+	return r.post(ctx, h, color, data, true, 0, 0)
 }
 
 // PostEdge posts an event that is never rejected or blocked by an
@@ -171,13 +171,13 @@ func (r *Runtime) PostContext(ctx context.Context, h Handler, color Color, data 
 // blocking would only lose or deadlock. Everything else should use
 // Post, which the bounds actually govern.
 func (r *Runtime) PostEdge(h Handler, color Color, data any) error {
-	return r.post(nil, h, color, data, false)
+	return r.post(nil, h, color, data, false, 0, 0)
 }
 
 // PostBatchEdge is PostEdge's batch form (see PostBatch for the
 // delivery semantics).
 func (r *Runtime) PostBatchEdge(batch []BatchEvent) error {
-	return r.postBatch(batch, false)
+	return r.postBatch(batch, false, 0, 0)
 }
 
 // Bounded reports whether the runtime enforces overload bounds
@@ -948,7 +948,7 @@ func (a *admission) appendRecord(color equeue.Color, rec spillq.Record) error {
 	}
 	a.spilled.Add(1)
 	a.depthHist[spillDepthBucket(st.disk)].Add(1)
-	a.r.traceAux(obs.KindSpill, 0, uint64(color), uint32(clampUint32(st.disk)))
+	a.r.traceAuxFlow(obs.KindSpill, 0, uint64(color), uint32(clampUint32(st.disk)), rec.TraceID, rec.SpanID, rec.ParentSpan)
 	disk, cost := st.disk, st.diskCost
 	var doReload bool
 	if st.mem == 0 && !st.reloading {
@@ -1009,12 +1009,12 @@ func spillDepthBucket(d int64) int {
 // append. Unencodable payloads and store failures fall back to an
 // in-memory delivery (counted in SpillErrors) — overshooting the bound
 // beats losing the event.
-func (r *Runtime) spillPost(hs []handlerEntry, idx int32, color Color, data any) error {
+func (r *Runtime) spillPost(hs []handlerEntry, idx int32, color Color, data any, ptrace, pspan uint64) error {
 	tag, payload, ok := encodeSpillPayload(data)
 	if !ok {
 		r.adm.spillErrs.Add(1)
 		r.adm.forceMemory(equeue.Color(color))
-		ev, err := r.buildEvent(hs, Handler{id: idx + 1}, color, data)
+		ev, err := r.buildEvent(hs, Handler{id: idx + 1}, color, data, ptrace, pspan)
 		if err != nil {
 			return err
 		}
@@ -1030,11 +1030,24 @@ func (r *Runtime) spillPost(hs []handlerEntry, idx int32, color Color, data any)
 		Tag:     tag,
 		Payload: payload,
 	}
+	if r.traceOn {
+		// The span is minted at spill time so the record carries its
+		// full lineage to disk: the reloaded event is the SAME hop, not
+		// a new one, and melytrace sees one span spanning the disk
+		// round-trip.
+		span := r.traceSeq.Add(1)
+		rec.SpanID = span
+		if ptrace != 0 {
+			rec.TraceID, rec.ParentSpan = ptrace, pspan
+		} else {
+			rec.TraceID = span
+		}
+	}
 	r.pending.Add(1)
 	if err := r.adm.appendRecord(equeue.Color(color), rec); err != nil {
 		r.adm.spillErrs.Add(1)
 		r.adm.forceMemory(equeue.Color(color))
-		ev, berr := r.buildEvent(hs, Handler{id: idx + 1}, color, data)
+		ev, berr := r.buildEvent(hs, Handler{id: idx + 1}, color, data, ptrace, pspan)
 		if berr != nil {
 			r.pending.Add(-1)
 			return berr
@@ -1057,12 +1070,15 @@ func (r *Runtime) spillBuilt(ev *equeue.Event) {
 		return
 	}
 	rec := spillq.Record{
-		Handler: int32(ev.Handler),
-		Color:   uint64(ev.Color),
-		Cost:    ev.Cost,
-		Penalty: ev.Penalty,
-		Tag:     tag,
-		Payload: payload,
+		Handler:    int32(ev.Handler),
+		Color:      uint64(ev.Color),
+		Cost:       ev.Cost,
+		Penalty:    ev.Penalty,
+		Tag:        tag,
+		Payload:    payload,
+		TraceID:    ev.TraceID,
+		SpanID:     ev.SpanID,
+		ParentSpan: ev.ParentSpan,
 	}
 	r.pending.Add(1)
 	if err := r.adm.appendRecord(ev.Color, rec); err != nil {
@@ -1083,11 +1099,14 @@ func (r *Runtime) spillBuilt(ev *equeue.Event) {
 func (r *Runtime) eventFromRecord(rec *spillq.Record) *equeue.Event {
 	ev := r.evPool.Get().(*equeue.Event)
 	*ev = equeue.Event{
-		Handler: equeue.HandlerID(rec.Handler),
-		Color:   equeue.Color(rec.Color),
-		Cost:    rec.Cost,
-		Penalty: rec.Penalty,
-		Data:    decodeSpillPayload(rec.Tag, rec.Payload),
+		Handler:    equeue.HandlerID(rec.Handler),
+		Color:      equeue.Color(rec.Color),
+		Cost:       rec.Cost,
+		Penalty:    rec.Penalty,
+		Data:       decodeSpillPayload(rec.Tag, rec.Payload),
+		TraceID:    rec.TraceID,
+		SpanID:     rec.SpanID,
+		ParentSpan: rec.ParentSpan,
 	}
 	if r.obsOn && r.obsSeq.Add(1)&r.obsMask == 0 {
 		ev.PostNanos = r.now()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mely
+
+const raceEnabled = false

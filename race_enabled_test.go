@@ -1,0 +1,7 @@
+//go:build race
+
+package mely
+
+// raceEnabled lets tests whose assertions are meaningless under the
+// race detector (allocation accounting, timing floors) skip themselves.
+const raceEnabled = true

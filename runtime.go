@@ -88,6 +88,7 @@ type rstats struct {
 	batchedEvents    atomic.Int64
 	colorQueueChurns atomic.Int64
 	panics           atomic.Int64
+	stalls           atomic.Int64
 	timersFired      atomic.Int64
 	timerLagHist     [TimerLagBuckets]atomic.Int64
 	// Sampled latency histograms (Config.ObsSampleRate): queue delay
@@ -136,13 +137,31 @@ type rcore struct {
 	// Timer scratch (worker-owned): harvest and steal-migration buffers.
 	timerBuf []*timerwheel.Entry
 	entryBuf []*timerwheel.Entry
-	stats    rstats
+	// ctx is the worker's reusable handler context. Handlers receive
+	// *Ctx, which escapes, so a per-event Ctx literal was the hot
+	// path's only heap allocation; one event executes at a time per
+	// worker, and a Ctx was never valid past the handler's return (its
+	// event is zeroed and pooled), so reuse is invisible to handlers.
+	ctx   Ctx
+	stats rstats
 
 	// ring is the core's flight-recorder buffer (nil when
 	// Config.TraceRing is negative); colorDelays attributes sampled
 	// queue delay to the core's hottest colors.
 	ring        *obs.Ring
 	colorDelays colorDelayTable
+
+	// Stall-watchdog progress stamps, written by the worker around each
+	// handler invocation (only when Config.StallThreshold is set) and
+	// read by the watchdog goroutine. execStart is the execution start
+	// (runtime-epoch nanoseconds; 0 = not executing); execTrace/
+	// execSpan/execHandler describe the running event; stalled marks an
+	// already-reported episode so one stuck handler emits one record.
+	execStart   atomic.Int64
+	execTrace   atomic.Uint64
+	execSpan    atomic.Uint64
+	execHandler atomic.Int32
+	stalled     atomic.Bool
 }
 
 // inTransitMarker occupies a color's table slot while a steal migrates
@@ -214,6 +233,25 @@ type Runtime struct {
 	obsMask uint64
 	obsSeq  atomic.Uint64
 	ringAux *obs.Ring
+
+	// Causal tracing (the flight recorder's flow layer): traceOn gates
+	// every id stamp — with TraceRing negative no event field is ever
+	// written, so an untraced runtime pays zero bytes per event —
+	// and traceSeq allocates span ids runtime-wide (a root's trace id
+	// is its own span id, so roots need no second counter).
+	traceOn  bool
+	traceSeq atomic.Uint64
+
+	// Stall watchdog (Config.StallThreshold): stallOn gates the per-core
+	// progress stamps on the execute path, stallStop ends the watchdog
+	// goroutine, stalledCores is the live gauge, and lastStallStack
+	// holds the most recent episode's full goroutine dump.
+	stallOn        bool
+	stallStop      chan struct{}
+	stallStopOnce  sync.Once
+	stalledCores   atomic.Int32
+	stallMu        sync.Mutex
+	lastStallStack []byte
 }
 
 // AddPollSource registers a readiness-event source whose sample is
@@ -280,7 +318,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.TraceRing > 0 {
 		r.ringAux = obs.NewRing(cfg.TraceRing)
+		r.traceOn = true
 	}
+	r.stallOn = cfg.StallThreshold > 0
 	empty := make([]handlerEntry, 0, 16)
 	r.handlers.Store(&empty)
 	stealCap := pol.MaxStealColors
@@ -357,6 +397,11 @@ func (r *Runtime) Start() error {
 	for _, c := range r.cores {
 		go r.worker(c)
 	}
+	if r.stallOn {
+		r.stallStop = make(chan struct{})
+		r.wg.Add(1)
+		go r.stallWatchdog()
+	}
 	return nil
 }
 
@@ -384,6 +429,9 @@ func (r *Runtime) Stop() {
 		// Posters blocked under OverloadBlock must observe the stop now
 		// (they re-check stopped on wake), not after the workers exit.
 		r.adm.wakeBlocked()
+	}
+	if r.stallStop != nil {
+		r.stallStopOnce.Do(func() { close(r.stallStop) })
 	}
 	for _, c := range r.cores {
 		c.unpark()
@@ -487,15 +535,17 @@ func (r *Runtime) wakeDrainers() {
 // for queue space (see PostContext to bound the wait), or spilling the
 // color's tail to disk.
 func (r *Runtime) Post(h Handler, color Color, data any) error {
-	return r.post(nil, h, color, data, true)
+	return r.post(nil, h, color, data, true, 0, 0)
 }
 
 // post is the shared delivery path behind Post, PostContext, Ctx.Post,
 // and the bounded-runtime leg of PostBatch. external marks posts from
 // outside handler context: only those can be rejected or blocked (a
 // rejected or blocked continuation would wedge the workers — see
-// OverloadPolicy's decision table).
-func (r *Runtime) post(ctx context.Context, h Handler, color Color, data any, external bool) error {
+// OverloadPolicy's decision table). ptrace/pspan are the causal parent
+// (the trace and span of the event whose handler is posting); zero
+// makes the new event a trace root.
+func (r *Runtime) post(ctx context.Context, h Handler, color Color, data any, external bool, ptrace, pspan uint64) error {
 	if r.stopped.Load() {
 		return ErrStopped
 	}
@@ -510,10 +560,10 @@ func (r *Runtime) post(ctx context.Context, h Handler, color Color, data any, ex
 			return err
 		}
 		if route == routeDisk {
-			return r.spillPost(hs, int32(idx), color, data)
+			return r.spillPost(hs, int32(idx), color, data, ptrace, pspan)
 		}
 	}
-	ev, err := r.buildEvent(hs, h, color, data)
+	ev, err := r.buildEvent(hs, h, color, data, ptrace, pspan)
 	if err != nil {
 		return err
 	}
@@ -527,7 +577,10 @@ func unknownHandlerError(h Handler) error {
 }
 
 // buildEvent validates the handler and materializes a pooled event.
-func (r *Runtime) buildEvent(hs []handlerEntry, h Handler, color Color, data any) (*equeue.Event, error) {
+// ptrace/pspan are the causal parent's identifiers (zero = root): with
+// tracing on the event gets its own span id, inheriting the parent's
+// trace or founding a new one.
+func (r *Runtime) buildEvent(hs []handlerEntry, h Handler, color Color, data any, ptrace, pspan uint64) (*equeue.Event, error) {
 	idx := int(h.id) - 1
 	if idx < 0 || idx >= len(hs) {
 		return nil, unknownHandlerError(h)
@@ -545,6 +598,15 @@ func (r *Runtime) buildEvent(hs []handlerEntry, h Handler, color Color, data any
 		// Sampled for latency observation: the stamp rides to execution,
 		// where the queue delay is measured (see observeExec).
 		ev.PostNanos = r.now()
+	}
+	if r.traceOn {
+		span := r.traceSeq.Add(1)
+		ev.SpanID = span
+		if ptrace != 0 {
+			ev.TraceID, ev.ParentSpan = ptrace, pspan
+		} else {
+			ev.TraceID = span // a root founds its trace under its own id
+		}
 	}
 	return ev, nil
 }
@@ -594,7 +656,8 @@ func (r *Runtime) enqueue(ev *equeue.Event) {
 		c.syncDiskLen()
 		c.stats.postedHere.Add(1)
 		if ev.PostNanos != 0 && c.ring != nil {
-			c.ring.Append(obs.KindPost, ev.PostNanos, 0, uint64(ev.Color), uint32(ev.Handler))
+			c.ring.AppendFlow(obs.KindPost, ev.PostNanos, 0, uint64(ev.Color), uint32(ev.Handler),
+				ev.TraceID, ev.SpanID, ev.ParentSpan)
 		}
 		c.lock.Unlock()
 		c.unpark()
@@ -789,8 +852,22 @@ func (r *Runtime) execute(c *rcore, ev *equeue.Event) {
 	entry := &hs[ev.Handler]
 	start := time.Now()
 	if entry.fn != nil {
-		ctx := Ctx{r: r, core: c, ev: ev}
-		runHandler(entry, &ctx, &c.stats)
+		if r.stallOn {
+			// Progress stamp for the stall watchdog: the descriptive
+			// fields land before execStart so the watchdog (which keys
+			// off a nonzero execStart) never reads a half-written stamp.
+			c.execTrace.Store(ev.TraceID)
+			c.execSpan.Store(ev.SpanID)
+			c.execHandler.Store(int32(ev.Handler))
+			c.execStart.Store(start.Sub(r.epoch).Nanoseconds())
+		}
+		c.ctx = Ctx{r: r, core: c, ev: ev}
+		runHandler(entry, &c.ctx, &c.stats)
+		c.ctx.ev = nil // the event is about to be zeroed and pooled
+		if r.stallOn {
+			c.execStart.Store(0)
+			c.stalled.Store(false) // the episode (if any) ended with the handler
+		}
 	}
 	elapsed := time.Since(start).Nanoseconds()
 	if elapsed < 1 {
@@ -1110,9 +1187,11 @@ type Ctx struct {
 // Post registers a follow-up event. It is an internal continuation:
 // on a bounded runtime it is never rejected or blocked (that would
 // wedge the worker executing this handler), though a spilling color's
-// tail discipline still applies under OverloadSpill.
+// tail discipline still applies under OverloadSpill. The new event
+// inherits this event's causal lineage (same trace, parented on this
+// span) when tracing is on.
 func (ctx *Ctx) Post(h Handler, color Color, data any) error {
-	return ctx.r.post(nil, h, color, data, false)
+	return ctx.r.post(nil, h, color, data, false, ctx.ev.TraceID, ctx.ev.SpanID)
 }
 
 // Data returns the event's payload.
@@ -1126,6 +1205,14 @@ func (ctx *Ctx) CoreID() int { return ctx.core.id }
 
 // Stolen reports whether a steal migrated this event before execution.
 func (ctx *Ctx) Stolen() bool { return ctx.ev.Stolen }
+
+// TraceID returns the executing event's causal trace id — the id of
+// the ingress root this event descends from (zero with tracing off).
+func (ctx *Ctx) TraceID() uint64 { return ctx.ev.TraceID }
+
+// SpanID returns the executing event's own span id (zero with tracing
+// off). Events posted from this handler are parented on it.
+func (ctx *Ctx) SpanID() uint64 { return ctx.ev.SpanID }
 
 // Runtime returns the owning runtime.
 func (ctx *Ctx) Runtime() *Runtime { return ctx.r }

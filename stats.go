@@ -222,6 +222,9 @@ type CoreStats struct {
 	ColorQueueChurns int64
 	// Panics counts handler panics contained by the worker.
 	Panics int64
+	// Stalls counts stall-watchdog episodes on this core: handlers that
+	// executed past Config.StallThreshold (0 with the watchdog off).
+	Stalls int64
 	// Queued is the instantaneous queue length.
 	Queued int
 	// TimersFired counts timers this core's wheel expired; TimerLagHist
@@ -281,6 +284,7 @@ func (c CoreStats) MeanStealBatch() float64 {
 //	Cores[i].BatchedEvents    counter    subset delivered via PostBatch groups
 //	Cores[i].ColorQueueChurns counter    ColorQueue link/unlink pairs
 //	Cores[i].Panics           counter    handler panics contained
+//	Cores[i].Stalls           counter    stall-watchdog episodes on this core
 //	Cores[i].Queued           gauge      instantaneous core queue length
 //	Cores[i].TimersFired      counter    timers expired by this core's wheel
 //	Cores[i].TimerLagHist     histogram  firing lag: ≤100µs,≤1ms,≤2ms,≤10ms,≤100ms,>100ms
@@ -290,6 +294,7 @@ func (c CoreStats) MeanStealBatch() float64 {
 //	Cores[i].TopColorDelays   estimate   top-K per-color sampled delay attribution
 //	StealCostEstimate         estimate   monitored cost of one steal
 //	Pending                   gauge      posted-but-not-completed events
+//	StalledCores              gauge      cores currently stuck past StallThreshold
 //	TimersCanceled            counter    firings averted by Cancel
 //	PollWakeups               counter    poll wait returns (all sources)
 //	PollEvents                counter    readiness events harvested
@@ -320,6 +325,10 @@ type Stats struct {
 	StealCostEstimate time.Duration
 	// Pending counts posted-but-not-completed events.
 	Pending int64
+	// StalledCores is the number of cores currently stuck in a handler
+	// past Config.StallThreshold, as of the watchdog's last check (0
+	// with the watchdog off).
+	StalledCores int
 	// TimersCanceled counts timer firings averted by Cancel, runtime
 	// wide (a cancel is not attributable to one core: the entry may
 	// have migrated between wheels since it was armed).
@@ -377,6 +386,7 @@ func (r *Runtime) Stats() Stats {
 		Cores:             make([]CoreStats, len(r.cores)),
 		StealCostEstimate: time.Duration(r.stealMon.Estimate()),
 		Pending:           r.pending.Load(),
+		StalledCores:      int(r.stalledCores.Load()),
 		TimersCanceled:    r.timersCanceled.Load(),
 	}
 	r.pollMu.Lock()
@@ -429,6 +439,7 @@ func (r *Runtime) Stats() Stats {
 			BatchedEvents:    c.stats.batchedEvents.Load(),
 			ColorQueueChurns: c.stats.colorQueueChurns.Load(),
 			Panics:           c.stats.panics.Load(),
+			Stalls:           c.stats.stalls.Load(),
 			Queued:           int(c.qlen.Load()),
 			TimersFired:      c.stats.timersFired.Load(),
 			TimersPending:    c.wheel.Len(),
@@ -479,6 +490,7 @@ func (s Stats) Total() CoreStats {
 		t.BatchedEvents += c.BatchedEvents
 		t.ColorQueueChurns += c.ColorQueueChurns
 		t.Panics += c.Panics
+		t.Stalls += c.Stalls
 		t.Queued += c.Queued
 		t.TimersFired += c.TimersFired
 		for b := range c.TimerLagHist {

@@ -79,13 +79,13 @@ func (t *Timer) Fired() bool { return t.e.State() == timerwheel.StateFired }
 // firing, and the expiry handler is color-serialized with every other
 // event of that color. After shutdown it fails with ErrStopped.
 func (r *Runtime) PostAfter(h Handler, color Color, d time.Duration, data any) (*Timer, error) {
-	return r.postTimer(h, color, r.afterDeadline(d), 0, data)
+	return r.postTimer(h, color, r.afterDeadline(d), 0, data, 0, 0)
 }
 
 // PostAt arms a one-shot timer for an absolute wall-clock deadline
 // (clamped to now when already past).
 func (r *Runtime) PostAt(h Handler, color Color, at time.Time, data any) (*Timer, error) {
-	return r.postTimer(h, color, r.afterDeadline(time.Until(at)), 0, data)
+	return r.postTimer(h, color, r.afterDeadline(time.Until(at)), 0, data, 0, 0)
 }
 
 // PostEvery arms a periodic timer firing every interval (first firing
@@ -97,13 +97,15 @@ func (r *Runtime) PostEvery(h Handler, color Color, every time.Duration, data an
 	if every <= 0 {
 		return nil, fmt.Errorf("mely: non-positive PostEvery interval %v", every)
 	}
-	return r.postTimer(h, color, r.afterDeadline(every), every.Nanoseconds(), data)
+	return r.postTimer(h, color, r.afterDeadline(every), every.Nanoseconds(), data, 0, 0)
 }
 
 // PostAfter arms a one-shot timer from inside a handler (see
-// Runtime.PostAfter).
+// Runtime.PostAfter). The fired event inherits the arming event's
+// causal lineage: with tracing on, the firing appears as a child hop of
+// this handler's span rather than founding a new trace.
 func (ctx *Ctx) PostAfter(h Handler, color Color, d time.Duration, data any) (*Timer, error) {
-	return ctx.r.PostAfter(h, color, d, data)
+	return ctx.r.postTimer(h, color, ctx.r.afterDeadline(d), 0, data, ctx.ev.TraceID, ctx.ev.SpanID)
 }
 
 // now is the runtime's monotonic timer clock: nanoseconds since the
@@ -118,7 +120,7 @@ func (r *Runtime) afterDeadline(d time.Duration) int64 {
 	return r.now() + d.Nanoseconds()
 }
 
-func (r *Runtime) postTimer(h Handler, color Color, when, period int64, data any) (*Timer, error) {
+func (r *Runtime) postTimer(h Handler, color Color, when, period int64, data any, ptrace, pspan uint64) (*Timer, error) {
 	if r.stopped.Load() {
 		return nil, ErrStopped
 	}
@@ -128,6 +130,7 @@ func (r *Runtime) postTimer(h Handler, color Color, when, period int64, data any
 		return nil, unknownHandlerError(h)
 	}
 	e := timerwheel.NewEntry(equeue.Color(color), int32(idx), data, when, period)
+	e.TraceID, e.SpanID = ptrace, pspan
 	r.armTimer(e)
 	return &Timer{r: r, e: e}, nil
 }
@@ -175,15 +178,20 @@ func (r *Runtime) fireTimer(c *rcore, e *timerwheel.Entry, now int64) {
 	lag := now - e.When
 	c.stats.timersFired.Add(1)
 	c.stats.timerLagHist[timerLagBucket(lag)].Add(1)
-	if c.ring != nil {
-		c.ring.Append(obs.KindTimerFire, now, lag, uint64(e.Color), 1)
-	}
 
 	// The handler id was validated at arm time and handlers never
-	// unregister, so buildEvent cannot fail here.
-	ev, err := r.buildEvent(*r.handlers.Load(), Handler{id: e.Handler + 1}, Color(e.Color), e.Data)
+	// unregister, so buildEvent cannot fail here. The fired event
+	// inherits the arming span's lineage (zeros when armed outside a
+	// handler, making the firing a trace root).
+	ev, err := r.buildEvent(*r.handlers.Load(), Handler{id: e.Handler + 1}, Color(e.Color), e.Data, e.TraceID, e.SpanID)
 	if err != nil {
 		return
+	}
+	if c.ring != nil {
+		// Recorded after buildEvent so the firing instant carries the
+		// fired event's ids: melytrace treats it as the hop's enqueue
+		// timestamp for exact queue-delay measurement.
+		c.ring.AppendFlow(obs.KindTimerFire, now, lag, uint64(e.Color), 1, ev.TraceID, ev.SpanID, ev.ParentSpan)
 	}
 	if a := r.adm; a != nil {
 		// Timer firings are internal continuations: never rejected or
