@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -44,7 +45,13 @@ func run() error {
 		shedOverload   = flag.Bool("shed-overload", false, "answer READs with OVERLOADED while the runtime is saturated instead of queuing crypto work (needs -max-queued or -max-queued-color)")
 		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/*, and /debug/trace on this side address (empty = off)")
 		scrapeEvery    = flag.Duration("debug-scrape-interval", 250*time.Millisecond, "cache the rendered /metrics payload this long, so aggressive scrapers share one stats snapshot per window (0 = default 250ms, negative = no caching)")
-		traceDump      = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT")
+		traceDump      = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT, with .health.json and .timeseries.json siblings")
+		stallAfter     = flag.Duration("stall-threshold", 0, "flag a handler stuck longer than this (0 = watchdog off)")
+		obsEvery       = flag.Duration("obs-interval", 0, "sample a runtime-wide stats snapshot into the fixed-memory timeseries ring this often; arms /debug/timeseries, /debug/health, the mely_*_rate gauges, and the anomaly detectors (0 = off)")
+		obsHistory     = flag.Int("obs-history", 0, "timeseries ring capacity in samples (0 = default 240)")
+		targetDelay    = flag.Duration("target-queue-delay", 0, "queue-delay budget for the adaptive-bounds recommendation (mely_recommended_max_queued) and the drift detector's absolute target (0 = off)")
+		incidentDir    = flag.String("incident-dir", "", "capture a bounded incident bundle (CPU profile, trace, health, timeseries) into a timestamped directory here on each fresh anomaly (empty = off; needs -obs-interval)")
+		incidentGap    = flag.Duration("incident-min-gap", 0, "minimum spacing between incident captures (0 = default 30s)")
 	)
 	flag.Parse()
 	if *psk == "" {
@@ -69,6 +76,12 @@ func run() error {
 		SpillDir:          *spillDir,
 		SpillSync:         spol,
 		SpillRecover:      *spillRecover,
+		StallThreshold:    *stallAfter,
+		ObsInterval:       *obsEvery,
+		ObsHistory:        *obsHistory,
+		TargetQueueDelay:  *targetDelay,
+		IncidentDir:       *incidentDir,
+		IncidentMinGap:    *incidentGap,
 	})
 	if err != nil {
 		return err
@@ -78,6 +91,7 @@ func run() error {
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.MuxConfig{
 			Metrics: rt.WriteMetrics, Trace: rt.DumpTrace,
+			TimeSeries: rt.WriteTimeSeries, Health: rt.WriteHealth,
 			MinScrapeInterval: *scrapeEvery,
 		})
 		if err != nil {
@@ -90,10 +104,18 @@ func run() error {
 		logf := func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "sfsd: "+format+"\n", args...)
 		}
-		stopSig := obs.DumpOnSIGQUIT(*traceDump, rt.DumpTrace, logf)
+		dumps := []obs.NamedDump{
+			{Path: *traceDump, Dump: rt.DumpTrace},
+			{Path: obs.SiblingPath(*traceDump, "health"), Dump: func(w io.Writer) error {
+				_, err := rt.WriteHealth(w)
+				return err
+			}},
+			{Path: obs.SiblingPath(*traceDump, "timeseries"), Dump: rt.WriteTimeSeries},
+		}
+		stopSig := obs.DumpOnSIGQUIT(dumps, logf)
 		defer stopSig()
 		defer func() {
-			if err := obs.DumpToFile(*traceDump, rt.DumpTrace); err != nil {
+			if err := obs.DumpBundle(dumps); err != nil {
 				logf("flight-recorder dump failed: %v", err)
 			}
 		}()

@@ -9,6 +9,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -45,6 +46,20 @@ func parsePolicy(name string) (mely.Policy, error) {
 	}
 }
 
+// traceDumpBundle is the -trace-dump artifact set: the flight-recorder
+// trace plus health-report and timeseries-window siblings, written
+// together at exit and on SIGQUIT.
+func traceDumpBundle(rt *mely.Runtime, path string) []obs.NamedDump {
+	return []obs.NamedDump{
+		{Path: path, Dump: rt.DumpTrace},
+		{Path: obs.SiblingPath(path, "health"), Dump: func(w io.Writer) error {
+			_, err := rt.WriteHealth(w)
+			return err
+		}},
+		{Path: obs.SiblingPath(path, "timeseries"), Dump: rt.WriteTimeSeries},
+	}
+}
+
 func run() error {
 	var (
 		listen      = flag.String("listen", ":8080", "listen address")
@@ -66,8 +81,15 @@ func run() error {
 		shed        = flag.Bool("shed-overload", false, "answer 503 while the runtime is saturated (needs -max-queued)")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/*, and /debug/trace on this side address (empty = off)")
 		scrapeEvery = flag.Duration("debug-scrape-interval", 250*time.Millisecond, "cache the rendered /metrics payload this long, so aggressive scrapers share one stats snapshot per window (0 = default 250ms, negative = no caching)")
-		traceDump   = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT")
+		traceDump   = flag.String("trace-dump", "", "write the flight-recorder trace (Chrome JSON) to this file at exit and on SIGQUIT, with .health.json and .timeseries.json siblings")
 		stallAfter  = flag.Duration("stall-threshold", 0, "flag a handler stuck longer than this: a stall record with the goroutine stack lands in the flight recorder and mely_stalled_cores goes up (0 = watchdog off)")
+		obsEvery    = flag.Duration("obs-interval", 0, "sample a runtime-wide stats snapshot into the fixed-memory timeseries ring this often; arms /debug/timeseries, /debug/health, the mely_*_rate gauges, and the anomaly detectors (0 = off)")
+		obsHistory  = flag.Int("obs-history", 0, "timeseries ring capacity in samples (0 = default 240)")
+		targetDelay = flag.Duration("target-queue-delay", 0, "queue-delay budget for the adaptive-bounds recommendation (mely_recommended_max_queued) and the drift detector's absolute target (0 = off)")
+		incidentDir = flag.String("incident-dir", "", "capture a bounded incident bundle (CPU profile, trace, health, timeseries) into a timestamped directory here on each fresh anomaly (empty = off; needs -obs-interval)")
+		incidentGap = flag.Duration("incident-min-gap", 0, "minimum spacing between incident captures (0 = default 30s)")
+		injectStall = flag.Duration("inject-stall", 0, "FAULT INJECTION: sleep this long inside every -inject-stall-every'th request handler, for drilling the stall watchdog and health detectors (0 = off)")
+		injectEvery = flag.Int("inject-stall-every", 32, "stall every Nth request when -inject-stall is set")
 	)
 	flag.Parse()
 
@@ -97,6 +119,11 @@ func run() error {
 		SpillSync:         syncPol,
 		SpillRecover:      *spillRec,
 		StallThreshold:    *stallAfter,
+		ObsInterval:       *obsEvery,
+		ObsHistory:        *obsHistory,
+		TargetQueueDelay:  *targetDelay,
+		IncidentDir:       *incidentDir,
+		IncidentMinGap:    *incidentGap,
 	})
 	if err != nil {
 		return err
@@ -106,6 +133,7 @@ func run() error {
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr, obs.MuxConfig{
 			Metrics: rt.WriteMetrics, Trace: rt.DumpTrace,
+			TimeSeries: rt.WriteTimeSeries, Health: rt.WriteHealth,
 			MinScrapeInterval: *scrapeEvery,
 		})
 		if err != nil {
@@ -118,10 +146,11 @@ func run() error {
 		logf := func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "sws: "+format+"\n", args...)
 		}
-		stopSig := obs.DumpOnSIGQUIT(*traceDump, rt.DumpTrace, logf)
+		dumps := traceDumpBundle(rt, *traceDump)
+		stopSig := obs.DumpOnSIGQUIT(dumps, logf)
 		defer stopSig()
 		defer func() {
-			if err := obs.DumpToFile(*traceDump, rt.DumpTrace); err != nil {
+			if err := obs.DumpBundle(dumps); err != nil {
 				logf("flight-recorder dump failed: %v", err)
 			}
 		}()
@@ -138,6 +167,7 @@ func run() error {
 	srv, err := sws.New(sws.Config{
 		Runtime: rt, Files: files, MaxClients: *maxClients, IdleTimeout: *idleTimeout,
 		Backend: backend, PollerShards: *shards, ShedOverload: *shed,
+		Stall: *injectStall, StallEvery: *injectEvery,
 	})
 	if err != nil {
 		return err

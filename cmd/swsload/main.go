@@ -15,7 +15,9 @@
 // injector then scrapes it before and after the run and reports the
 // server-side view — events executed, steals, spills, and the sampled
 // queue-delay/execution-time percentiles — next to its own client-side
-// throughput numbers.
+// throughput numbers. -scrape-out FILE additionally persists the two
+// raw expositions as FILE.before and FILE.after, ready for offline
+// gating with `melytrace -metrics-diff FILE.before FILE.after`.
 package main
 
 import (
@@ -41,24 +43,28 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "localhost:8080", "server address")
-		clients  = flag.Int("clients", 200, "virtual clients")
-		perConn  = flag.Int("requests", 150, "requests per connection")
-		nfiles   = flag.Int("files", 150, "distinct files on the server")
-		duration = flag.Duration("duration", 30*time.Second, "run length")
-		think    = flag.Duration("think", 0, "client think time between requests (0 = closed-loop hammering)")
-		jitter   = flag.Duration("think-jitter", 0, "uniform random extra think time per pause")
-		idle     = flag.Int("idle-conns", 0, "extra silent connections held open the whole run (C10K shape; pairs with sws -backend epoll)")
-		burst    = flag.Int("burst", 0, "open-loop burst mode: pipeline this many requests per gulp regardless of service rate (0 = closed loop; pairs with sws -max-queued)")
-		burstGap = flag.Duration("burst-pause", 0, "pause between one client's bursts")
-		scrape   = flag.String("scrape", "", "scrape this /metrics URL (the server's -debug-addr) before and after the run and report the server-side delta")
+		addr      = flag.String("addr", "localhost:8080", "server address")
+		clients   = flag.Int("clients", 200, "virtual clients")
+		perConn   = flag.Int("requests", 150, "requests per connection")
+		nfiles    = flag.Int("files", 150, "distinct files on the server")
+		duration  = flag.Duration("duration", 30*time.Second, "run length")
+		think     = flag.Duration("think", 0, "client think time between requests (0 = closed-loop hammering)")
+		jitter    = flag.Duration("think-jitter", 0, "uniform random extra think time per pause")
+		idle      = flag.Int("idle-conns", 0, "extra silent connections held open the whole run (C10K shape; pairs with sws -backend epoll)")
+		burst     = flag.Int("burst", 0, "open-loop burst mode: pipeline this many requests per gulp regardless of service rate (0 = closed loop; pairs with sws -max-queued)")
+		burstGap  = flag.Duration("burst-pause", 0, "pause between one client's bursts")
+		scrape    = flag.String("scrape", "", "scrape this /metrics URL (the server's -debug-addr) before and after the run and report the server-side delta")
+		scrapeOut = flag.String("scrape-out", "", "persist the raw scraped expositions to <file>.before and <file>.after for offline analysis (melytrace -metrics-diff); needs -scrape")
 	)
 	flag.Parse()
+	if *scrapeOut != "" && *scrape == "" {
+		return fmt.Errorf("-scrape-out needs -scrape")
+	}
 
 	var before map[string]float64
 	if *scrape != "" {
 		var err error
-		if before, err = scrapeMetrics(*scrape); err != nil {
+		if before, err = scrapeMetrics(*scrape, *scrapeOut, "before"); err != nil {
 			return fmt.Errorf("pre-run scrape: %w", err)
 		}
 	}
@@ -88,16 +94,24 @@ func run() error {
 		res.KRequestsPS, float64(res.BytesRead)/res.Elapsed.Seconds()/(1<<20))
 
 	if *scrape != "" {
-		after, err := scrapeMetrics(*scrape)
+		after, err := scrapeMetrics(*scrape, *scrapeOut, "after")
 		if err != nil {
 			return fmt.Errorf("post-run scrape: %w", err)
 		}
 		reportServerSide(before, after)
+		if *scrapeOut != "" {
+			fmt.Printf("scrapes saved: %s.before %s.after (check offline with: melytrace -metrics-diff %s.before %s.after)\n",
+				*scrapeOut, *scrapeOut, *scrapeOut, *scrapeOut)
+		}
 	}
 	return nil
 }
 
-func scrapeMetrics(url string) (map[string]float64, error) {
+// scrapeMetrics GETs one exposition and parses it; with out set, the
+// raw payload is also persisted to <out>.<suffix> so the run's
+// server-side view can be re-analyzed offline (melytrace
+// -metrics-diff, ad-hoc grepping) long after the server is gone.
+func scrapeMetrics(url, out, suffix string) (map[string]float64, error) {
 	resp, err := http.Get(url)
 	if err != nil {
 		return nil, err
@@ -109,6 +123,11 @@ func scrapeMetrics(url string) (map[string]float64, error) {
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if out != "" {
+		if err := os.WriteFile(out+"."+suffix, body, 0o644); err != nil {
+			return nil, fmt.Errorf("persisting scrape: %w", err)
+		}
 	}
 	return obs.ParseExposition(string(body))
 }

@@ -166,6 +166,49 @@ type Config struct {
 	// around the stall survives even if the process must be killed.
 	StallDumpPath string
 
+	// ObsInterval arms the metrics time-series collector: every
+	// interval a collector goroutine snapshots Stats into a
+	// fixed-memory ring of ObsHistory samples, derives per-window rates
+	// and latency quantiles (/debug/timeseries, the mely_*_rate
+	// gauges), and runs the health detectors over the window
+	// (Runtime.Health, /debug/health, the OnAnomaly hook). 0 (the
+	// default) disables all of it — a bare runtime pays nothing, not
+	// even the ring's memory. Intervals under 1ms are rejected; 1s is
+	// the conventional production setting.
+	ObsInterval time.Duration
+	// ObsHistory is the time-series ring's capacity in samples
+	// (default 240 — four minutes of history at the 1s interval). The
+	// ring's memory is allocated once at Start and bounded by
+	// ObsHistory x the fixed per-sample size; nothing grows with
+	// uptime.
+	ObsHistory int
+	// TargetQueueDelay feeds the adaptive-bounds stepping stone: when
+	// positive (and the collector is armed), the health engine
+	// computes the MaxQueuedEvents that would hold queue delay near
+	// this target at the observed drain rate (Little's law) and
+	// reports it as HealthReport.RecommendedMaxQueued and the
+	// mely_recommended_max_queued gauge. Recommendation only — nothing
+	// enforces it yet.
+	TargetQueueDelay time.Duration
+	// OnAnomaly, when set, is called from the collector goroutine each
+	// time a fresh anomaly episode begins — a detector firing that was
+	// not firing at the previous evaluation. The report passed in is
+	// the full current health report. When OnAnomaly is nil and
+	// IncidentDir is set, the default action captures an incident
+	// bundle instead.
+	OnAnomaly func(HealthReport)
+	// IncidentDir arms profile-on-anomaly: when non-empty, fresh
+	// anomaly episodes (and stall-watchdog episodes) capture a bounded
+	// evidence bundle — CPU profile, flight-recorder trace, timeseries
+	// window, health report — into a timestamped subdirectory of this
+	// directory, created if missing. Captures are asynchronous and
+	// rate-limited by IncidentMinGap; overlapping triggers are counted
+	// but not captured.
+	IncidentDir string
+	// IncidentMinGap is the minimum spacing between incident captures
+	// (default 30s; negative disables the gap, for tests).
+	IncidentMinGap time.Duration
+
 	// MaxQueuedEvents bounds the runtime-wide number of in-memory
 	// queued events (0 = unlimited, the pre-overload behavior). Once
 	// the bound is reached, posting follows OverloadPolicy. Unbounded
@@ -249,6 +292,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing == 0 {
 		c.TraceRing = 4096
 	}
+	if c.ObsHistory == 0 {
+		c.ObsHistory = 240
+	}
+	if c.IncidentMinGap == 0 {
+		c.IncidentMinGap = 30 * time.Second
+	}
 	return c
 }
 
@@ -291,6 +340,18 @@ func (c Config) validate() error {
 	}
 	if c.StallThreshold > 0 && c.StallThreshold < time.Millisecond {
 		return fmt.Errorf("mely: stall threshold %v below the 1ms floor", c.StallThreshold)
+	}
+	if c.ObsInterval < 0 {
+		return fmt.Errorf("mely: negative obs interval")
+	}
+	if c.ObsInterval > 0 && c.ObsInterval < time.Millisecond {
+		return fmt.Errorf("mely: obs interval %v below the 1ms floor", c.ObsInterval)
+	}
+	if c.ObsHistory < 0 || c.ObsHistory > 1<<20 {
+		return fmt.Errorf("mely: obs history %d out of range [0, %d]", c.ObsHistory, 1<<20)
+	}
+	if c.TargetQueueDelay < 0 {
+		return fmt.Errorf("mely: negative target queue delay")
 	}
 	if c.MaxQueuedEvents < 0 || c.MaxQueuedPerColor < 0 {
 		return fmt.Errorf("mely: negative queue bound")

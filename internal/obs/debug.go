@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // DebugServer is the optional observability side listener servers mount
@@ -47,4 +49,32 @@ func DumpToFile(path string, dump func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// NamedDump pairs an output path with the renderer that fills it —
+// the unit of the multi-file dump bundle the servers write at exit and
+// on SIGQUIT (trace plus its health/timeseries siblings).
+type NamedDump struct {
+	Path string
+	Dump func(io.Writer) error
+}
+
+// DumpBundle writes every dump to its path. Later dumps still run
+// after an earlier failure; the first error is returned.
+func DumpBundle(dumps []NamedDump) error {
+	var first error
+	for _, d := range dumps {
+		if err := DumpToFile(d.Path, d.Dump); err != nil && first == nil {
+			first = fmt.Errorf("%s: %w", d.Path, err)
+		}
+	}
+	return first
+}
+
+// SiblingPath derives "<base>.<kind>.json" next to a dump path:
+// trace.json -> trace.health.json. A path without an extension just
+// gains the suffix.
+func SiblingPath(path, kind string) string {
+	base := strings.TrimSuffix(path, filepath.Ext(path))
+	return base + "." + kind + ".json"
 }

@@ -84,7 +84,14 @@ func (h *Hist) Load(counts *[NumLatencyBuckets]int64) (sumNanos int64) {
 // Quantile computes the q-quantile (0 < q <= 1) of a bucket-count
 // snapshot, reported as the upper bound of the bucket where the
 // cumulative count crosses q — the conservative (pessimistic) read a
-// gate should use. Zero observations yield zero.
+// gate should use. Zero observations yield zero for any q.
+//
+// Out-of-range q is defined (and pinned by tests) rather than
+// rejected: q <= 0 behaves like the smallest nonzero quantile and
+// reports the first nonempty bucket's upper bound; q > 1 inflates the
+// target past the total count and reports the overflow bucket's bound
+// (math.MaxInt64 ns) — an impossible quantile reads as "slower than
+// everything observed".
 func Quantile(counts *[NumLatencyBuckets]int64, q float64) time.Duration {
 	var total int64
 	for _, c := range counts {

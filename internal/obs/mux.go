@@ -19,6 +19,15 @@ type MuxConfig struct {
 	// Trace dumps the flight recorder as Chrome trace JSON
 	// (Runtime.DumpTrace). Optional; /debug/trace 404s when nil.
 	Trace func(w io.Writer) error
+	// TimeSeries renders the retained metrics ring as JSON
+	// (Runtime.WriteTimeSeries). Optional; /debug/timeseries 404s when
+	// nil.
+	TimeSeries func(w io.Writer) error
+	// Health renders the current health report as JSON and says whether
+	// the runtime is healthy (Runtime.WriteHealth). Optional;
+	// /debug/health 404s when nil, serves 503 with the report body when
+	// unhealthy so orchestrator probes flip without parsing JSON.
+	Health func(w io.Writer) (healthy bool, err error)
 	// MinScrapeInterval caches the rendered /metrics payload for this
 	// long, so aggressive scrapers cost one Stats() snapshot per window
 	// instead of one per request. Default 250ms; negative disables.
@@ -59,6 +68,30 @@ func NewMux(cfg MuxConfig) *http.ServeMux {
 			if err := cfg.Trace(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
+		})
+	}
+	if cfg.TimeSeries != nil {
+		mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := cfg.TimeSeries(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if cfg.Health != nil {
+		mux.HandleFunc("/debug/health", func(w http.ResponseWriter, req *http.Request) {
+			// Buffer the body: the status line depends on the verdict.
+			var sink byteSink
+			healthy, err := cfg.Health(&sink)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if !healthy {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			w.Write(sink.b)
 		})
 	}
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {

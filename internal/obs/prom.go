@@ -142,7 +142,15 @@ func labelValue(key, label string) string {
 // from a parsed scrape, aggregating every label set of name_bucket
 // (summing across cores) and interpolating nothing: the reported value
 // is the upper bound in seconds of the bucket where the cumulative
-// count crosses q. Returns ok=false when the histogram has no samples.
+// count crosses q. Returns ok=false when the histogram has no samples
+// (no matching buckets, or every bucket zero).
+//
+// Out-of-range q is defined (and pinned by tests) rather than
+// rejected: q <= 0 clamps to the first observation (the first nonempty
+// bucket's bound); q > 1 overshoots every bucket and reports the
+// largest finite bound. The reported value is never +Inf — a crossing
+// that lands in the +Inf bucket reports the largest finite bound as
+// the floor of the true value (0 when only +Inf is populated).
 func HistogramQuantile(samples map[string]float64, name string, q float64) (seconds float64, ok bool) {
 	type bkt struct {
 		le  float64
@@ -198,7 +206,16 @@ func HistogramQuantile(samples map[string]float64, name string, q float64) (seco
 			return b.le, true
 		}
 	}
-	return bkts[len(bkts)-1].le, true
+	// Out-of-range q (> 1): nothing crossed the inflated target.
+	// Report the largest finite bound, like the +Inf crossing above —
+	// never +Inf itself.
+	if last := bkts[len(bkts)-1]; !math.IsInf(last.le, 1) {
+		return last.le, true
+	}
+	if len(bkts) > 1 {
+		return bkts[len(bkts)-2].le, true
+	}
+	return 0, true
 }
 
 // MonotonicViolations diffs two scrapes of the same target and returns

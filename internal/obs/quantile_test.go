@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// These tests pin the documented edge-case behavior of the two
+// quantile readers — empty input, single bucket, q at and outside the
+// (0, 1] domain — so gates and dashboards can rely on the exact
+// values.
+
+func TestQuantileEmpty(t *testing.T) {
+	var counts [NumLatencyBuckets]int64
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := Quantile(&counts, q); got != 0 {
+			t.Errorf("Quantile(empty, %v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	var counts [NumLatencyBuckets]int64
+	counts[5] = 10 // all observations in one bucket
+	want := time.Duration(LatencyUpperNanos(5))
+	// Any in-range q reports that bucket's upper bound.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := Quantile(&counts, q); got != want {
+			t.Errorf("Quantile(single-bucket, %v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileOutOfRange(t *testing.T) {
+	var counts [NumLatencyBuckets]int64
+	counts[5] = 10
+	// q <= 0: the target clamps to the first observation — the first
+	// nonempty bucket's bound.
+	first := time.Duration(LatencyUpperNanos(5))
+	for _, q := range []float64{0, -0.5} {
+		if got := Quantile(&counts, q); got != first {
+			t.Errorf("Quantile(%v) = %v, want first-bucket bound %v", q, got, first)
+		}
+	}
+	// q > 1: the inflated target is never crossed — the overflow
+	// bucket's bound (MaxInt64 ns) reads as "slower than everything
+	// observed".
+	over := time.Duration(LatencyUpperNanos(NumLatencyBuckets - 1))
+	if over != time.Duration(math.MaxInt64) {
+		t.Fatalf("overflow bucket bound = %v, expected MaxInt64", over)
+	}
+	if got := Quantile(&counts, 2); got != over {
+		t.Errorf("Quantile(2) = %v, want overflow bound %v", got, over)
+	}
+}
+
+func TestQuantileBoundaries(t *testing.T) {
+	// 99 observations in bucket 3, 1 in bucket 20: p99 stays in bucket
+	// 3 (cumulative 99 >= ceil(0.99*100)), p100 lands in bucket 20.
+	var counts [NumLatencyBuckets]int64
+	counts[3] = 99
+	counts[20] = 1
+	if got, want := Quantile(&counts, 0.99), time.Duration(LatencyUpperNanos(3)); got != want {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got, want := Quantile(&counts, 1), time.Duration(LatencyUpperNanos(20)); got != want {
+		t.Errorf("p100 = %v, want %v", got, want)
+	}
+}
+
+func bucketSamples(name string, counts map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(counts))
+	for le, v := range counts {
+		out[name+`_bucket{le="`+le+`"}`] = v
+	}
+	return out
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	// No samples at all.
+	if _, ok := HistogramQuantile(map[string]float64{}, "x", 0.99); ok {
+		t.Error("empty scrape reported ok")
+	}
+	// Buckets present but all zero: still no distribution to read.
+	zero := bucketSamples("x", map[string]float64{"0.001": 0, "+Inf": 0})
+	if _, ok := HistogramQuantile(zero, "x", 0.99); ok {
+		t.Error("all-zero histogram reported ok")
+	}
+	// A different series name does not match.
+	other := bucketSamples("y", map[string]float64{"0.001": 5, "+Inf": 5})
+	if _, ok := HistogramQuantile(other, "x", 0.99); ok {
+		t.Error("name mismatch reported ok")
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	s := bucketSamples("x", map[string]float64{"0.004": 7, "+Inf": 7})
+	for _, q := range []float64{0.01, 0.5, 1} {
+		got, ok := HistogramQuantile(s, "x", q)
+		if !ok || got != 0.004 {
+			t.Errorf("q=%v: (%v, %v), want (0.004, true)", q, got, ok)
+		}
+	}
+	// Only the +Inf bucket populated: no finite bound exists — the
+	// reader pins 0 (with ok), not +Inf.
+	inf := bucketSamples("x", map[string]float64{"+Inf": 3})
+	if got, ok := HistogramQuantile(inf, "x", 0.5); !ok || got != 0 {
+		t.Errorf("+Inf-only: (%v, %v), want (0, true)", got, ok)
+	}
+}
+
+func TestHistogramQuantileOutOfRange(t *testing.T) {
+	s := bucketSamples("x", map[string]float64{"0.001": 90, "0.01": 100, "+Inf": 100})
+	// q <= 0 clamps to the first observation.
+	for _, q := range []float64{0, -1} {
+		if got, ok := HistogramQuantile(s, "x", q); !ok || got != 0.001 {
+			t.Errorf("q=%v: (%v, %v), want (0.001, true)", q, got, ok)
+		}
+	}
+	// q > 1 overshoots every bucket: the largest finite bound is
+	// reported, never +Inf.
+	if got, ok := HistogramQuantile(s, "x", 2); !ok || got != 0.01 {
+		t.Errorf("q=2: (%v, %v), want (0.01, true)", got, ok)
+	}
+}
+
+func TestHistogramQuantileInfCrossing(t *testing.T) {
+	// The crossing lands in +Inf: report the largest finite bound as
+	// the floor of the true value.
+	s := bucketSamples("x", map[string]float64{"0.001": 1, "+Inf": 100})
+	if got, ok := HistogramQuantile(s, "x", 0.99); !ok || got != 0.001 {
+		t.Errorf("inf crossing: (%v, %v), want (0.001, true)", got, ok)
+	}
+}
+
+func TestHistogramQuantileAggregatesLabels(t *testing.T) {
+	// Same bucket bounds across label sets (per-core histograms)
+	// aggregate before the quantile is read.
+	s := map[string]float64{
+		`x_bucket{core="0",le="0.001"}`: 50,
+		`x_bucket{core="0",le="+Inf"}`:  50,
+		`x_bucket{core="1",le="0.001"}`: 0,
+		`x_bucket{core="1",le="+Inf"}`:  100,
+	}
+	// 50 of 150 under 1ms; p50 must cross at +Inf -> floor 0.001.
+	if got, ok := HistogramQuantile(s, "x", 0.5); !ok || got != 0.001 {
+		t.Errorf("aggregated p50: (%v, %v), want (0.001, true)", got, ok)
+	}
+}

@@ -2,10 +2,8 @@
 
 package obs
 
-import "io"
-
 // DumpOnSIGQUIT is a no-op where SIGQUIT does not exist; use the
 // -trace-dump exit path or /debug/trace instead.
-func DumpOnSIGQUIT(path string, dump func(io.Writer) error, logf func(format string, args ...any)) (stop func()) {
+func DumpOnSIGQUIT(dumps []NamedDump, logf func(format string, args ...any)) (stop func()) {
 	return func() {}
 }

@@ -3,18 +3,18 @@
 package obs
 
 import (
-	"io"
 	"os"
 	"os/signal"
 	"syscall"
 )
 
-// DumpOnSIGQUIT installs a handler that writes the flight recorder to
-// path on every SIGQUIT (^\) without killing the process — the live
-// equivalent of a core dump for the event timeline. Replaces Go's
+// DumpOnSIGQUIT installs a handler that writes the dump bundle on
+// every SIGQUIT (^\) without killing the process — the live equivalent
+// of a core dump for the event timeline, plus whatever siblings the
+// caller bundles (health report, timeseries window). Replaces Go's
 // default SIGQUIT stack-dump-and-exit behavior while installed; the
 // returned stop function restores it.
-func DumpOnSIGQUIT(path string, dump func(io.Writer) error, logf func(format string, args ...any)) (stop func()) {
+func DumpOnSIGQUIT(dumps []NamedDump, logf func(format string, args ...any)) (stop func()) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGQUIT)
 	done := make(chan struct{})
@@ -22,10 +22,10 @@ func DumpOnSIGQUIT(path string, dump func(io.Writer) error, logf func(format str
 		for {
 			select {
 			case <-ch:
-				if err := DumpToFile(path, dump); err != nil {
-					logf("flight-recorder dump failed: %v", err)
-				} else {
-					logf("flight recorder dumped to %s", path)
+				if err := DumpBundle(dumps); err != nil {
+					logf("dump failed: %v", err)
+				} else if len(dumps) > 0 {
+					logf("%d dump files written next to %s", len(dumps), dumps[0].Path)
 				}
 			case <-done:
 				return

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +29,14 @@ import (
 const (
 	liveQuickDiv   = 4
 	liveQuickFloor = 250 * time.Millisecond
+)
+
+// liveObsInterval is the default collector sampling period for
+// health-gated runs, and liveHealthPoll how often the harness polls
+// each server's /debug/health while the run executes.
+const (
+	liveObsInterval = 50 * time.Millisecond
+	liveHealthPoll  = 100 * time.Millisecond
 )
 
 // parseLivePolicy maps a spec policy name to a mely.Policy. Both the
@@ -129,21 +138,34 @@ func buildLiveServer(s *Spec, sv *ServerSpec) (*liveServer, error) {
 		MaxQueuedPerColor: sv.MaxQueuedColor,
 		OverloadPolicy:    opol,
 		SpillDir:          sv.SpillDir,
+		StallThreshold:    mustDuration(sv.StallThreshold),
 	}
 	if s.wantsMetricsSLO() {
 		// The queue-delay gate needs samples even in a short -quick
 		// window; sample every event for the gated run.
 		cfg.ObsSampleRate = 1
 	}
+	if s.wantsHealthSLO() {
+		// The health gates poll /debug/health throughout the run, so the
+		// collector must sample fast enough to evaluate the detectors
+		// well within a -quick phase.
+		cfg.ObsInterval = liveObsInterval
+		if d := mustDuration(sv.ObsInterval); d > 0 {
+			cfg.ObsInterval = d
+		}
+		cfg.ObsHistory = 256
+	}
 	rt, err := mely.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	ls := &liveServer{spec: sv, rt: rt}
-	if s.wantsMetricsSLO() || s.wantsTraceSLO() {
+	if s.wantsMetricsSLO() || s.wantsTraceSLO() || s.wantsHealthSLO() {
 		ls.dbg, err = obs.StartDebugServer("127.0.0.1:0", obs.MuxConfig{
-			Metrics: rt.WriteMetrics,
-			Trace:   rt.DumpTrace,
+			Metrics:    rt.WriteMetrics,
+			Trace:      rt.DumpTrace,
+			TimeSeries: rt.WriteTimeSeries,
+			Health:     rt.WriteHealth,
 			// The gate scrapes exactly once per server; serve it fresh.
 			MinScrapeInterval: -1,
 		})
@@ -339,6 +361,34 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 	// Run-wide faults (phase "") live for the whole phase sequence.
 	runFaults := startLiveFaults(runCtx, s, servers, "")
 
+	// Health poller: with a health SLO declared, every server's real
+	// /debug/health endpoint is polled for the whole run, so a
+	// transient anomaly (one that clears before the final scrape) still
+	// trips the gate — "was an anomaly ever detected" is a run-long
+	// property, not an exit snapshot.
+	var sawUnhealthy atomic.Bool
+	var healthWG sync.WaitGroup
+	if s.wantsHealthSLO() {
+		healthWG.Add(1)
+		go func() {
+			defer healthWG.Done()
+			ticker := time.NewTicker(liveHealthPoll)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+				}
+				for _, ls := range servers {
+					if h, _, err := scrapeHealth(ls.dbg.Addr()); err == nil && !h.Healthy {
+						sawUnhealthy.Store(true)
+					}
+				}
+			}
+		}()
+	}
+
 	var measured loadAgg
 	var sawMeasure bool
 	for i := range s.Phases {
@@ -359,8 +409,29 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 			measured, sawMeasure = agg, true
 		}
 	}
+	// The final health scrape happens BEFORE the run context cancels
+	// the poller, while the detectors still see the faulted windows at
+	// the head of the ring.
+	health := healthView{healthyNow: true}
+	if s.wantsHealthSLO() {
+		health.sawUnhealthy = sawUnhealthy.Load()
+		for name, ls := range servers {
+			h, healthy, err := scrapeHealth(ls.dbg.Addr())
+			if err != nil {
+				cancelRun()
+				runFaults.Wait()
+				healthWG.Wait()
+				samplerWG.Wait()
+				return nil, fmt.Errorf("%s: server %q: %w", s.Name, name, err)
+			}
+			health.healthyNow = health.healthyNow && healthy
+			health.sawUnhealthy = health.sawUnhealthy || !healthy
+			health.anomalies += h.TotalAnomalies
+		}
+	}
 	cancelRun()
 	runFaults.Wait()
+	healthWG.Wait()
 	samplerWG.Wait()
 	if !sawMeasure {
 		return nil, fmt.Errorf("%s: %w: no measure phase ran", s.Name, ErrBadPhase)
@@ -453,7 +524,15 @@ func runLive(s *Spec, opt Options) (*Record, error) {
 	if s.wantsTraceSLO() {
 		rec.Payload["chain_depth"] = float64(chainDepth)
 	}
-	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB, scrapedQD, chainDepth, chainOK)
+	if s.wantsHealthSLO() {
+		rec.Payload["anomalies"] = float64(health.anomalies)
+		if health.sawUnhealthy {
+			rec.Payload["saw_unhealthy"] = 1
+		} else {
+			rec.Payload["saw_unhealthy"] = 0
+		}
+	}
+	rec.SLOs = s.evalLiveSLOs(rec, measured, rssMB, scrapedQD, chainDepth, chainOK, health)
 	for _, slo := range rec.SLOs {
 		if !slo.Pass {
 			return rec, fmt.Errorf("%s: SLO %s on phase %q violated: %g (limit %g)",
@@ -651,7 +730,7 @@ func (l *latRecorder) percentiles() (p50, p99 time.Duration) {
 // aggregate. SLOs attach to phases for readability, but the metrics all
 // come from the measure window (latency, errors, throughput) or the
 // whole run (RSS).
-func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD time.Duration, chainDepth int, chainOK bool) []SLOResult {
+func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD time.Duration, chainDepth int, chainOK bool, health healthView) []SLOResult {
 	var out []SLOResult
 	for _, slo := range s.SLOs {
 		if slo.MinKEventsPerSec > 0 {
@@ -714,8 +793,48 @@ func (s *Spec) evalLiveSLOs(rec *Record, m loadAgg, rssMB float64, scrapedQD tim
 				Limit: 1, Value: v, Pass: chainOK,
 			})
 		}
+		if slo.HealthOK != nil {
+			// Value 1 = the fleet stayed healthy on every poll AND at
+			// exit; limit is the asserted state, so health_ok: false is
+			// the detection gate of fault-injection scenarios.
+			observed := 0.0
+			if !health.sawUnhealthy && health.healthyNow {
+				observed = 1
+			}
+			want := 0.0
+			if *slo.HealthOK {
+				want = 1
+			}
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "health_ok",
+				Limit: want, Value: observed, Pass: observed == want,
+			})
+		}
+		if slo.MaxAnomalies != nil {
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "max_anomalies",
+				Limit: float64(*slo.MaxAnomalies), Value: float64(health.anomalies),
+				Pass: health.anomalies <= int64(*slo.MaxAnomalies),
+			})
+		}
+		if slo.MinAnomalies > 0 {
+			out = append(out, SLOResult{
+				Phase: slo.Phase, Check: "min_anomalies",
+				Limit: float64(slo.MinAnomalies), Value: float64(health.anomalies),
+				Pass: health.anomalies >= int64(slo.MinAnomalies),
+			})
+		}
 	}
 	return out
+}
+
+// healthView is the fleet-wide health aggregate the gates read: the
+// run-long "ever unhealthy" bit from the poller, the exit state, and
+// the summed anomaly episode count.
+type healthView struct {
+	sawUnhealthy bool
+	healthyNow   bool
+	anomalies    int64
 }
 
 // wantsMetricsSLO reports whether any SLO gates on a live /metrics
@@ -740,6 +859,51 @@ func (s *Spec) wantsTraceSLO() bool {
 		}
 	}
 	return false
+}
+
+// wantsHealthSLO reports whether any SLO gates on the health engine
+// (health_ok / max_anomalies / min_anomalies): the servers then arm
+// their timeseries collectors and mount debug listeners so the gate
+// polls the real /debug/health endpoint.
+func (s *Spec) wantsHealthSLO() bool {
+	for i := range s.SLOs {
+		if s.SLOs[i].HealthOK != nil || s.SLOs[i].MaxAnomalies != nil || s.SLOs[i].MinAnomalies > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// liveHealthReport is the slice of the /debug/health document the
+// gates read.
+type liveHealthReport struct {
+	Healthy        bool  `json:"healthy"`
+	TotalAnomalies int64 `json:"total_anomalies"`
+}
+
+// scrapeHealth GETs one server's /debug/health: the parsed report plus
+// the endpoint's binary verdict (200 = healthy, 503 = anomalies
+// firing) — the same contract a production load balancer consumes.
+func scrapeHealth(addr string) (liveHealthReport, bool, error) {
+	var rep liveHealthReport
+	resp, err := http.Get("http://" + addr + "/debug/health")
+	if err != nil {
+		return rep, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return rep, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusServiceUnavailable:
+	default:
+		return rep, false, fmt.Errorf("health scrape %s: %s", addr, resp.Status)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return rep, false, fmt.Errorf("health scrape %s: %w", addr, err)
+	}
+	return rep, resp.StatusCode == http.StatusOK, nil
 }
 
 // scrapeFlowChains GETs one server's /debug/trace, rebuilds the causal

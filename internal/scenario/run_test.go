@@ -207,3 +207,65 @@ func TestRunLiveChainSLO(t *testing.T) {
 		t.Errorf("payload[chain_depth] = %g, want >= 1", rec.Payload["chain_depth"])
 	}
 }
+
+// TestRunLiveHealthSLO: declaring a health SLO arms each server's
+// health collector and makes the harness poll /debug/health for the
+// whole run. With a slow-handler fault stalling requests far past the
+// server's stall watchdog threshold, the stall-recurrence detector
+// must fire: the run must see at least one unhealthy poll
+// (health_ok: false passes) and record at least one anomaly.
+func TestRunLiveHealthSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenario spins real servers")
+	}
+	unhealthy := false
+	spec := &Spec{
+		Name:   "live-health-slo",
+		Engine: "live",
+		Servers: []ServerSpec{
+			{Name: "web", Kind: "sws", Cores: 2,
+				StallThreshold: "10ms", ObsInterval: "20ms"},
+		},
+		Loads: []LoadSpec{
+			{Server: "web", Clients: 2},
+		},
+		Faults: []FaultSpec{
+			{Type: "slow-handler", Server: "web", Stall: "100ms", EveryNth: 16},
+		},
+		Phases: []PhaseSpec{
+			{Name: "run", Duration: "2s", Measure: true},
+		},
+		SLOs: []SLOSpec{
+			{Phase: "run", HealthOK: &unhealthy, MinAnomalies: 1},
+		},
+	}
+	res, err := Run(spec, Options{Seed: 42})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := res.Records[0]
+	var sawHealth, sawMin bool
+	for _, slo := range rec.SLOs {
+		switch slo.Check {
+		case "health_ok":
+			sawHealth = true
+			if !slo.Pass {
+				t.Error("health_ok: false gate failed: no unhealthy poll observed despite injected stalls")
+			}
+		case "min_anomalies":
+			sawMin = true
+			if !slo.Pass {
+				t.Errorf("min_anomalies gate failed: %g anomalies (want >= %g)", slo.Value, slo.Limit)
+			}
+		}
+	}
+	if !sawHealth || !sawMin {
+		t.Fatalf("health SLOs not evaluated: %+v", rec.SLOs)
+	}
+	if rec.Payload["saw_unhealthy"] != 1 {
+		t.Errorf("payload[saw_unhealthy] = %g, want 1", rec.Payload["saw_unhealthy"])
+	}
+	if rec.Payload["anomalies"] < 1 {
+		t.Errorf("payload[anomalies] = %g, want >= 1", rec.Payload["anomalies"])
+	}
+}

@@ -188,6 +188,14 @@ type ServerSpec struct {
 	PSK string `json:"psk,omitempty"`
 	// CryptoPenalty is the sfs crypto handler's ws_penalty annotation.
 	CryptoPenalty int `json:"crypto_penalty,omitempty"`
+	// StallThreshold arms the runtime's stall watchdog: a handler stuck
+	// longer than this is flagged, feeding the stall-recurrence anomaly
+	// detector ("" = watchdog off).
+	StallThreshold string `json:"stall_threshold,omitempty"`
+	// ObsInterval overrides the timeseries sampling period used when a
+	// health SLO (health_ok / max_anomalies / min_anomalies) arms the
+	// collector (default 50ms).
+	ObsInterval string `json:"obs_interval,omitempty"`
 }
 
 // LoadSpec declares one load generator of the fleet.
@@ -308,6 +316,22 @@ type SLOSpec struct {
 	// post-measure dump is fully connected: no span claims a parent
 	// absent from the dump (live).
 	ChainComplete bool `json:"chain_complete,omitempty"`
+	// HealthOK gates on the live health engine over each server's real
+	// /debug/health endpoint, polled throughout the run: true asserts
+	// every poll answered 200 (no anomaly ever fired); false asserts at
+	// least one poll answered 503 — the shape of a fault-injection
+	// scenario that expects its fault to be DETECTED. Declaring any
+	// health SLO arms every server's timeseries collector
+	// (ServerSpec.ObsInterval, default 50ms) and mounts its debug
+	// listener.
+	HealthOK *bool `json:"health_ok,omitempty"`
+	// MaxAnomalies caps the fleet-wide anomaly episode count reported by
+	// the final health scrape (live; a pointer so 0 — "no anomalies at
+	// all" — is assertable).
+	MaxAnomalies *int `json:"max_anomalies,omitempty"`
+	// MinAnomalies floors the fleet-wide anomaly episode count (live) —
+	// the detection gate of fault-injection scenarios.
+	MinAnomalies int `json:"min_anomalies,omitempty"`
 }
 
 // Load reads, parses, and validates one spec file (.yaml, .yml, or

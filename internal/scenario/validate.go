@@ -250,6 +250,8 @@ func (s *Spec) validateLive(fail func(string, error, string, ...any), phases map
 			fail(field, ErrNegativeCount, "server counts must be non-negative")
 		}
 		checkDuration(fail, field+".idle_timeout", sv.IdleTimeout)
+		checkDuration(fail, field+".stall_threshold", sv.StallThreshold)
+		checkDuration(fail, field+".obs_interval", sv.ObsInterval)
 	}
 
 	if len(s.Loads) == 0 {
@@ -410,12 +412,14 @@ func (s *Spec) validateSLOs(fail func(string, error, string, ...any), phases map
 			fail(field+".phase", ErrSLOPhase, "%q", slo.Phase)
 		}
 		if slo.MaxInMem < 0 || slo.MaxRSSMB < 0 || slo.MinKEventsPerSec < 0 || slo.MaxErrorRatePct < 0 ||
-			slo.MaxChainDepth < 0 {
+			slo.MaxChainDepth < 0 || slo.MinAnomalies < 0 ||
+			(slo.MaxAnomalies != nil && *slo.MaxAnomalies < 0) {
 			fail(field, ErrNegativeCount, "SLO limits must be non-negative")
 		}
 		if !slo.ZeroLoss && slo.MaxInMem == 0 && slo.MinKEventsPerSec == 0 &&
 			slo.MaxP99 == "" && slo.MaxErrorRatePct == 0 && slo.MaxRSSMB == 0 &&
-			slo.MaxQueueDelayP99 == "" && slo.MaxChainDepth == 0 && !slo.ChainComplete {
+			slo.MaxQueueDelayP99 == "" && slo.MaxChainDepth == 0 && !slo.ChainComplete &&
+			slo.HealthOK == nil && slo.MaxAnomalies == nil && slo.MinAnomalies == 0 {
 			fail(field, ErrBadSLO, "SLO asserts nothing")
 		}
 		overloadSim := s.Engine == "sim" && s.Sim != nil && s.Sim.Workload == "overload"
@@ -423,8 +427,9 @@ func (s *Spec) validateSLOs(fail func(string, error, string, ...any), phases map
 			fail(field, ErrBadSLO, "zero_loss/max_inmem are sim overload checks")
 		}
 		if (slo.MaxP99 != "" || slo.MaxErrorRatePct > 0 || slo.MaxRSSMB > 0 ||
-			slo.MaxQueueDelayP99 != "" || slo.MaxChainDepth > 0 || slo.ChainComplete) && s.Engine != "live" {
-			fail(field, ErrBadSLO, "max_p99/max_error_rate_pct/max_rss_mb/max_queue_delay_p99/max_chain_depth/chain_complete are live checks")
+			slo.MaxQueueDelayP99 != "" || slo.MaxChainDepth > 0 || slo.ChainComplete ||
+			slo.HealthOK != nil || slo.MaxAnomalies != nil || slo.MinAnomalies > 0) && s.Engine != "live" {
+			fail(field, ErrBadSLO, "max_p99/max_error_rate_pct/max_rss_mb/max_queue_delay_p99/max_chain_depth/chain_complete/health_ok/max_anomalies/min_anomalies are live checks")
 		}
 		checkDuration(fail, field+".max_p99", slo.MaxP99)
 		checkDuration(fail, field+".max_queue_delay_p99", slo.MaxQueueDelayP99)

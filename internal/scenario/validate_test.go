@@ -218,6 +218,36 @@ loads:`, 1),
 			field: "slos[0].max_queue_delay_p99",
 		},
 		{
+			name:  "health SLO on a sim scenario",
+			doc:   validSimDoc + "slos:\n  - phase: measure\n    health_ok: true\n",
+			want:  ErrBadSLO,
+			field: "slos[0]",
+		},
+		{
+			name:  "negative max_anomalies",
+			doc:   validLiveDoc + "slos:\n  - phase: run\n    max_anomalies: -1\n",
+			want:  ErrNegativeCount,
+			field: "slos[0]",
+		},
+		{
+			name:  "negative min_anomalies",
+			doc:   validLiveDoc + "slos:\n  - phase: run\n    min_anomalies: -2\n",
+			want:  ErrNegativeCount,
+			field: "slos[0]",
+		},
+		{
+			name:  "bad stall_threshold duration",
+			doc:   strings.Replace(validLiveDoc, "kind: sws", "kind: sws\n    stall_threshold: forever", 1),
+			want:  ErrBadDuration,
+			field: "servers[0].stall_threshold",
+		},
+		{
+			name:  "bad obs_interval duration",
+			doc:   strings.Replace(validLiveDoc, "kind: sws", "kind: sws\n    obs_interval: sometimes", 1),
+			want:  ErrBadDuration,
+			field: "servers[0].obs_interval",
+		},
+		{
 			name:  "unknown fault type",
 			doc:   validSimDoc + "faults:\n  - type: meteor-strike\n    extra_cycles: 5\n",
 			want:  ErrUnknownFault,

@@ -232,8 +232,9 @@ type Store struct {
 	colors map[uint64]*chain
 	closed bool
 
-	total atomic.Int64 // unconsumed records, store-wide (stats gauge)
-	syncs atomic.Int64 // msync/fsync durability points issued
+	total    atomic.Int64 // unconsumed records, store-wide (stats gauge)
+	syncs    atomic.Int64 // msync/fsync durability points issued
+	appended atomic.Int64 // bytes appended (headers + payloads), this process
 
 	// Recovery results, written once by Open before the Store is
 	// published (read-only afterwards).
@@ -504,6 +505,12 @@ func (s *Store) Dir() string { return s.dir }
 // Syncs reports the msync/fsync durability points issued so far.
 func (s *Store) Syncs() int64 { return s.syncs.Load() }
 
+// AppendedBytes reports the bytes this process has appended (record
+// headers plus payloads) — a monotonic counter the observability layer
+// differences into a spill-bandwidth rate. Recovery replay does not
+// count: those bytes were written by a previous process.
+func (s *Store) AppendedBytes() int64 { return s.appended.Load() }
+
 // Recovered reports the records recovered from surviving segments at
 // Open (zero without Options.Recover).
 func (s *Store) Recovered() int64 { return s.recovered }
@@ -586,6 +593,7 @@ func (s *Store) Append(color uint64, recs []Record) error {
 		c.depth++
 		c.cost += rec.Cost
 		s.total.Add(1)
+		s.appended.Add(need)
 		if s.opts.Sync != SyncAlways {
 			// The memcpy is the landing point: there is no later
 			// failure that could un-land these bytes.

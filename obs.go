@@ -223,16 +223,24 @@ func (r *Runtime) stallWatchdog() {
 		stalled := int32(0)
 		for _, c := range r.cores {
 			st := c.execStart.Load()
+			if st != 0 && now-st >= threshold {
+				stalled++
+			}
+		}
+		// Publish the gauge before reporting episodes: noteStall can
+		// trigger an incident capture whose fresh health sample must
+		// already see the stuck cores.
+		r.stalledCores.Store(stalled)
+		for _, c := range r.cores {
+			st := c.execStart.Load()
 			if st == 0 || now-st < threshold {
 				continue
 			}
-			stalled++
 			if c.stalled.Swap(true) {
 				continue // this episode was already reported
 			}
 			r.noteStall(c, now, now-st)
 		}
-		r.stalledCores.Store(stalled)
 	}
 }
 
@@ -252,6 +260,12 @@ func (r *Runtime) noteStall(c *rcore, now, elapsed int64) {
 		// Automatic flight-recorder dump: the trace context around the
 		// stall survives even if the operator has to kill the process.
 		_ = obs.DumpToFile(p, r.DumpTrace)
+	}
+	if r.cfg.IncidentDir != "" {
+		// Profile-on-anomaly unification: a stall episode captures the
+		// same evidence bundle the health engine's detectors do, under
+		// the same rate limit.
+		r.captureIncidentAsync("stall", nil)
 	}
 }
 
@@ -427,6 +441,9 @@ func (r *Runtime) WriteMetrics(w io.Writer) error {
 		"In-memory queued events, runtime-wide.", float64(s.QueuedEvents))
 	single("mely_spilled_events_total", "counter",
 		"Events appended to the spill store.", float64(s.SpilledEvents))
+	single("mely_spilled_bytes_total", "counter",
+		"Bytes appended to the spill store (record headers + payloads).",
+		float64(s.SpilledBytes))
 	single("mely_reloaded_events_total", "counter",
 		"Events reloaded from the spill store.", float64(s.ReloadedEvents))
 	single("mely_spilled_now", "gauge",
@@ -447,6 +464,47 @@ func (r *Runtime) WriteMetrics(w io.Writer) error {
 		"Spilled events recovered from surviving segments at startup.", float64(s.RecoveredEvents))
 	single("mely_torn_records_total", "counter",
 		"Torn segment tails truncated during recovery.", float64(s.TornRecords))
+
+	// Time-series and health series, rendered only when the collector
+	// is armed (Config.ObsInterval > 0) so a process either always or
+	// never exposes them — scrapers see a stable series set.
+	if col := r.collector; col != nil {
+		rates := col.ring.LastRates()
+		single("mely_events_rate", "gauge",
+			"Events executed per second over the last collector window.",
+			rates.EventsPerSec)
+		single("mely_posts_rate", "gauge",
+			"Events posted per second over the last collector window.",
+			rates.PostsPerSec)
+		single("mely_steals_rate", "gauge",
+			"Successful steals per second over the last collector window.",
+			rates.StealsPerSec)
+		single("mely_spill_events_rate", "gauge",
+			"Events spilled to disk per second over the last collector window.",
+			rates.SpillEventsPerSec)
+		single("mely_spill_bytes_rate", "gauge",
+			"Bytes spilled to disk per second over the last collector window.",
+			rates.SpillBytesPerSec)
+		single("mely_queue_delay_window_p99_seconds", "gauge",
+			"Queue-delay p99 of the last collector window (sampled).",
+			rates.QDelayP99.Seconds())
+		rep := r.Health()
+		hv := 0.0
+		if rep.Healthy {
+			hv = 1
+		}
+		single("mely_health_status", "gauge",
+			"1 when no health detector is firing, 0 otherwise.", hv)
+		single("mely_anomalies_total", "counter",
+			"Fresh anomaly episodes detected by the health engine.",
+			float64(rep.TotalAnomalies))
+		single("mely_incidents_total", "counter",
+			"Incident bundles captured by profile-on-anomaly.",
+			float64(rep.Incidents))
+		single("mely_recommended_max_queued", "gauge",
+			"Recommended MaxQueuedEvents for Config.TargetQueueDelay (0 without a target; recommendation only).",
+			float64(rep.RecommendedMaxQueued))
+	}
 
 	return m.Flush()
 }

@@ -252,6 +252,18 @@ type Runtime struct {
 	stalledCores   atomic.Int32
 	stallMu        sync.Mutex
 	lastStallStack []byte
+
+	// Self-monitoring (Config.ObsInterval): the time-series ring +
+	// health engine, built by New so readers never race Start; nil
+	// when disabled. The incident fields are profile-on-anomaly's
+	// rate-limit state (Config.IncidentDir), shared by the collector
+	// and the stall watchdog.
+	collector *tsCollector
+
+	incidentMu   sync.Mutex
+	incidentBusy bool
+	lastIncident time.Time
+	incidents    atomic.Int64
 }
 
 // AddPollSource registers a readiness-event source whose sample is
@@ -358,6 +370,9 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		r.adm = adm
 	}
+	if cfg.ObsInterval > 0 {
+		r.collector = newCollector(r)
+	}
 	return r, nil
 }
 
@@ -402,6 +417,10 @@ func (r *Runtime) Start() error {
 		r.wg.Add(1)
 		go r.stallWatchdog()
 	}
+	if r.collector != nil {
+		r.wg.Add(1)
+		go r.collectorLoop(r.collector)
+	}
 	return nil
 }
 
@@ -432,6 +451,9 @@ func (r *Runtime) Stop() {
 	}
 	if r.stallStop != nil {
 		r.stallStopOnce.Do(func() { close(r.stallStop) })
+	}
+	if col := r.collector; col != nil {
+		col.stopOnce.Do(func() { close(col.stop) })
 	}
 	for _, c := range r.cores {
 		c.unpark()

@@ -303,6 +303,8 @@ func (c CoreStats) MeanStealBatch() float64 {
 //	ReadPauses                counter    read pauses on saturated data colors
 //	QueuedEvents              gauge      in-memory queued events, runtime-wide
 //	SpilledEvents             counter    events appended to the spill store
+//	SpilledBytes              counter    bytes appended to the spill store
+//	                                     (headers + payloads, this process)
 //	ReloadedEvents            counter    events reloaded from the spill store
 //	SpilledNow                gauge      events currently on disk
 //	RejectedPosts             counter    posts failed with ErrOverloaded
@@ -359,6 +361,7 @@ type Stats struct {
 	// >4096) — the distribution of how deep the tails run.
 	QueuedEvents   int64
 	SpilledEvents  int64
+	SpilledBytes   int64
 	ReloadedEvents int64
 	SpilledNow     int64
 	RejectedPosts  int64
@@ -413,6 +416,7 @@ func (r *Runtime) Stats() Stats {
 		s.SpillErrors = a.spillErrs.Load()
 		if a.store != nil {
 			s.SpilledNow = a.store.TotalDepth()
+			s.SpilledBytes = a.store.AppendedBytes()
 			s.SpillSyncs = a.store.Syncs()
 			s.RecoveredEvents = a.store.Recovered()
 			s.TornRecords = a.store.Torn()

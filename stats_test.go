@@ -21,7 +21,7 @@ func cumulativeTotals(s Stats) []int64 {
 		t.ColorQueueChurns, t.Panics, t.TimersFired,
 		s.TimersCanceled,
 		s.PollWakeups, s.PollEvents, s.WriteStalls, s.ReadPauses,
-		s.SpilledEvents, s.ReloadedEvents, s.RejectedPosts, s.BlockedPosts, s.SpillErrors,
+		s.SpilledEvents, s.SpilledBytes, s.ReloadedEvents, s.RejectedPosts, s.BlockedPosts, s.SpillErrors,
 		s.SpillSyncs, s.RecoveredEvents, s.TornRecords,
 	}
 	for _, b := range t.StealBatchHist {
@@ -92,5 +92,51 @@ func TestStatsMonotonicity(t *testing.T) {
 		if final[i] < prev[i] {
 			t.Fatalf("final snapshot: counter %d went backwards: %d -> %d", i, prev[i], final[i])
 		}
+	}
+}
+
+// TestLatencySnapshotQuantileEdges pins the documented edge-case
+// behavior of LatencySnapshot.Quantile: zero samples yield zero for
+// any q; a single-bucket distribution reports that bucket's bound for
+// every in-range q; q <= 0 clamps to the first observation; q > 1
+// reports the overflow bucket's bound (MaxInt64 ns).
+func TestLatencySnapshotQuantileEdges(t *testing.T) {
+	var empty LatencySnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	var single LatencySnapshot
+	single.Buckets[7] = 42
+	want := LatencyBucketUpper(7)
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got != want {
+			t.Errorf("single.Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Out of range, low side: clamps to the first observation.
+	for _, q := range []float64{0, -3} {
+		if got := single.Quantile(q); got != want {
+			t.Errorf("single.Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Out of range, high side: nothing crosses the inflated target —
+	// the unbounded last bucket reads as "slower than everything".
+	if got, over := single.Quantile(1.5), LatencyBucketUpper(LatencyBuckets-1); got != over {
+		t.Errorf("single.Quantile(1.5) = %v, want %v", got, over)
+	}
+
+	// A spread distribution: p99 stays in the dense bucket, p100 finds
+	// the straggler.
+	var spread LatencySnapshot
+	spread.Buckets[3] = 99
+	spread.Buckets[20] = 1
+	if got := spread.Quantile(0.99); got != LatencyBucketUpper(3) {
+		t.Errorf("spread.Quantile(0.99) = %v, want %v", got, LatencyBucketUpper(3))
+	}
+	if got := spread.Quantile(1); got != LatencyBucketUpper(20) {
+		t.Errorf("spread.Quantile(1) = %v, want %v", got, LatencyBucketUpper(20))
 	}
 }
